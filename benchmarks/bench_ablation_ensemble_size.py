@@ -1,0 +1,68 @@
+"""Ablation: detection power of each assertion type vs ensemble size.
+
+The paper fixes the ensemble size at 16 and reports single p-values.  This
+ablation sweeps the ensemble size for every bug-injection scenario and records
+(a) how often the buggy program is caught and (b) how often a correct program
+is falsely flagged — the trade-off a user of the tool cares about when
+choosing how many simulated executions to spend per breakpoint.
+"""
+
+from bench_helpers import print_table
+from repro.bugs import BUG_SCENARIOS
+from repro.workloads import detection_rate, false_positive_rate
+
+
+#: Scenarios that are cheap enough to sweep densely.
+SWEEP_SCENARIOS = ["flipped_rotation_angles", "control_routing", "wrong_modular_inverse_listing4"]
+
+
+def test_ablation_detection_vs_ensemble_size(benchmark):
+    def sweep():
+        rows = []
+        for name in SWEEP_SCENARIOS:
+            scenario = BUG_SCENARIOS[name]
+            for size in (4, 8, 16, 32):
+                rows.append(
+                    {
+                        "scenario": name,
+                        "caught_by": scenario.catching_assertion,
+                        "ensemble_size": size,
+                        "detection_rate": detection_rate(
+                            scenario.build_buggy, ensemble_size=size, trials=6, rng=1
+                        ),
+                        "false_positive_rate": false_positive_rate(
+                            scenario.build_correct, ensemble_size=size, trials=6, rng=2
+                        ),
+                    }
+                )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table("Ablation: detection / false-positive rate vs ensemble size", rows)
+
+    # Every bug is reliably caught at the paper's ensemble size of 16+.
+    for row in rows:
+        if row["ensemble_size"] >= 16:
+            assert row["detection_rate"] == 1.0
+            assert row["false_positive_rate"] <= 0.5
+
+
+def test_ablation_significance_level(benchmark):
+    """Detection / false-alarm trade-off as the significance level varies."""
+    from repro.workloads import significance_sweep
+
+    scenario = BUG_SCENARIOS["control_routing"]
+    rows = benchmark.pedantic(
+        lambda: significance_sweep(
+            scenario.build_correct,
+            scenario.build_buggy,
+            significances=(0.01, 0.05, 0.10),
+            ensemble_size=16,
+            trials=6,
+            rng=3,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print_table("Ablation: significance level trade-off (control-routing bug)", rows)
+    assert all(row["detection_rate"] >= 0.5 for row in rows)

@@ -1,0 +1,61 @@
+"""Figure 1: Bell state creation and the entanglement assertion.
+
+Reproduces the introductory example: the measurement results of the two
+entangled qubits are perfectly correlated, the contingency table is
+[[1/2, 0], [0, 1/2]], and the statistical entanglement assertion on a
+16-measurement ensemble rejects independence with p ~= 0.0005.
+"""
+
+import numpy as np
+
+from bench_helpers import print_matrix, print_table
+from repro.algorithms.bell import bell_contingency_probabilities, build_bell_program
+from repro.core import check_program
+
+
+def test_fig1_bell_state_assertion(benchmark):
+    program = build_bell_program()
+
+    report = benchmark(
+        lambda: check_program(program, ensemble_size=16, rng=1)
+    )
+
+    # Measured contingency table of the simulated Bell pair.
+    runnable = program.without_assertions()
+    state = runnable.simulate()
+    joint = state.probabilities([0, 1]).reshape(2, 2).T
+    print_matrix("Figure 1: Bell pair joint distribution P(m0, m1)", joint,
+                 row_labels=["m0=0", "m0=1"], col_labels=["m1=0", "m1=1"])
+    print_table(
+        "Figure 1: entanglement assertion at 16 measurements",
+        [
+            {
+                "assertion": record.name,
+                "type": record.outcome.assertion_type,
+                "p_value": record.p_value,
+                "passed": record.passed,
+                "paper": "p ~= 0.0005 (Section 4.4)",
+            }
+            for record in report.records
+        ],
+    )
+
+    assert np.allclose(joint, bell_contingency_probabilities())
+    assert report.passed
+    assert abs(report.records[0].p_value - 0.000465) < 5e-4
+
+
+def test_fig1_ghz_generalisation(benchmark):
+    """Extension of Figure 1: every qubit of a GHZ state is pairwise entangled."""
+    from repro.algorithms.bell import build_ghz_program
+
+    program = build_ghz_program(4)
+    report = benchmark(lambda: check_program(program, ensemble_size=32, rng=2))
+    print_table(
+        "Figure 1 extension: GHZ(4) pairwise entanglement assertions",
+        [
+            {"assertion": r.name, "p_value": r.p_value, "passed": r.passed}
+            for r in report.records
+        ],
+    )
+    assert report.passed

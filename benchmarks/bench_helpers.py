@@ -1,0 +1,50 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper: it times the
+core operation with pytest-benchmark and prints the reproduced rows/series so
+that ``pytest benchmarks/ --benchmark-only -s`` output doubles as the
+reproduction log referenced from EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def print_table(title: str, rows: list[dict]) -> None:
+    """Print a list of dict rows as an aligned text table."""
+    print(f"\n=== {title} ===")
+    if not rows:
+        print("(no rows)")
+        return
+    headers = list(rows[0].keys())
+    rendered = [
+        [_render(row.get(header, "")) for header in headers] for row in rows
+    ]
+    widths = [
+        max(len(str(header)), max(len(cells[i]) for cells in rendered))
+        for i, header in enumerate(headers)
+    ]
+    print("  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers)))
+    for cells in rendered:
+        print("  ".join(cells[i].ljust(widths[i]) for i in range(len(headers))))
+
+
+def print_matrix(title: str, matrix: np.ndarray, row_labels=None, col_labels=None) -> None:
+    """Print a probability matrix the way the paper prints Table 3."""
+    print(f"\n=== {title} ===")
+    matrix = np.asarray(matrix)
+    col_labels = col_labels if col_labels is not None else list(range(matrix.shape[1]))
+    row_labels = row_labels if row_labels is not None else list(range(matrix.shape[0]))
+    header = "      " + "  ".join(f"{c:>7}" for c in col_labels)
+    print(header)
+    for label, row in zip(row_labels, matrix):
+        print(f"{label:>5} " + "  ".join(f"{value:7.4f}" for value in row))
+
+
+def _render(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    return str(value)

@@ -1,0 +1,72 @@
+"""Section 5.2.3: assertions on intermediate algorithm progress (chemistry).
+
+The paper's two whole-algorithm checks for the chemistry benchmark:
+
+1. the computed energy converges to a steady value as finer Trotter time
+   steps are chosen (a failure to converge indicates a bug in the Hamiltonian
+   subroutine);
+2. increasing the phase-estimation precision refines the answer — rounding a
+   high-precision result reproduces the low-precision result (a failure
+   indicates a bug in the iterative phase estimation subroutine).
+"""
+
+from bench_helpers import print_table
+from repro.chemistry import (
+    ELECTRON_ASSIGNMENTS,
+    dominant_eigenstate_energy,
+    precision_convergence,
+    trotter_convergence,
+)
+
+
+def test_section523_trotter_convergence(benchmark, h2_hamiltonian):
+    rows = benchmark.pedantic(
+        lambda: trotter_convergence(
+            occupation=ELECTRON_ASSIGNMENTS["G"], steps_list=(1, 2, 4), num_bits=6
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    exact, _ = dominant_eigenstate_energy(h2_hamiltonian, ELECTRON_ASSIGNMENTS["G"])
+    printable = [
+        {
+            "trotter_steps_per_unit": row["trotter_steps_per_unit"],
+            "QPE energy (Ha)": row["qpe_energy"],
+            "peak energy (Ha)": row["peak_energy"],
+            "error vs exact (Ha)": abs(row["peak_energy"] - exact),
+        }
+        for row in rows
+    ]
+    print_table("Section 5.2.3: energy vs Trotter step refinement", printable)
+
+    errors = [row["error vs exact (Ha)"] for row in printable]
+    # Convergence: the finest Trotterisation is at least as accurate as the
+    # coarsest, and the last two refinements agree closely with each other.
+    assert errors[-1] <= errors[0] + 1e-9
+    assert abs(rows[-1]["peak_energy"] - rows[-2]["peak_energy"]) < 0.2
+
+
+def test_section523_precision_convergence(benchmark):
+    rows = benchmark.pedantic(
+        lambda: precision_convergence(
+            occupation=ELECTRON_ASSIGNMENTS["G"],
+            bits_list=(3, 4, 5, 6),
+            trotter_steps_per_unit=2,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    printable = [
+        {
+            "phase bits": row["num_bits"],
+            "estimated phase": row["phase"],
+            "bit pattern (MSB first)": "".join(str(b) for b in row["bits"]),
+            "energy (Ha)": row["energy"],
+        }
+        for row in rows
+    ]
+    print_table("Section 5.2.3: phase estimate vs read-out precision", printable)
+
+    # Rounding the high-precision phase reproduces the low-precision phase.
+    for coarse, fine in zip(rows, rows[1:]):
+        assert abs(fine["phase"] - coarse["phase"]) <= 1.0 / (1 << coarse["num_bits"])

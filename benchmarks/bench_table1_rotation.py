@@ -1,0 +1,82 @@
+"""Table 1 / Figure 3: controlled-rotation decompositions, correct and buggy.
+
+Reproduces the three codings of Table 1: the two correct variants implement
+the same controlled rotation; the angle-flipped variant does not, and the
+resulting bug is caught downstream by the Listing 3 adder postcondition with
+p-value 0.0 (see bench_listing3_adder.py).
+"""
+
+import math
+
+from bench_helpers import print_table
+from repro.algorithms.rotations import (
+    VARIANTS,
+    controlled_phase_matrix,
+    variant_is_correct,
+    variant_matrix,
+)
+from repro.sim import gates
+
+
+def test_table1_rotation_decompositions(benchmark):
+    angle = math.pi / 8
+
+    def evaluate_all():
+        return {variant: variant_is_correct(angle, variant) for variant in VARIANTS}
+
+    verdicts = benchmark(evaluate_all)
+
+    rows = []
+    for variant in VARIANTS:
+        candidate = variant_matrix(angle, variant)
+        rows.append(
+            {
+                "variant": variant,
+                "paper_column": {
+                    "drop_a": "Correct, operation A unneeded",
+                    "drop_c": "Correct, operation C unneeded",
+                    "flipped": "Incorrect, angles flipped",
+                }[variant],
+                "implements_controlled_rotation": verdicts[variant],
+                "matches_controlled_phase": gates.gates_equal_up_to_global_phase(
+                    candidate, controlled_phase_matrix(angle)
+                ),
+            }
+        )
+    print_table("Table 1: controlled-rotation decomposition variants", rows)
+
+    assert verdicts["drop_a"] and verdicts["drop_c"]
+    assert not verdicts["flipped"]
+
+
+def test_figure3_decomposition_matches_exact_gate(benchmark):
+    """Figure 3: the A-B-C-D decomposition equals the exact controlled-U."""
+    import numpy as np
+
+    from repro.compiler import decompose_controlled_rotations
+    from repro.lang import Program
+
+    angle = 2 * math.pi / 3
+
+    def build_and_compare():
+        program = Program()
+        q = program.qreg("q", 2)
+        program.cphase(q[0], q[1], angle)
+        lowered = decompose_controlled_rotations(program)
+        return np.allclose(lowered.unitary(), program.unitary(), atol=1e-10), lowered
+
+    equal, lowered = benchmark(build_and_compare)
+    print_table(
+        "Figure 3: lowering a controlled rotation to 1-qubit rotations + CNOTs",
+        [
+            {
+                "gates_after_lowering": lowered.num_gates(),
+                "only_basic_gates": all(
+                    len(i.controls) == 0 or i.name == "x"
+                    for i in lowered.gate_instructions()
+                ),
+                "unitary_preserved": equal,
+            }
+        ],
+    )
+    assert equal

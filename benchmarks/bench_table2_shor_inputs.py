@@ -1,0 +1,47 @@
+"""Table 2: the classical inputs a and a^-1 to Shor's algorithm for N = 15, guess 7.
+
+Also exercises the end-to-end integration test of Section 4.6: the measured
+outputs are 0, 2, 4, 6 with equal probability and classical post-processing
+recovers the factors 3 x 5.
+"""
+
+from bench_helpers import print_table
+from repro.algorithms.shor import run_shor, table2_rows
+
+
+def test_table2_classical_inputs(benchmark):
+    rows = benchmark(lambda: table2_rows(modulus=15, base=7, iterations=4))
+    print_table(
+        "Table 2: correct classical inputs for factoring 15 with guess 7",
+        [
+            {
+                "k": row["k"],
+                "a = 7^(2^k) mod 15": row["a"],
+                "a_inv": row["a_inv"],
+                "paper_a": [7, 4, 1, 1][row["k"]],
+                "paper_a_inv": [13, 4, 1, 1][row["k"]],
+            }
+            for row in rows
+        ],
+    )
+    assert [row["a"] for row in rows] == [7, 4, 1, 1]
+    assert [row["a_inv"] for row in rows] == [13, 4, 1, 1]
+
+
+def test_section46_end_to_end_factoring(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_shor(modulus=15, base=7, shots=128, rng=7), rounds=1, iterations=1
+    )
+    print_table(
+        "Section 4.6: Shor integration run (N=15, a=7)",
+        [
+            {
+                "outputs_observed": sorted(result["counts"]),
+                "expected_outputs": result["expected_outputs"],
+                "recovered_order": result["order"],
+                "factors": result["factors"],
+            }
+        ],
+    )
+    assert result["factors"] == (3, 5)
+    assert sorted(result["counts"]) == [0, 2, 4, 6]

@@ -1,0 +1,97 @@
+"""Table 3: joint output/ancilla distribution of Shor's algorithm with a wrong inverse.
+
+Reproduces the table exactly: with a^-1 = 12 supplied instead of 13 on the
+first iteration, the deallocated ancillary register reads 0 with probability
+1/2 (in which case the outputs are the correct 0, 2, 4, 6 at 1/8 each), and
+reads one of four non-zero values (2, 7, 8, 13) with the remaining probability
+spread uniformly at 1/64 per cell — the side channel the classical
+postcondition assertion of Section 4.6 uses to catch the bug.
+"""
+
+import numpy as np
+
+from bench_helpers import print_matrix, print_table
+from repro.algorithms.shor import build_shor_program, shor_joint_distribution
+from repro.core import check_program
+
+
+def test_table3_joint_distribution(benchmark):
+    circuit = build_shor_program(inverse_overrides={0: 12})
+
+    table = benchmark.pedantic(
+        lambda: shor_joint_distribution(circuit), rounds=1, iterations=1
+    )
+
+    nonzero_rows = [i for i in range(table.shape[0]) if table[i].sum() > 1e-9]
+    print_matrix(
+        "Table 3: P(ancilla, output) with incorrect a^-1 = 12 (non-empty rows)",
+        table[nonzero_rows],
+        row_labels=[f"anc={i}" for i in nonzero_rows],
+        col_labels=list(range(table.shape[1])),
+    )
+    print_table(
+        "Table 3: comparison against the paper",
+        [
+            {
+                "quantity": "P(ancilla = 0)",
+                "measured": float(table[0].sum()),
+                "paper": 0.5,
+            },
+            {
+                "quantity": "outputs given ancilla 0",
+                "measured": str([c for c in range(8) if table[0, c] > 1e-9]),
+                "paper": "[0, 2, 4, 6] each 1/8",
+            },
+            {
+                "quantity": "non-zero ancilla values",
+                "measured": str(nonzero_rows[1:]),
+                "paper": "[2, 7, 8, 13] uniform 1/64",
+            },
+        ],
+    )
+
+    assert nonzero_rows == [0, 2, 7, 8, 13]
+    assert np.allclose(table[0, [0, 2, 4, 6]], 1 / 8)
+    for row in (2, 7, 8, 13):
+        assert np.allclose(table[row], 1 / 64)
+
+
+def test_table3_assertion_catches_the_bug(benchmark):
+    """The defense of Section 4.6: the ancilla postcondition fails."""
+    circuit = build_shor_program(inverse_overrides={0: 12})
+    report = benchmark.pedantic(
+        lambda: check_program(circuit.program, ensemble_size=32, rng=9),
+        rounds=1,
+        iterations=1,
+    )
+    print_table(
+        "Section 4.6: assertion report for the wrong-inverse Shor program",
+        [
+            {
+                "assertion": record.name,
+                "type": record.outcome.assertion_type,
+                "p_value": record.p_value,
+                "passed": record.passed,
+            }
+            for record in report.records
+        ],
+    )
+    assert not report.passed
+
+
+def test_table3_correct_program_ancilla_clean(benchmark):
+    """Control experiment: with the right inverses the ancilla is always 0."""
+    circuit = build_shor_program()
+    table = benchmark.pedantic(
+        lambda: shor_joint_distribution(circuit), rounds=1, iterations=1
+    )
+    print_table(
+        "Table 3 control: correct inputs leave the ancillary register at 0",
+        [
+            {
+                "P(ancilla = 0)": float(table[0].sum()),
+                "outputs": str([c for c in range(8) if table[0, c] > 1e-9]),
+            }
+        ],
+    )
+    assert table[0].sum() == 1.0 or np.isclose(table[0].sum(), 1.0)

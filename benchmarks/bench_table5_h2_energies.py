@@ -1,0 +1,97 @@
+"""Table 5 / Section 5.2: H2 energies for the six electron assignments.
+
+The paper reports four distinct energy levels obtained from six electron
+assignments, with the two assignments for E1 (and for E2) giving the same
+energy — the symmetry check used as a postcondition assertion.  The benchmark
+regenerates that table from the quantum phase-estimation read-out of the
+Trotterised H2 evolution (the absolute values differ from the paper's
+arbitrary-unit "relative" energies; the structure — degeneracies and ordering
+— is what is compared).
+"""
+
+import numpy as np
+
+from bench_helpers import print_table
+from repro.chemistry import (
+    ELECTRON_ASSIGNMENTS,
+    H2EnergyEstimator,
+    dominant_eigenstate_energy,
+    table5_rows,
+    two_electron_eigenvalues,
+)
+
+
+#: Lanyon-style relative energies from Table 5 of the paper (arbitrary units).
+PAPER_RELATIVE_ENERGIES = {"E3": -0.164, "E2": -0.217, "E1": -0.244, "G": -0.295}
+
+
+def test_table5_energy_levels(benchmark, h2_hamiltonian):
+    estimator = H2EnergyEstimator(num_bits=6, trotter_steps_per_unit=2)
+
+    rows = benchmark.pedantic(
+        lambda: table5_rows(estimator, include_exact=True), rounds=1, iterations=1
+    )
+
+    printable = []
+    for row in rows:
+        printable.append(
+            {
+                "level": row["level"],
+                "assignment": row["occupation"],
+                "QPE energy (Ha)": row["qpe_energy"],
+                "exact dominant (Ha)": row["exact_dominant_energy"],
+                "paper relative": PAPER_RELATIVE_ENERGIES[row["level"]],
+            }
+        )
+    print_table("Table 5: QC calculated energies per electron assignment", printable)
+
+    by_level = {}
+    for row in rows:
+        by_level.setdefault(row["level"], []).append(row["qpe_energy"])
+
+    # Structure checks: degenerate pairs agree, ordering matches the paper.
+    assert abs(by_level["E1"][0] - by_level["E1"][1]) < 1e-9
+    assert abs(by_level["E2"][0] - by_level["E2"][1]) < 1e-9
+    assert by_level["G"][0] < by_level["E1"][0] < by_level["E2"][0] < by_level["E3"][0]
+
+    # Paper ordering (more negative = lower) is the same ordering.
+    paper_order = sorted(PAPER_RELATIVE_ENERGIES, key=PAPER_RELATIVE_ENERGIES.get)
+    measured_order = sorted(by_level, key=lambda level: by_level[level][0])
+    assert paper_order == measured_order
+
+
+def test_table5_spectrum_degeneracy(benchmark, h2_hamiltonian):
+    """Six assignments, four distinct levels (the 3-fold triplet degeneracy)."""
+    eigenvalues = benchmark(lambda: two_electron_eigenvalues(h2_hamiltonian))
+    values, counts = np.unique(np.round(eigenvalues, 6), return_counts=True)
+    print_table(
+        "Table 5: exact two-electron spectrum of the H2 Hamiltonian",
+        [
+            {"energy (Ha)": float(value), "degeneracy": int(count)}
+            for value, count in zip(values, counts)
+        ],
+    )
+    assert len(values) == 4
+    assert sorted(counts.tolist()) == [1, 1, 1, 3]
+
+
+def test_table5_ground_state_estimate(benchmark, h2_hamiltonian):
+    """Iterative phase estimation of the ground-state energy (Section 5.2.1)."""
+    estimator = H2EnergyEstimator(num_bits=7, trotter_steps_per_unit=2)
+    estimate = benchmark.pedantic(
+        lambda: estimator.estimate_ipe(ELECTRON_ASSIGNMENTS["G"]), rounds=1, iterations=1
+    )
+    exact, overlap = dominant_eigenstate_energy(h2_hamiltonian, ELECTRON_ASSIGNMENTS["G"])
+    print_table(
+        "Section 5.2: iterative phase estimation of the H2 ground state",
+        [
+            {
+                "IPE energy (Ha)": estimate.energy,
+                "exact FCI energy (Ha)": exact,
+                "absolute error (Ha)": abs(estimate.energy - exact),
+                "initial-state overlap": overlap,
+                "phase bits": 7,
+            }
+        ],
+    )
+    assert abs(estimate.energy - exact) < 0.1

@@ -1,0 +1,16 @@
+"""Benchmark fixtures."""
+
+import numpy as np
+import pytest
+
+from repro.chemistry import build_h2_qubit_hamiltonian
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(20190622)
+
+
+@pytest.fixture(scope="session")
+def h2_hamiltonian():
+    return build_h2_qubit_hamiltonian()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Quickstart: write a quantum program with statistical assertions and check it.
+
+This walks through the paper's introductory example (Figure 1): a Bell-state
+preparation circuit whose two qubits must end up entangled.  We write the
+program with the `repro` IR, attach assertions, and let the checker compile
+the program into breakpoints, simulate measurement ensembles and run the
+chi-square tests.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import Program, StatisticalAssertionChecker
+
+
+def build_bell_program() -> Program:
+    """The Figure 1 circuit with assertions at the interesting points."""
+    program = Program("quickstart_bell")
+    qubits = program.qreg("q", 2)
+
+    # (A) classical initial state |00>
+    program.prep_z(qubits[0], 0)
+    program.prep_z(qubits[1], 0)
+    program.assert_classical(qubits, 0, label="precondition: both qubits start at 0")
+
+    # (B) Hadamard creates a superposition on qubit 0
+    program.h(qubits[0])
+    program.assert_superposition([qubits[0]], label="qubit 0 in superposition")
+
+    # (C) CNOT entangles the two qubits -> (D) Bell state
+    program.cnot(qubits[0], qubits[1])
+    program.assert_entangled([qubits[0]], [qubits[1]], label="Bell pair entangled")
+
+    # (E) measurement
+    program.measure(qubits, label="m")
+    return program
+
+
+def main() -> None:
+    program = build_bell_program()
+    print("Program listing:")
+    print(program.describe())
+    print()
+
+    checker = StatisticalAssertionChecker(program, ensemble_size=16, rng=2019)
+    report = checker.run()
+    print(report.summary())
+    print()
+
+    # Now inject a bug: forget the CNOT.  The entanglement assertion fails.
+    buggy = Program("quickstart_bell_buggy")
+    qubits = buggy.qreg("q", 2)
+    buggy.h(qubits[0])
+    buggy.assert_entangled([qubits[0]], [qubits[1]], label="Bell pair entangled")
+    buggy_report = StatisticalAssertionChecker(buggy, ensemble_size=16, rng=2019).run()
+    print("After deleting the CNOT (bug!):")
+    print(buggy_report.summary())
+
+
+if __name__ == "__main__":
+    main()

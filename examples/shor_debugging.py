@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Debugging Shor's algorithm with statistical assertions (Section 4 walkthrough).
+
+The script follows the paper's bottom-up methodology:
+
+1. unit-test the QFT subroutine (Listing 1);
+2. unit-test the controlled adder, catching the Table 1 rotation bug (Listing 3);
+3. unit-test the controlled modular multiplier with entanglement and
+   product-state assertions, catching the control-routing and wrong-inverse
+   bugs (Listing 4, Sections 4.4-4.5);
+4. run the full integration test for N = 15 and reproduce Table 2 and Table 3
+   (Sections 4.6).
+
+Run with:  python examples/shor_debugging.py
+"""
+
+import numpy as np
+
+from repro.algorithms.arithmetic import build_cadd_test_harness
+from repro.algorithms.modular import build_cmodmul_test_harness
+from repro.algorithms.qft import build_qft_test_harness
+from repro.algorithms.shor import (
+    build_shor_program,
+    run_shor,
+    shor_joint_distribution,
+    table2_rows,
+)
+from repro.core import StatisticalAssertionChecker, check_program
+
+
+def banner(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def step1_qft_unit_test() -> None:
+    banner("Step 1 — Listing 1: QFT unit test (classical -> superposition -> classical)")
+    report = check_program(build_qft_test_harness(width=4, value=5), ensemble_size=64, rng=1)
+    print(report.summary())
+
+
+def step2_adder_unit_test() -> None:
+    banner("Step 2 — Listing 3: controlled adder unit test (12 + 13 = 25)")
+    print("Correct implementation:")
+    print(check_program(build_cadd_test_harness(), ensemble_size=16, rng=2).summary())
+
+    print()
+    print("With the Table 1 bug (rotation angles flipped) the adder subtracts:")
+    report = check_program(build_cadd_test_harness(angle_sign=-1.0), ensemble_size=16, rng=2)
+    print(report.summary())
+
+
+def step3_multiplier_unit_test() -> None:
+    banner("Step 3 — Listing 4: controlled modular multiplier unit test")
+    print("Correct control routing and modular inverse (7, 13):")
+    print(check_program(build_cmodmul_test_harness(), ensemble_size=16, rng=3).summary())
+
+    print()
+    print("Bug type 4 — wrong control qubit routed into the multiplier:")
+    report = check_program(
+        build_cmodmul_test_harness(control_bug_duplicate=True), ensemble_size=16, rng=3
+    )
+    print(report.summary())
+
+    print()
+    print("Bug type 6 — wrong modular inverse (12 instead of 13):")
+    report = check_program(
+        build_cmodmul_test_harness(inverse_multiplier=12), ensemble_size=16, rng=3
+    )
+    print(report.summary())
+
+
+def step4_integration_test() -> None:
+    banner("Step 4 — Figure 2 / Tables 2-3: full Shor integration test for N = 15")
+    print("Table 2 (classical inputs):")
+    for row in table2_rows():
+        print(f"  k={row['k']}: a={row['a']:2d}  a^-1={row['a_inv']:2d}")
+
+    print()
+    print("Correct program — assertion report:")
+    circuit = build_shor_program()
+    print(StatisticalAssertionChecker(circuit.program, ensemble_size=32, rng=4).run().summary())
+
+    print()
+    result = run_shor(rng=5, shots=128)
+    print(f"Sampled outputs: {result['counts']}  (expected {result['expected_outputs']})")
+    print(f"Recovered order: {result['order']}, factors: {result['factors']}")
+
+    print()
+    print("Buggy program (a^-1 = 12 on the first iteration) — Table 3:")
+    buggy = build_shor_program(inverse_overrides={0: 12})
+    table = shor_joint_distribution(buggy)
+    np.set_printoptions(precision=4, suppress=True)
+    for ancilla_value in range(table.shape[0]):
+        if table[ancilla_value].sum() > 1e-9:
+            print(f"  ancilla={ancilla_value:2d}: {table[ancilla_value]}")
+    print("Assertion report for the buggy program:")
+    print(StatisticalAssertionChecker(buggy.program, ensemble_size=32, rng=6).run().summary())
+
+
+def main() -> None:
+    step1_qft_unit_test()
+    step2_adder_unit_test()
+    step3_multiplier_unit_test()
+    step4_integration_test()
+
+
+if __name__ == "__main__":
+    main()

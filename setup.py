@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+``pip install -e .`` uses pyproject.toml in normal environments; this shim
+additionally enables ``python setup.py develop`` for fully offline
+environments that lack the ``wheel`` package required by PEP 660 editable
+installs.
+"""
+
+from setuptools import setup
+
+setup()

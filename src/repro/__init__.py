@@ -1,0 +1,34 @@
+"""repro — Statistical assertions for quantum programs (ISCA 2019 reproduction).
+
+Reproduction of Huang & Martonosi, "Statistical Assertions for Validating
+Patterns and Finding Bugs in Quantum Programs", ISCA 2019.
+
+The public API re-exports the most commonly used names:
+
+* :class:`repro.lang.Program` — write quantum programs with assertions;
+* :class:`repro.core.StatisticalAssertionChecker` — check them in simulation;
+* :mod:`repro.algorithms` — the benchmark programs (Shor, Grover, chemistry);
+* :mod:`repro.sim` — the underlying statevector simulator.
+"""
+
+from .core import (
+    AssertionViolation,
+    DebugReport,
+    StatisticalAssertionChecker,
+    check_program,
+)
+from .lang import Program, QuantumRegister
+from .sim import Statevector
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Program",
+    "QuantumRegister",
+    "Statevector",
+    "StatisticalAssertionChecker",
+    "check_program",
+    "DebugReport",
+    "AssertionViolation",
+    "__version__",
+]

@@ -1,0 +1,83 @@
+"""Benchmark quantum programs: Shor, Grover, QFT, arithmetic, phase estimation."""
+
+from . import (
+    arithmetic,
+    bell,
+    gf2,
+    grover,
+    modular,
+    oracles,
+    phase_estimation,
+    qft,
+    rotations,
+    shor,
+)
+from .oracles import (
+    build_bernstein_vazirani_program,
+    build_deutsch_jozsa_program,
+    run_bernstein_vazirani,
+    run_deutsch_jozsa,
+)
+from .arithmetic import (
+    append_add_const,
+    append_phi_add_const,
+    append_phi_sub_const,
+    build_cadd_test_harness,
+)
+from .bell import build_bell_program, build_ghz_program
+from .gf2 import GF2Field
+from .grover import build_grover_program, grover_success_probability, run_grover
+from .modular import (
+    append_cmodmul,
+    append_cmult_inplace,
+    append_phi_add_const_mod,
+    build_cmodmul_test_harness,
+    modular_inverse,
+)
+from .phase_estimation import IterativePhaseEstimator, build_qpe_program
+from .qft import append_iqft, append_qft, build_qft_test_harness
+from .rotations import build_controlled_rz_variant, variant_is_correct
+from .shor import build_shor_program, run_shor, shor_joint_distribution, table2_rows
+
+__all__ = [
+    "arithmetic",
+    "bell",
+    "gf2",
+    "grover",
+    "modular",
+    "phase_estimation",
+    "qft",
+    "rotations",
+    "shor",
+    "append_qft",
+    "append_iqft",
+    "build_qft_test_harness",
+    "append_add_const",
+    "append_phi_add_const",
+    "append_phi_sub_const",
+    "build_cadd_test_harness",
+    "append_phi_add_const_mod",
+    "append_cmodmul",
+    "append_cmult_inplace",
+    "build_cmodmul_test_harness",
+    "modular_inverse",
+    "build_shor_program",
+    "run_shor",
+    "shor_joint_distribution",
+    "table2_rows",
+    "GF2Field",
+    "build_grover_program",
+    "run_grover",
+    "grover_success_probability",
+    "build_bell_program",
+    "build_ghz_program",
+    "build_controlled_rz_variant",
+    "variant_is_correct",
+    "IterativePhaseEstimator",
+    "build_qpe_program",
+    "oracles",
+    "build_bernstein_vazirani_program",
+    "run_bernstein_vazirani",
+    "build_deutsch_jozsa_program",
+    "run_deutsch_jozsa",
+]

@@ -1,0 +1,152 @@
+"""Fourier-space constant adders (Listings 2 and 3 of the paper).
+
+The controlled adder ``cADD`` adds a classical constant ``a`` to a quantum
+register ``b`` that has been moved into Fourier space by the swap-free QFT
+(:func:`repro.algorithms.qft.append_qft`).  In that representation the
+addition is a ladder of (controlled) phase rotations whose angles are
+``pi / 2**(b_index - a_index)`` — exactly the two-dimensional loop of
+Listing 2, where indexing mistakes, bit-shift errors, endian confusion and
+angle-sign mistakes are all easy to make (bug type 3).
+
+``build_cadd_test_harness`` reproduces Listing 3: prepare ``b = 12``, assert
+it, add the constant ``a = 13`` through QFT -> cADD -> iQFT, and assert the
+postcondition ``b = 25``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..lang.program import Program
+from ..lang.registers import flatten_qubits
+from .qft import append_iqft, append_qft
+
+__all__ = [
+    "append_phi_add_const",
+    "append_phi_sub_const",
+    "append_add_const",
+    "build_cadd_program",
+    "build_cadd_test_harness",
+]
+
+
+def append_phi_add_const(
+    program: Program,
+    b_register,
+    constant: int,
+    controls=None,
+    angle_sign: float = 1.0,
+) -> Program:
+    """Add the classical ``constant`` to ``b_register`` in Fourier space.
+
+    This is Listing 2 (``cADD``).  ``controls`` holds zero, one or two control
+    qubits (the listing's ``c_width`` switch); more controls also work because
+    the IR supports arbitrary control counts.  ``angle_sign`` exists for bug
+    injection: ``-1.0`` reproduces the flipped-angle mistake of Table 1, which
+    silently turns the adder into a subtractor.
+    """
+    b_qubits = flatten_qubits(b_register)
+    control_qubits = flatten_qubits(controls) if controls is not None else []
+    width = len(b_qubits)
+    constant = int(constant) % (1 << width)
+    for b_index in range(width - 1, -1, -1):
+        for a_index in range(b_index, -1, -1):
+            if (constant >> a_index) & 1:  # shift out bits in constant a
+                angle = angle_sign * math.pi / (2 ** (b_index - a_index))
+                program.gate(
+                    "phase",
+                    b_qubits[b_index],
+                    controls=control_qubits or None,
+                    params=(angle,),
+                )
+    return program
+
+
+def append_phi_sub_const(
+    program: Program, b_register, constant: int, controls=None
+) -> Program:
+    """Subtract ``constant`` in Fourier space (adjoint of the adder)."""
+    return append_phi_add_const(
+        program, b_register, constant, controls=controls, angle_sign=-1.0
+    )
+
+
+def append_add_const(
+    program: Program,
+    b_register,
+    constant: int,
+    controls=None,
+    angle_sign: float = 1.0,
+) -> Program:
+    """Full constant adder: QFT, Fourier-space addition, inverse QFT.
+
+    Computes ``b <- (b + constant) mod 2**width``.  The surrounding QFT /
+    inverse QFT are *not* controlled: when the controls are 0 the Fourier
+    rotations are skipped and the QFT pair cancels, so the register is left
+    unchanged, exactly as required.
+    """
+    b_qubits = flatten_qubits(b_register)
+    append_qft(program, b_qubits)
+    append_phi_add_const(
+        program, b_qubits, constant, controls=controls, angle_sign=angle_sign
+    )
+    append_iqft(program, b_qubits)
+    return program
+
+
+def build_cadd_program(
+    width: int,
+    constant: int,
+    num_controls: int = 0,
+    angle_sign: float = 1.0,
+    name: str = "cadd",
+) -> Program:
+    """A standalone (controlled) constant adder over fresh registers."""
+    program = Program(name)
+    controls = program.qreg("ctrl", num_controls) if num_controls else None
+    b_register = program.qreg("b", width)
+    append_add_const(
+        program, b_register, constant, controls=controls, angle_sign=angle_sign
+    )
+    return program
+
+
+def build_cadd_test_harness(
+    width: int = 5,
+    b_value: int = 12,
+    constant: int = 13,
+    angle_sign: float = 1.0,
+    name: str = "cadd_test_harness",
+) -> Program:
+    """Listing 3: the controlled-adder unit-test harness with its assertions.
+
+    With the correct implementation the postcondition asserts
+    ``b = b_value + constant`` (12 + 13 = 25 by default).  Injecting the
+    flipped-angle bug (``angle_sign=-1``) makes the postcondition fail with a
+    p-value of exactly 0.0, as reported in Section 4.3.
+    """
+    expected = b_value + constant
+    if expected >= (1 << width):
+        raise ValueError("width too small to hold the sum without overflow")
+    program = Program(name)
+
+    # control qubits unimportant here
+    ctrl = program.qreg("ctrl", 2)
+    program.prep_z(ctrl[0], 0)
+    program.prep_z(ctrl[1], 0)
+
+    # initialize quantum variable to b_value
+    b_register = program.qreg("b", width)
+    program.prepare_int(b_register, b_value)
+    program.assert_classical(b_register, b_value, label="precondition: b initialised")
+
+    # perform the addition
+    append_qft(program, b_register)
+    append_phi_add_const(program, b_register, constant, angle_sign=angle_sign)
+    append_iqft(program, b_register)
+
+    # assert a+b
+    program.assert_classical(
+        b_register, expected, label=f"postcondition: b == {b_value}+{constant}"
+    )
+    return program

@@ -1,0 +1,65 @@
+"""Bell and GHZ state preparation (Figure 1 of the paper).
+
+The Bell-state circuit is the paper's introductory example: a Hadamard
+followed by a CNOT entangles two qubits, so their measurement results are
+perfectly correlated.  The statistical entanglement assertion detects this by
+building the 2x2 contingency table shown in Section 4.4 and rejecting the
+independence hypothesis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..lang.program import Program
+
+__all__ = [
+    "build_bell_program",
+    "build_ghz_program",
+    "bell_contingency_probabilities",
+]
+
+
+def build_bell_program(with_assertion: bool = True, name: str = "bell") -> Program:
+    """The Figure 1 circuit: |00> -> (|00> + |11>)/sqrt(2), plus the assertion."""
+    program = Program(name)
+    qubits = program.qreg("q", 2)
+    program.prep_z(qubits[0], 0)
+    program.prep_z(qubits[1], 0)
+    program.h(qubits[0])
+    program.cnot(qubits[0], qubits[1])
+    if with_assertion:
+        program.assert_entangled([qubits[0]], [qubits[1]], label="Bell pair entangled")
+    program.measure(qubits, label="m")
+    return program
+
+
+def build_ghz_program(num_qubits: int = 3, with_assertions: bool = True) -> Program:
+    """A GHZ state on ``num_qubits`` qubits with pairwise entanglement assertions."""
+    if num_qubits < 2:
+        raise ValueError("a GHZ state needs at least two qubits")
+    program = Program(f"ghz{num_qubits}")
+    qubits = program.qreg("q", num_qubits)
+    for qubit in qubits:
+        program.prep_z(qubit, 0)
+    program.h(qubits[0])
+    for index in range(num_qubits - 1):
+        program.cnot(qubits[index], qubits[index + 1])
+    if with_assertions:
+        for index in range(1, num_qubits):
+            program.assert_entangled(
+                [qubits[0]], [qubits[index]], label=f"q0 entangled with q{index}"
+            )
+    program.measure(qubits, label="m")
+    return program
+
+
+def bell_contingency_probabilities() -> np.ndarray:
+    """The ideal joint distribution of the Bell measurement (Section 4.4 table).
+
+    Rows index the first qubit's outcome, columns the second's::
+
+        [[1/2, 0],
+         [0, 1/2]]
+    """
+    return np.array([[0.5, 0.0], [0.0, 0.5]])

@@ -1,0 +1,147 @@
+"""Binary field GF(2^m) arithmetic for the Grover oracle.
+
+The Grover case study of the paper (Section 5.1.2) searches for "the square
+root of a number in a Galois field of two elements".  This module provides
+the classical side of that problem: field elements are represented as
+integers whose bits are polynomial coefficients over GF(2), reduced modulo an
+irreducible polynomial.
+
+Squaring in GF(2^m) is a *linear* map over GF(2) (the Frobenius endomorphism),
+so the square-root oracle can be synthesised from a bit matrix with CNOT
+gates; :meth:`GF2Field.squaring_matrix` produces that matrix and
+:meth:`GF2Field.sqrt` gives the classical reference answer the quantum search
+must find.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["GF2Field", "DEFAULT_IRREDUCIBLE_POLYNOMIALS"]
+
+#: Irreducible polynomials (as bit masks, MSB = highest degree) per field degree.
+DEFAULT_IRREDUCIBLE_POLYNOMIALS: dict[int, int] = {
+    1: 0b11,          # x + 1
+    2: 0b111,         # x^2 + x + 1
+    3: 0b1011,        # x^3 + x + 1
+    4: 0b10011,       # x^4 + x + 1
+    5: 0b100101,      # x^5 + x^2 + 1
+    6: 0b1000011,     # x^6 + x + 1
+    7: 0b10000011,    # x^7 + x + 1
+    8: 0b100011011,   # x^8 + x^4 + x^3 + x + 1 (AES polynomial)
+}
+
+
+class GF2Field:
+    """The finite field GF(2^m) with polynomial-basis representation."""
+
+    def __init__(self, degree: int, modulus_polynomial: int | None = None):
+        if degree < 1:
+            raise ValueError("field degree must be at least 1")
+        if modulus_polynomial is None:
+            try:
+                modulus_polynomial = DEFAULT_IRREDUCIBLE_POLYNOMIALS[degree]
+            except KeyError:
+                raise ValueError(
+                    f"no default irreducible polynomial for degree {degree}; pass one explicitly"
+                ) from None
+        if modulus_polynomial.bit_length() != degree + 1:
+            raise ValueError("modulus polynomial degree does not match the field degree")
+        self.degree = int(degree)
+        self.modulus_polynomial = int(modulus_polynomial)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def order(self) -> int:
+        """Number of field elements, 2^m."""
+        return 1 << self.degree
+
+    def elements(self) -> range:
+        return range(self.order)
+
+    def _validate(self, value: int) -> int:
+        value = int(value)
+        if not 0 <= value < self.order:
+            raise ValueError(f"{value} is not an element of GF(2^{self.degree})")
+        return value
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+
+    def add(self, a: int, b: int) -> int:
+        """Addition = bitwise XOR."""
+        return self._validate(a) ^ self._validate(b)
+
+    def multiply(self, a: int, b: int) -> int:
+        """Carry-less polynomial multiplication reduced by the field polynomial."""
+        a = self._validate(a)
+        b = self._validate(b)
+        product = 0
+        while b:
+            if b & 1:
+                product ^= a
+            b >>= 1
+            a <<= 1
+            if a & self.order:
+                a ^= self.modulus_polynomial
+        return product
+
+    def square(self, a: int) -> int:
+        return self.multiply(a, a)
+
+    def power(self, a: int, exponent: int) -> int:
+        a = self._validate(a)
+        if exponent < 0:
+            raise ValueError("negative exponents need an explicit inverse")
+        result = 1
+        base = a
+        while exponent:
+            if exponent & 1:
+                result = self.multiply(result, base)
+            base = self.multiply(base, base)
+            exponent >>= 1
+        return result
+
+    def inverse(self, a: int) -> int:
+        """Multiplicative inverse via a^(2^m - 2)."""
+        a = self._validate(a)
+        if a == 0:
+            raise ZeroDivisionError("0 has no multiplicative inverse")
+        return self.power(a, self.order - 2)
+
+    def sqrt(self, a: int) -> int:
+        """The unique square root: a^(2^(m-1)) (Frobenius inverse of squaring)."""
+        a = self._validate(a)
+        return self.power(a, 1 << (self.degree - 1))
+
+    # ------------------------------------------------------------------
+    # Linear-algebra view of squaring (used to synthesise the oracle)
+    # ------------------------------------------------------------------
+
+    def squaring_matrix(self) -> np.ndarray:
+        """The GF(2) matrix M with ``square(x) = M @ bits(x) (mod 2)``.
+
+        Column ``j`` holds the bits of ``square(2^j)``; the matrix is
+        invertible because squaring is a field automorphism.
+        """
+        m = self.degree
+        matrix = np.zeros((m, m), dtype=np.uint8)
+        for j in range(m):
+            squared = self.square(1 << j)
+            for i in range(m):
+                matrix[i, j] = (squared >> i) & 1
+        return matrix
+
+    def apply_bit_matrix(self, matrix: np.ndarray, value: int) -> int:
+        """Apply a GF(2) bit matrix to an element (little-endian bit vector)."""
+        value = self._validate(value)
+        bits = np.array([(value >> i) & 1 for i in range(self.degree)], dtype=np.uint8)
+        result_bits = matrix.astype(np.uint8) @ bits % 2
+        return int(sum(int(bit) << i for i, bit in enumerate(result_bits)))
+
+    # ------------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        return f"GF2Field(degree={self.degree}, modulus=0b{self.modulus_polynomial:b})"

@@ -1,0 +1,276 @@
+"""Grover's search for square roots in GF(2^m) (Section 5.1 / Table 4).
+
+The benchmark searches, among all field elements ``x`` of GF(2^m), for the one
+whose square equals a given ``target``.  Squaring over GF(2^m) is linear in
+the bits of ``x``, so the oracle is a cascade of CNOTs (computing
+``y = M x xor target`` into a scratch register), a phase flip on ``y == 0``,
+and the mirrored uncomputation — which makes it a natural showcase for the
+compute/uncompute and controlled-operation patterns of Table 4.
+
+Two coding styles are provided, mirroring the two columns of Table 4:
+
+* ``style="scaffold"`` — explicit ancilla management: the multi-controlled
+  phase flips are decomposed into Toffoli chains over an explicitly allocated
+  scratch register, and the uncomputation is written out by hand.
+* ``style="projectq"`` — high-level patterns: ``with compute(...)`` /
+  ``uncompute`` and ``with control(...)`` blocks handle the mirroring and the
+  control qubits, and the resulting block markers let the pattern scanner
+  place entanglement / product assertions automatically (Section 5.1.1).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..lang import patterns as _patterns
+from ..lang.program import Program
+from ..lang.registers import QuantumRegister
+from .gf2 import GF2Field
+
+__all__ = [
+    "GroverCircuit",
+    "optimal_iterations",
+    "append_sqrt_oracle",
+    "append_diffusion",
+    "build_grover_program",
+    "run_grover",
+    "grover_success_probability",
+]
+
+
+@dataclass
+class GroverCircuit:
+    """A built Grover search program plus handles to its registers."""
+
+    program: Program
+    search_register: QuantumRegister
+    oracle_register: QuantumRegister
+    chain_register: QuantumRegister | None
+    field: GF2Field
+    target: int
+    iterations: int
+    style: str
+
+    @property
+    def expected_answer(self) -> int:
+        """The classical square root the search must find."""
+        return self.field.sqrt(self.target)
+
+
+def optimal_iterations(num_items: int, num_solutions: int = 1) -> int:
+    """The usual floor(pi/4 * sqrt(N/M)) Grover iteration count."""
+    if num_items <= 0 or num_solutions <= 0:
+        raise ValueError("item and solution counts must be positive")
+    angle = math.asin(math.sqrt(num_solutions / num_items))
+    return max(1, int(math.floor(math.pi / (4.0 * angle))))
+
+
+# ---------------------------------------------------------------------------
+# Oracle
+# ---------------------------------------------------------------------------
+
+
+def _append_compute_mx(program: Program, field: GF2Field, search, oracle, target: int) -> None:
+    """Compute ``oracle = M @ search xor target`` with CNOTs and X gates."""
+    matrix = field.squaring_matrix()
+    for row in range(field.degree):
+        for column in range(field.degree):
+            if matrix[row, column]:
+                program.cnot(search[column], oracle[row])
+        if (target >> row) & 1:
+            program.x(oracle[row])
+
+
+def _append_phase_flip_on_zero(
+    program: Program, register, chain: QuantumRegister | None, style: str
+) -> None:
+    """Flip the phase of the ``|0...0>`` state of ``register``.
+
+    ``style="projectq"`` uses the IR's native multi-controlled Z; the
+    ``"scaffold"`` style spells out the Toffoli chain over an explicit scratch
+    register exactly as the left column of Table 4 does.
+    """
+    qubits = list(register)
+    for qubit in qubits:
+        program.x(qubit)
+    if len(qubits) == 1:
+        program.z(qubits[0])
+    elif style == "projectq" or chain is None:
+        # "with Control(eng, q[0:-1]): Z | q[-1]" (Table 4 rows 3-5).
+        with _patterns.control(program, qubits[:-1]):
+            program.z(qubits[-1])
+    else:
+        # Compute x[n-2] = q[0] and ... and q[n-1] (Table 4 row 3)
+        program.toffoli(qubits[1], qubits[0], chain[0])
+        for j in range(1, len(qubits) - 2):
+            program.toffoli(chain[j - 1], qubits[j + 1], chain[j])
+        top = chain[max(len(qubits) - 3, 0)]
+        # Phase flip Z if q = 00...0 (Table 4 row 4)
+        program.cz(top, qubits[-1])
+        # Undo the local registers (Table 4 row 5)
+        for j in range(len(qubits) - 3, 0, -1):
+            program.toffoli(chain[j - 1], qubits[j + 1], chain[j])
+        program.toffoli(qubits[1], qubits[0], chain[0])
+    for qubit in qubits:
+        program.x(qubit)
+
+
+def append_sqrt_oracle(
+    program: Program,
+    field: GF2Field,
+    search,
+    oracle,
+    target: int,
+    chain: QuantumRegister | None = None,
+    style: str = "projectq",
+) -> None:
+    """Phase oracle marking the ``x`` with ``x^2 == target`` in GF(2^m)."""
+    if style == "projectq":
+        with _patterns.compute(program, involved=list(oracle)):
+            _append_compute_mx(program, field, search, oracle, target)
+        _append_phase_flip_on_zero(program, oracle, chain, style)
+        _patterns.uncompute(program)
+    else:
+        _append_compute_mx(program, field, search, oracle, target)
+        _append_phase_flip_on_zero(program, oracle, chain, style)
+        # Mirrored uncomputation, written out by hand (reverse order; CNOT and
+        # X are their own inverses).
+        matrix = field.squaring_matrix()
+        for row in range(field.degree - 1, -1, -1):
+            if (target >> row) & 1:
+                program.x(oracle[row])
+            for column in range(field.degree - 1, -1, -1):
+                if matrix[row, column]:
+                    program.cnot(search[column], oracle[row])
+
+
+# ---------------------------------------------------------------------------
+# Diffusion (amplitude amplification, Table 4)
+# ---------------------------------------------------------------------------
+
+
+def append_diffusion(
+    program: Program,
+    search,
+    chain: QuantumRegister | None = None,
+    style: str = "projectq",
+) -> None:
+    """Reflection across the uniform superposition (Table 4)."""
+    qubits = list(search)
+    for qubit in qubits:
+        program.h(qubit)
+    _append_phase_flip_on_zero(program, qubits, chain, style)
+    for qubit in qubits:
+        program.h(qubit)
+
+
+# ---------------------------------------------------------------------------
+# Full search program
+# ---------------------------------------------------------------------------
+
+
+def build_grover_program(
+    degree: int = 3,
+    target: int = 5,
+    iterations: int | None = None,
+    style: str = "projectq",
+    with_assertions: bool = True,
+    name: str | None = None,
+) -> GroverCircuit:
+    """Build the Grover square-root search over GF(2^degree).
+
+    Parameters
+    ----------
+    degree:
+        Field degree ``m``; the search space has ``2^m`` entries.
+    target:
+        The field element whose square root is sought.
+    iterations:
+        Number of Grover iterations; default is the optimal count.
+    style:
+        ``"projectq"`` (high-level patterns) or ``"scaffold"`` (explicit
+        ancilla chains), the two columns of Table 4.
+    with_assertions:
+        Insert the superposition precondition, the oracle entanglement
+        assertion and the post-uncompute product/classical assertions.
+    """
+    if style not in {"projectq", "scaffold"}:
+        raise ValueError("style must be 'projectq' or 'scaffold'")
+    field = GF2Field(degree)
+    if not 0 <= target < field.order:
+        raise ValueError("target is not a field element")
+    if iterations is None:
+        iterations = optimal_iterations(field.order)
+
+    program = Program(name or f"grover_sqrt_gf2_{degree}_{style}")
+    search = program.qreg("q", degree)
+    oracle = program.qreg("oracle", degree)
+    chain = program.qreg("chain", max(degree - 1, 1)) if style == "scaffold" else None
+
+    for qubit in search:
+        program.prep_z(qubit, 0)
+    for qubit in oracle:
+        program.prep_z(qubit, 0)
+
+    # Step 1: query all entries at once.
+    for qubit in search:
+        program.h(qubit)
+    if with_assertions:
+        program.assert_superposition(search, label="precondition: all indices queried")
+
+    for iteration in range(iterations):
+        append_sqrt_oracle(program, field, search, oracle, target, chain, style)
+        if with_assertions and iteration == 0:
+            # After the oracle's uncompute the scratch register must be clean.
+            program.assert_classical(oracle, 0, label="oracle scratch uncomputed")
+            program.assert_product(oracle, search, label="oracle scratch disentangled")
+        append_diffusion(program, search, chain, style)
+
+    program.measure(search, label="index")
+    return GroverCircuit(
+        program=program,
+        search_register=search,
+        oracle_register=oracle,
+        chain_register=chain,
+        field=field,
+        target=target,
+        iterations=iterations,
+        style=style,
+    )
+
+
+def grover_success_probability(circuit: GroverCircuit) -> float:
+    """Probability that measuring the search register returns the true root."""
+    program = circuit.program.without_assertions()
+    state = program.simulate()
+    indices = [program.qubit_index(q) for q in circuit.search_register]
+    return state.probability_of_outcome(indices, circuit.expected_answer)
+
+
+def run_grover(
+    degree: int = 3,
+    target: int = 5,
+    shots: int = 64,
+    style: str = "projectq",
+    rng: np.random.Generator | int | None = None,
+) -> dict:
+    """End-to-end Grover run: build, simulate, sample, report."""
+    circuit = build_grover_program(degree=degree, target=target, style=style, with_assertions=False)
+    program = circuit.program
+    state = program.simulate()
+    indices = [program.qubit_index(q) for q in circuit.search_register]
+    samples = state.sample(indices, shots=shots, rng=rng)
+    counts = Counter(int(v) for v in samples)
+    most_common = counts.most_common(1)[0][0]
+    return {
+        "counts": dict(sorted(counts.items())),
+        "most_common": most_common,
+        "expected": circuit.expected_answer,
+        "success_probability": grover_success_probability(circuit),
+        "iterations": circuit.iterations,
+        "found": most_common == circuit.expected_answer,
+    }

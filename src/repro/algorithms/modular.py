@@ -1,0 +1,287 @@
+"""Modular arithmetic: Beauregard adder, controlled modular multiplier (Listing 4).
+
+Shor's algorithm needs the in-place modular multiplication ``|x> -> |a*x mod N>``
+controlled on a qubit of the phase-estimation register (Figure 2).  Following
+the construction the paper follows (Beauregard's qubit-minimising circuit),
+the multiplier is built bottom-up from:
+
+* the Fourier-space constant adder of Listing 2
+  (:func:`repro.algorithms.arithmetic.append_phi_add_const`);
+* a doubly-controlled **modular** constant adder that keeps the register
+  reduced mod ``N`` using one overflow qubit and one comparison ancilla;
+* the controlled modular multiply-accumulate ``b <- b + a*x mod N``
+  (``cMODMUL`` of Listing 4);
+* the controlled in-place multiplier obtained by multiply-accumulate, swap,
+  and inverse multiply-accumulate with the modular inverse ``a^-1`` — the
+  mirroring pattern whose incorrect inverse is bug type 6.
+
+``build_cmodmul_test_harness`` reproduces Listing 4, including the
+entanglement assertion after the forward multiplier and the product-state
+assertion after the (possibly incorrect) inverse multiplication.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..lang.program import Program
+from ..lang.registers import Qubit, flatten_qubits
+from .arithmetic import append_phi_add_const, append_phi_sub_const
+from .qft import append_iqft, append_qft
+
+__all__ = [
+    "modular_inverse",
+    "append_phi_add_const_mod",
+    "append_cmodmul",
+    "append_cmult_inplace",
+    "build_cmodmul_test_harness",
+]
+
+
+def modular_inverse(value: int, modulus: int) -> int:
+    """The multiplicative inverse of ``value`` modulo ``modulus``.
+
+    Raises ``ValueError`` when the inverse does not exist (``gcd != 1``),
+    which is also the lucky case in which Shor's algorithm is unnecessary
+    because the trial divisor already shares a factor with ``N``.
+    """
+    value %= modulus
+    if math.gcd(value, modulus) != 1:
+        raise ValueError(f"{value} has no inverse modulo {modulus}")
+    return pow(value, -1, modulus)
+
+
+def append_phi_add_const_mod(
+    program: Program,
+    b_register,
+    constant: int,
+    modulus: int,
+    ancilla: Qubit,
+    controls=None,
+) -> Program:
+    """Modular constant addition in Fourier space (Beauregard's phi-ADD(a) MOD N).
+
+    ``b_register`` must hold ``n + 1`` qubits where ``2**n > modulus``; the
+    extra most-significant qubit absorbs the transient overflow.  The register
+    is expected to already be in Fourier space (swap-free QFT) and to encode a
+    value ``< modulus``; the ``ancilla`` qubit must be ``|0>`` and is returned
+    to ``|0>``.  ``controls`` conditions the addition of ``constant`` (the
+    reduction machinery itself is never controlled — when the controls are 0
+    the sequence collapses to the identity).
+    """
+    b_qubits = flatten_qubits(b_register)
+    constant = int(constant) % modulus
+    if modulus >= (1 << (len(b_qubits) - 1)):
+        raise ValueError("b register needs one more qubit than the modulus width")
+
+    overflow = b_qubits[-1]
+
+    # 1. (controlled) add a
+    append_phi_add_const(program, b_qubits, constant, controls=controls)
+    # 2. subtract N unconditionally
+    append_phi_sub_const(program, b_qubits, modulus)
+    # 3. copy the sign (overflow) bit into the ancilla
+    append_iqft(program, b_qubits)
+    program.cnot(overflow, ancilla)
+    append_qft(program, b_qubits)
+    # 4. add N back if the subtraction underflowed
+    append_phi_add_const(program, b_qubits, modulus, controls=[ancilla])
+    # 5. (controlled) subtract a to test whether the addition really happened
+    append_phi_sub_const(program, b_qubits, constant, controls=controls)
+    # 6. restore the ancilla to |0>
+    append_iqft(program, b_qubits)
+    program.x(overflow)
+    program.cnot(overflow, ancilla)
+    program.x(overflow)
+    append_qft(program, b_qubits)
+    # 7. (controlled) re-add a
+    append_phi_add_const(program, b_qubits, constant, controls=controls)
+    return program
+
+
+def append_cmodmul(
+    program: Program,
+    control,
+    x_register,
+    b_register,
+    multiplier: int,
+    modulus: int,
+    ancilla: Qubit,
+    control_bug_duplicate: bool = False,
+) -> Program:
+    """Listing 4's ``cMODMUL``: ``b <- (b + multiplier * x) mod N``, controlled.
+
+    ``x_register`` holds the quantum multiplicand, ``b_register`` (one qubit
+    wider than the modulus) accumulates the product, ``control`` conditions
+    the whole operation and ``ancilla`` is the comparison scratch qubit of the
+    modular adder.
+
+    ``control_bug_duplicate`` injects bug type 4 from Section 4.4: instead of
+    conditioning each partial addition on *both* the outer control and the
+    corresponding bit of ``x``, the outer control is (incorrectly) replaced by
+    the ``x`` bit used twice — the "accidentally use ctrl1 twice instead of
+    ctrl0" mistake, which silently drops the outer control from the multiplier
+    and is caught by the entanglement assertion.
+    """
+    control_qubits = flatten_qubits(control)
+    x_qubits = flatten_qubits(x_register)
+    b_qubits = flatten_qubits(b_register)
+
+    append_qft(program, b_qubits)
+    for index, x_bit in enumerate(x_qubits):
+        partial = (multiplier * (1 << index)) % modulus
+        if control_bug_duplicate:
+            # Buggy routing: the outer control is never used.
+            adder_controls = [x_bit]
+        else:
+            adder_controls = list(control_qubits) + [x_bit]
+        append_phi_add_const_mod(
+            program,
+            b_qubits,
+            partial,
+            modulus,
+            ancilla,
+            controls=adder_controls,
+        )
+    append_iqft(program, b_qubits)
+    return program
+
+
+def _build_cmodmul_subprogram(
+    shell: Program,
+    control,
+    x_register,
+    b_register,
+    multiplier: int,
+    modulus: int,
+    ancilla: Qubit,
+) -> Program:
+    """Build a standalone cMODMUL sharing ``shell``'s registers (for inversion)."""
+    sub = Program("cmodmul_body")
+    for register in shell.registers:
+        sub.add_register(register)
+    append_cmodmul(sub, control, x_register, b_register, multiplier, modulus, ancilla)
+    return sub
+
+
+def append_cmult_inplace(
+    program: Program,
+    control,
+    x_register,
+    b_register,
+    multiplier: int,
+    modulus: int,
+    ancilla: Qubit,
+    inverse_multiplier: int | None = None,
+    uncompute_correctly: bool = True,
+) -> Program:
+    """Controlled in-place modular multiplication ``|x> -> |multiplier * x mod N>``.
+
+    Implements the standard three-step construction:
+
+    1. ``b <- b + multiplier * x mod N`` (``b`` starts at 0);
+    2. controlled swap of ``x`` and the low bits of ``b``;
+    3. ``b <- b - inverse_multiplier * x mod N``, which returns ``b`` to 0
+       when ``inverse_multiplier`` is the true modular inverse.
+
+    Passing a wrong ``inverse_multiplier`` reproduces bug type 6 of the paper
+    (Table 3): the ancillary register is no longer disentangled and measures
+    non-zero with visible probability.  ``uncompute_correctly=False`` injects
+    bug type 5 instead: step 3 runs the *forward* multiply-accumulate rather
+    than its mirrored inverse, i.e. the programmer forgot to reverse the
+    iteration order and negate the rotation angles.
+    """
+    control_qubits = flatten_qubits(control)
+    x_qubits = flatten_qubits(x_register)
+    b_qubits = flatten_qubits(b_register)
+    if inverse_multiplier is None:
+        inverse_multiplier = modular_inverse(multiplier, modulus)
+
+    # Step 1: multiply-accumulate into b.
+    append_cmodmul(program, control_qubits, x_qubits, b_qubits, multiplier, modulus, ancilla)
+
+    # Step 2: controlled swap of x and b (low bits only).
+    for x_bit, b_bit in zip(x_qubits, b_qubits):
+        program.cswap(control_qubits[0] if len(control_qubits) == 1 else control_qubits, x_bit, b_bit)
+
+    # Step 3: uncompute b with the inverse multiplier.
+    forward = _build_cmodmul_subprogram(
+        program, control_qubits, x_qubits, b_qubits, inverse_multiplier, modulus, ancilla
+    )
+    program.extend(forward.inverse() if uncompute_correctly else forward)
+    return program
+
+
+def build_cmodmul_test_harness(
+    num_bits: int = 4,
+    x_value: int = 6,
+    b_value: int = 7,
+    multiplier: int = 7,
+    inverse_multiplier: int = 13,
+    modulus: int = 15,
+    control_bug_duplicate: bool = False,
+    name: str = "cmodmul_test_harness",
+) -> Program:
+    """Listing 4: the controlled modular multiplier test harness.
+
+    The harness puts the control qubit into superposition, initialises
+    ``x = x_value`` and ``b = b_value`` (asserting both), performs
+    ``b <- b + multiplier * x mod N`` and asserts the control and ``b`` are now
+    entangled.  It then performs a second multiply-accumulate with
+    ``inverse_multiplier`` which, for the correct value, returns ``b`` to a
+    value independent of the control; the final product-state assertion checks
+    exactly that.  Passing ``inverse_multiplier=12`` (instead of 13) or
+    ``control_bug_duplicate=True`` reproduces the two buggy scenarios of
+    Sections 4.4 and 4.5.
+    """
+    program = Program(name)
+
+    # control qubit in superposition
+    ctrl = program.qreg("ctrl", 1)
+    program.prep_z(ctrl[0], 1)
+    program.h(ctrl[0])
+
+    # initialize x variable
+    x_register = program.qreg("x", num_bits)
+    program.prepare_int(x_register, x_value)
+    program.assert_classical(x_register, x_value, label="precondition: x initialised")
+
+    # initialize b variable (one extra qubit for the modular adder overflow)
+    b_register = program.qreg("b", num_bits + 1)
+    program.prepare_int(b_register, b_value)
+    program.assert_classical(b_register, b_value, label="precondition: b initialised")
+
+    # ancillary qubit unimportant here
+    ancilla = program.qreg("ancilla", 1)
+    program.prep_z(ancilla[0], 0)
+
+    # perform modular multiplication: b <- a*x + b mod N
+    append_cmodmul(
+        program,
+        ctrl[0],
+        x_register,
+        b_register,
+        multiplier,
+        modulus,
+        ancilla[0],
+        control_bug_duplicate=control_bug_duplicate,
+    )
+    program.assert_entangled(
+        ctrl, b_register, label="control entangled with product register"
+    )
+
+    # inverse modular multiplication: b <- a_inv*x + b mod N
+    append_cmodmul(
+        program,
+        ctrl[0],
+        x_register,
+        b_register,
+        inverse_multiplier,
+        modulus,
+        ancilla[0],
+        control_bug_duplicate=control_bug_duplicate,
+    )
+    program.assert_product(
+        ctrl, b_register, label="control disentangled from product register"
+    )
+    return program

@@ -1,0 +1,185 @@
+"""Oracle-based algorithm primitives: Deutsch-Jozsa and Bernstein-Vazirani.
+
+The paper groups quantum algorithms by the primitives they invoke (Section 5)
+and debugs one representative per class.  These two small oracle algorithms
+round out the library: they are the simplest members of the "query an oracle
+in superposition" family, they exercise the same compute/uncompute and
+phase-kickback patterns as the Grover benchmark, and they make useful extra
+targets for the statistical assertions (their outputs are *classical* values,
+so `assert_classical` is the natural integration check).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..lang.program import Program
+from ..lang.registers import QuantumRegister
+
+__all__ = [
+    "build_bernstein_vazirani_program",
+    "run_bernstein_vazirani",
+    "build_deutsch_jozsa_program",
+    "run_deutsch_jozsa",
+    "DeutschJozsaResult",
+]
+
+
+def build_bernstein_vazirani_program(
+    hidden_string: int,
+    num_bits: int,
+    with_assertions: bool = True,
+    name: str | None = None,
+) -> tuple[Program, QuantumRegister]:
+    """Bernstein-Vazirani: recover the hidden string of f(x) = s.x (mod 2) in one query.
+
+    The oracle is the standard phase-kickback construction: an output qubit
+    prepared in |1> and Hadamarded, with one CNOT per set bit of ``s``.
+    """
+    if not 0 <= hidden_string < (1 << num_bits):
+        raise ValueError("hidden string does not fit in the register")
+    program = Program(name or f"bernstein_vazirani_{hidden_string}")
+    query = program.qreg("x", num_bits)
+    output = program.qreg("out", 1)
+
+    for qubit in query:
+        program.prep_z(qubit, 0)
+    program.prep_z(output[0], 1)
+
+    for qubit in query:
+        program.h(qubit)
+    program.h(output[0])
+    if with_assertions:
+        program.assert_superposition(query, label="query register uniform")
+
+    # Oracle: phase kickback of s.x
+    for position, qubit in enumerate(query):
+        if (hidden_string >> position) & 1:
+            program.cnot(qubit, output[0])
+
+    for qubit in query:
+        program.h(qubit)
+    if with_assertions:
+        program.assert_classical(
+            query, hidden_string, label="query register reads the hidden string"
+        )
+    program.measure(query, label="s")
+    return program, query
+
+
+def run_bernstein_vazirani(
+    hidden_string: int,
+    num_bits: int,
+    shots: int = 32,
+    rng: np.random.Generator | int | None = None,
+) -> dict:
+    """Simulate the algorithm and return the recovered string and counts."""
+    program, query = build_bernstein_vazirani_program(
+        hidden_string, num_bits, with_assertions=False
+    )
+    state = program.simulate()
+    indices = [program.qubit_index(q) for q in query]
+    samples = state.sample(indices, shots=shots, rng=rng)
+    counts = Counter(int(v) for v in samples)
+    recovered = counts.most_common(1)[0][0]
+    return {
+        "hidden_string": hidden_string,
+        "recovered": recovered,
+        "counts": dict(sorted(counts.items())),
+        "success": recovered == hidden_string,
+    }
+
+
+@dataclass
+class DeutschJozsaResult:
+    """Outcome of a Deutsch-Jozsa run."""
+
+    oracle_kind: str
+    measured: int
+    decided_constant: bool
+    correct: bool
+    counts: dict
+
+
+def build_deutsch_jozsa_program(
+    oracle_kind: str,
+    num_bits: int,
+    balanced_mask: int | None = None,
+    with_assertions: bool = True,
+    name: str | None = None,
+) -> tuple[Program, QuantumRegister]:
+    """Deutsch-Jozsa: decide whether an oracle is constant or balanced.
+
+    ``oracle_kind`` is ``"constant0"``, ``"constant1"`` or ``"balanced"``; a
+    balanced oracle computes ``f(x) = mask.x (mod 2)`` for a non-zero
+    ``balanced_mask`` (default: all ones).
+    """
+    if oracle_kind not in {"constant0", "constant1", "balanced"}:
+        raise ValueError("oracle_kind must be constant0, constant1 or balanced")
+    if oracle_kind == "balanced":
+        balanced_mask = balanced_mask if balanced_mask is not None else (1 << num_bits) - 1
+        if not 0 < balanced_mask < (1 << num_bits):
+            raise ValueError("balanced oracle needs a non-zero mask")
+
+    program = Program(name or f"deutsch_jozsa_{oracle_kind}")
+    query = program.qreg("x", num_bits)
+    output = program.qreg("out", 1)
+
+    for qubit in query:
+        program.prep_z(qubit, 0)
+    program.prep_z(output[0], 1)
+    for qubit in query:
+        program.h(qubit)
+    program.h(output[0])
+    if with_assertions:
+        program.assert_superposition(query, label="query register uniform")
+
+    if oracle_kind == "constant1":
+        program.x(output[0])
+    elif oracle_kind == "balanced":
+        for position, qubit in enumerate(query):
+            if (balanced_mask >> position) & 1:
+                program.cnot(qubit, output[0])
+
+    for qubit in query:
+        program.h(qubit)
+
+    if with_assertions:
+        if oracle_kind.startswith("constant"):
+            program.assert_classical(query, 0, label="constant oracle -> all zeros")
+        else:
+            program.assert_classical(
+                query, balanced_mask, label="balanced oracle -> the mask (never zero)"
+            )
+    program.measure(query, label="decision")
+    return program, query
+
+
+def run_deutsch_jozsa(
+    oracle_kind: str,
+    num_bits: int,
+    balanced_mask: int | None = None,
+    shots: int = 32,
+    rng: np.random.Generator | int | None = None,
+) -> DeutschJozsaResult:
+    """Simulate Deutsch-Jozsa and decide constant vs balanced from the output."""
+    program, query = build_deutsch_jozsa_program(
+        oracle_kind, num_bits, balanced_mask, with_assertions=False
+    )
+    state = program.simulate()
+    indices = [program.qubit_index(q) for q in query]
+    samples = state.sample(indices, shots=shots, rng=rng)
+    counts = Counter(int(v) for v in samples)
+    measured = counts.most_common(1)[0][0]
+    decided_constant = measured == 0
+    truly_constant = oracle_kind.startswith("constant")
+    return DeutschJozsaResult(
+        oracle_kind=oracle_kind,
+        measured=measured,
+        decided_constant=decided_constant,
+        correct=decided_constant == truly_constant,
+        counts=dict(sorted(counts.items())),
+    )

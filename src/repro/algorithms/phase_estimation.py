@@ -1,0 +1,188 @@
+"""Quantum phase estimation: textbook QPE and the iterative variant (IPE).
+
+Phase estimation is the primitive shared by Shor's algorithm (order finding)
+and the quantum chemistry benchmark (energy estimation).  Two flavours are
+provided:
+
+* :func:`build_qpe_program` — textbook QPE with a multi-qubit phase register,
+  parameterised by a *controlled-power applier* callback so any unitary
+  (modular multiplication, Trotterised Hamiltonian evolution, a plain phase
+  gate for testing) can be plugged in;
+* :class:`IterativePhaseEstimator` — the single-ancilla iterative scheme used
+  by the chemistry case study (Section 5.2), which extracts the phase one bit
+  at a time from the least significant bit upwards, feeding back the already
+  known bits as a rotation on the ancilla.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..lang.program import Program
+from ..lang.registers import Qubit, QuantumRegister
+from .qft import append_iqft
+
+__all__ = [
+    "ControlledPowerApplier",
+    "build_qpe_program",
+    "qpe_phase_distribution",
+    "IterativePhaseEstimator",
+    "IPEResult",
+    "phase_to_value",
+]
+
+#: Signature of the callback that appends ``controlled-U^(2^k)`` to a program.
+#: Arguments: (program, control qubit, system qubits, power = 2^k).
+ControlledPowerApplier = Callable[[Program, Qubit, Sequence[Qubit], int], None]
+
+
+def build_qpe_program(
+    num_phase_bits: int,
+    num_system_qubits: int,
+    apply_controlled_power: ControlledPowerApplier,
+    prepare_system: Callable[[Program, Sequence[Qubit]], None] | None = None,
+    name: str = "qpe",
+) -> tuple[Program, QuantumRegister, QuantumRegister]:
+    """Textbook QPE over a ``num_phase_bits``-bit phase register.
+
+    Returns ``(program, phase_register, system_register)``; the caller
+    measures the phase register (most useful values are
+    ``phase ~= measured / 2**num_phase_bits``).
+    """
+    program = Program(name)
+    phase_register = program.qreg("phase", num_phase_bits)
+    system_register = program.qreg("system", num_system_qubits)
+    if prepare_system is not None:
+        prepare_system(program, list(system_register))
+    for qubit in phase_register:
+        program.h(qubit)
+    for k in range(num_phase_bits):
+        apply_controlled_power(program, phase_register[k], list(system_register), 1 << k)
+    append_iqft(program, phase_register, swaps=True)
+    program.measure(phase_register, label="phase")
+    return program, phase_register, system_register
+
+
+def qpe_phase_distribution(
+    program: Program, phase_register: QuantumRegister
+) -> np.ndarray:
+    """Probability of each phase-register outcome after simulating ``program``."""
+    runnable = program.without_assertions()
+    state = runnable.simulate()
+    indices = [runnable.qubit_index(q) for q in phase_register]
+    return state.probabilities(indices)
+
+
+def phase_to_value(measured: int, num_bits: int) -> float:
+    """Convert an integer phase-register outcome into a phase in [0, 1)."""
+    return measured / float(1 << num_bits)
+
+
+@dataclass
+class IPEResult:
+    """Result of one iterative-phase-estimation run.
+
+    ``bits`` is ordered most significant first, i.e. the estimated phase is
+    ``0.b[0] b[1] ... b[n-1]`` in binary.
+    """
+
+    bits: list[int]
+    phase: float
+    per_round_probabilities: list[float]
+
+    @property
+    def num_bits(self) -> int:
+        return len(self.bits)
+
+
+class IterativePhaseEstimator:
+    """Single-ancilla iterative phase estimation (Kitaev-style).
+
+    The estimator extracts ``num_bits`` bits of the eigenphase of a unitary
+    ``U`` with respect to (approximately) an eigenstate prepared by
+    ``prepare_system``.  Bits are measured from least significant to most
+    significant; at round ``k`` the already-determined lower bits are fed back
+    as a ``phase`` rotation on the ancilla before the basis change, which is
+    what makes a single ancilla sufficient.
+    """
+
+    def __init__(
+        self,
+        num_system_qubits: int,
+        apply_controlled_power: ControlledPowerApplier,
+        prepare_system: Callable[[Program, Sequence[Qubit]], None],
+        num_bits: int = 4,
+    ):
+        if num_bits < 1:
+            raise ValueError("need at least one phase bit")
+        self.num_system_qubits = int(num_system_qubits)
+        self.apply_controlled_power = apply_controlled_power
+        self.prepare_system = prepare_system
+        self.num_bits = int(num_bits)
+
+    # ------------------------------------------------------------------
+
+    def build_round_program(self, round_index: int, known_bits: Sequence[int]) -> tuple[Program, Qubit]:
+        """Build the circuit for one IPE round.
+
+        ``round_index`` counts down from ``num_bits - 1`` (the highest power of
+        the unitary) to 0; ``known_bits`` holds the already-measured
+        lower-significance bits ``b[round_index+2], b[round_index+3], ...`` in
+        that (descending significance) order, as consumed by the feedback
+        rotation ``-2*pi*(0.0 b[k+1] b[k+2] ...)``.
+        """
+        program = Program(f"ipe_round_{round_index}")
+        ancilla = program.qreg("ancilla", 1)
+        system = program.qreg("system", self.num_system_qubits)
+        self.prepare_system(program, list(system))
+        program.h(ancilla[0])
+        self.apply_controlled_power(program, ancilla[0], list(system), 1 << round_index)
+        # Feedback of the already measured bits: rotate by -2*pi*(0.0 b_{k+1} b_{k+2} ...).
+        feedback = 0.0
+        for offset, bit in enumerate(known_bits, start=2):
+            if bit:
+                feedback += 1.0 / (1 << offset)
+        if feedback:
+            program.phase(ancilla[0], -2.0 * math.pi * feedback)
+        program.h(ancilla[0])
+        program.measure(ancilla, label=f"bit{round_index}")
+        return program, ancilla[0]
+
+    def _round_probability_of_one(self, program: Program, ancilla: Qubit) -> float:
+        state = program.simulate()
+        return state.probability_of_outcome([program.qubit_index(ancilla)], 1)
+
+    def estimate(self, rng: np.random.Generator | int | None = None, shots: int = 0) -> IPEResult:
+        """Run the IPE rounds and return the measured phase.
+
+        With ``shots == 0`` (default) the bit of each round is decided by the
+        exact probability (majority vote in the infinite-shot limit); with a
+        positive ``shots`` the decision uses sampled measurements, which is
+        closer to what hardware would do.
+        """
+        generator = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        # Bits are measured least significant first (using the highest power of
+        # U), but the working list is kept most-significant-known first because
+        # that is the order the feedback rotation consumes them in.
+        bits_msb_first: list[int] = []
+        probabilities: list[float] = []
+        for round_index in range(self.num_bits - 1, -1, -1):
+            program, ancilla = self.build_round_program(round_index, bits_msb_first)
+            probability_one = self._round_probability_of_one(program, ancilla)
+            probabilities.append(probability_one)
+            if shots > 0:
+                ones = int(generator.binomial(shots, min(max(probability_one, 0.0), 1.0)))
+                bit = 1 if ones * 2 >= shots else 0
+            else:
+                bit = 1 if probability_one >= 0.5 else 0
+            bits_msb_first.insert(0, bit)
+
+        phase = 0.0
+        for position, bit in enumerate(bits_msb_first, start=1):
+            if bit:
+                phase += 1.0 / (1 << position)
+        return IPEResult(bits=bits_msb_first, phase=phase, per_round_probabilities=probabilities)

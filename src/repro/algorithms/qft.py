@@ -1,0 +1,125 @@
+"""Quantum Fourier transform subroutines (Listing 1 of the paper).
+
+Two spellings are provided:
+
+* ``append_qft(..., swaps=False)`` — the swap-free variant used by Fourier
+  space arithmetic (the ``QFT.scaffold`` include of Listings 1-3).  After this
+  transform, qubit ``j`` of a register holding the integer ``x`` carries the
+  relative phase ``exp(2*pi*i * x / 2**(j+1))``, which is exactly the
+  convention the constant adder of Listing 2 expects.
+* ``append_qft(..., swaps=True)`` — the textbook DFT matrix, used on the
+  measurement register of phase estimation so outcomes read out in natural
+  bit order.
+
+``build_qft_test_harness`` reproduces Listing 1: prepare the classical value
+5, assert it, QFT, assert a uniform superposition, inverse QFT, assert 5
+again.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..lang.program import Program
+from ..lang.registers import flatten_qubits
+
+__all__ = [
+    "append_qft",
+    "append_iqft",
+    "build_qft_program",
+    "build_qft_test_harness",
+]
+
+
+def append_qft(program: Program, register, swaps: bool = False, controls=None) -> Program:
+    """Append a QFT on ``register`` to ``program``.
+
+    Parameters
+    ----------
+    program:
+        Target program (modified in place and returned).
+    register:
+        Register or list of qubits, least significant qubit first.
+    swaps:
+        When True the output bit order is reversed at the end so the overall
+        unitary equals the DFT matrix; when False (default) the swap-free
+        variant used for Fourier arithmetic is produced.
+    controls:
+        Optional control qubits applied to every gate (used when a QFT appears
+        inside a controlled subroutine).
+    """
+    qubits = flatten_qubits(register)
+    control_qubits = flatten_qubits(controls) if controls is not None else []
+    n = len(qubits)
+    for j in range(n - 1, -1, -1):
+        program.gate("h", qubits[j], controls=control_qubits or None)
+        for m in range(j - 1, -1, -1):
+            angle = math.pi / (2 ** (j - m))
+            program.gate(
+                "phase",
+                qubits[j],
+                controls=[qubits[m]] + control_qubits,
+                params=(angle,),
+            )
+    if swaps:
+        for j in range(n // 2):
+            program.gate(
+                "swap", [qubits[j], qubits[n - 1 - j]], controls=control_qubits or None
+            )
+    return program
+
+
+def append_iqft(program: Program, register, swaps: bool = False, controls=None) -> Program:
+    """Append the inverse QFT (adjoint of :func:`append_qft`)."""
+    qubits = flatten_qubits(register)
+    control_qubits = flatten_qubits(controls) if controls is not None else []
+    n = len(qubits)
+    if swaps:
+        for j in reversed(range(n // 2)):
+            program.gate(
+                "swap", [qubits[j], qubits[n - 1 - j]], controls=control_qubits or None
+            )
+    for j in range(n):
+        for m in range(j):
+            angle = -math.pi / (2 ** (j - m))
+            program.gate(
+                "phase",
+                qubits[j],
+                controls=[qubits[m]] + control_qubits,
+                params=(angle,),
+            )
+        program.gate("h", qubits[j], controls=control_qubits or None)
+    return program
+
+
+def build_qft_program(width: int, swaps: bool = False, name: str = "qft") -> Program:
+    """A standalone program applying the QFT to a fresh ``width``-qubit register."""
+    program = Program(name)
+    register = program.qreg("reg", width)
+    append_qft(program, register, swaps=swaps)
+    return program
+
+
+def build_qft_test_harness(width: int = 4, value: int = 5) -> Program:
+    """Listing 1: the QFT unit-test harness with its three assertions."""
+    if not 0 <= value < (1 << width):
+        raise ValueError("value does not fit in the register")
+    program = Program("qft_test_harness")
+    register = program.qreg("reg", width)
+
+    # initialize quantum variable to `value` (0b0101 for the default width 4)
+    program.prepare_int(register, value)
+
+    # precondition for QFT:
+    program.assert_classical(register, value, label="precondition: classical input")
+
+    append_qft(program, register)
+
+    # postcondition for QFT & precondition for iQFT:
+    program.assert_superposition(register, label="postcondition: uniform superposition")
+
+    append_iqft(program, register)
+
+    # postcondition for iQFT:
+    program.assert_classical(register, value, label="postcondition: classical value restored")
+    return program

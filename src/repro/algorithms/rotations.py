@@ -1,0 +1,111 @@
+"""Controlled-rotation decompositions (Figure 3 and Table 1 of the paper).
+
+A controlled single-axis rotation decomposes into single-qubit rotations A, B,
+C plus two CNOTs, with an extra rotation D on the control qubit when the
+target operation carries a phase (Figure 3).  Because only one axis is needed,
+either operation A or operation C can be dropped — provided the *signs* of the
+remaining half-angle rotations are kept straight.  Table 1 of the paper lists
+two correct orderings and one subtly wrong one (the angle signs flipped),
+which produces a rotation in the wrong direction; the resulting bug is "bug
+type 2" and is caught downstream by the adder postcondition assertion
+(Section 4.3).
+
+This module builds all three variants as programs so tests and benchmarks can
+compare their unitaries against the exact controlled rotation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..lang.program import Program
+from ..sim import gates as _gates
+
+__all__ = [
+    "VARIANTS",
+    "build_controlled_rz_variant",
+    "controlled_rz_matrix",
+    "controlled_phase_matrix",
+    "variant_matrix",
+    "variant_is_correct",
+]
+
+#: The three codings listed in Table 1.
+VARIANTS = ("drop_a", "drop_c", "flipped")
+
+
+def build_controlled_rz_variant(angle: float, variant: str = "drop_a") -> Program:
+    """Build one Table 1 decomposition of a controlled-Rz(angle).
+
+    The returned two-qubit program acts on register ``q`` with ``q[0]`` the
+    control and ``q[1]`` the target, matching the listing in the paper
+    (``Rz(q1, ...)``, ``CNOT(q0, q1)``, ``Rz(q0, ...)``).
+    """
+    if variant not in VARIANTS:
+        raise ValueError(f"variant must be one of {VARIANTS}")
+    program = Program(f"crz_{variant}")
+    q = program.qreg("q", 2)
+    control, target = q[0], q[1]
+
+    if variant == "drop_a":
+        # Correct, operation A unneeded.
+        program.rz(target, +angle / 2.0)  # C
+        program.cnot(control, target)
+        program.rz(target, -angle / 2.0)  # B
+        program.cnot(control, target)
+    elif variant == "drop_c":
+        # Correct, operation C unneeded.
+        program.cnot(control, target)
+        program.rz(target, -angle / 2.0)  # B
+        program.cnot(control, target)
+        program.rz(target, +angle / 2.0)  # A
+    else:
+        # Incorrect, angles flipped (the Table 1 bug).
+        program.rz(target, -angle / 2.0)
+        program.cnot(control, target)
+        program.rz(target, +angle / 2.0)
+        program.cnot(control, target)
+
+    # Operation D: the rotation on the control qubit that lifts the
+    # controlled-Rz into a controlled *phase* rotation, exactly as the final
+    # line of each Table 1 column does (Rz(q0, +angle/2)).
+    program.rz(control, +angle / 2.0)
+    return program
+
+
+def controlled_rz_matrix(angle: float) -> np.ndarray:
+    """Exact controlled-Rz(angle) with control = qubit 0, target = qubit 1."""
+    return _gates.controlled(_gates.rz(angle), num_controls=1)
+
+
+def controlled_phase_matrix(angle: float) -> np.ndarray:
+    """Exact controlled-phase(angle) (diag(1, 1, 1, exp(i*angle)))."""
+    return _gates.controlled(_gates.phase(angle), num_controls=1)
+
+
+def variant_matrix(angle: float, variant: str) -> np.ndarray:
+    """Unitary implemented by one of the Table 1 codings."""
+    return build_controlled_rz_variant(angle, variant).unitary()
+
+
+def variant_is_correct(angle: float, variant: str, atol: float = 1e-9) -> bool:
+    """Whether the coding implements the intended controlled rotation.
+
+    The Table 1 listings follow the paper's convention in which the final
+    ``Rz(q0, +angle/2)`` on the control turns the sequence into a controlled
+    phase-style rotation; we therefore compare against the controlled
+    operation composed with that same control rotation, up to global phase.
+    """
+    reference = (
+        _gates.controlled(_gates.rz(angle), num_controls=1)
+        @ _embed_rz_on_control(angle / 2.0)
+    )
+    candidate = variant_matrix(angle, variant)
+    return _gates.gates_equal_up_to_global_phase(candidate, reference) or bool(
+        np.allclose(candidate, reference, atol=atol)
+    )
+
+
+def _embed_rz_on_control(angle: float) -> np.ndarray:
+    """Rz(angle) acting on qubit 0 of a two-qubit system (little-endian)."""
+    return np.kron(np.eye(2, dtype=complex), _gates.rz(angle))

@@ -1,0 +1,281 @@
+"""Shor's factoring algorithm (Section 4 and Figure 2 of the paper).
+
+The program follows the structure of Figure 2:
+
+* an *upper control register* that is put into uniform superposition, drives
+  the controlled modular exponentiation, and is read out through an inverse
+  QFT (the phase estimation output);
+* a *lower target register* ``x`` initialised to the classical value 1 that
+  accumulates ``a^j mod N``;
+* an *ancillary register* ``b`` (plus one comparison qubit) used as scratch
+  space by the Beauregard multiplier, which proper mirroring must return to 0
+  ("garbage collection", Sections 4.5-4.6).
+
+The classical driver functions implement Table 2 (the per-iteration constants
+``a^(2^k) mod N`` and their modular inverses) and the textbook post-processing
+(continued fractions, order extraction, factor recovery).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+from fractions import Fraction
+
+import numpy as np
+
+from ..lang.program import Program
+from ..lang.registers import QuantumRegister
+from .modular import append_cmult_inplace, modular_inverse
+from .qft import append_iqft
+
+__all__ = [
+    "ShorCircuit",
+    "table2_rows",
+    "build_shor_program",
+    "shor_joint_distribution",
+    "expected_output_values",
+    "order_from_measurement",
+    "factors_from_order",
+    "run_shor",
+]
+
+
+@dataclass
+class ShorCircuit:
+    """A built Shor order-finding program plus handles to its registers."""
+
+    program: Program
+    control_register: QuantumRegister
+    target_register: QuantumRegister
+    work_register: QuantumRegister
+    comparison_ancilla: QuantumRegister
+    modulus: int
+    base: int
+    num_output_bits: int
+
+
+def table2_rows(modulus: int = 15, base: int = 7, iterations: int = 4) -> list[dict]:
+    """Reproduce Table 2: the classical inputs ``a`` and ``a^-1`` per iteration."""
+    rows = []
+    for k in range(iterations):
+        a_k = pow(base, 1 << k, modulus)
+        rows.append(
+            {
+                "k": k,
+                "a": a_k,
+                "a_inv": modular_inverse(a_k, modulus),
+            }
+        )
+    return rows
+
+
+def build_shor_program(
+    modulus: int = 15,
+    base: int = 7,
+    num_output_bits: int = 3,
+    inverse_overrides: dict[int, int] | None = None,
+    with_assertions: bool = True,
+    name: str = "shor",
+) -> ShorCircuit:
+    """Build the full Shor order-finding program for ``modulus`` and ``base``.
+
+    Parameters
+    ----------
+    modulus, base:
+        The number to factor and the trial divisor (15 and 7 in the paper).
+    num_output_bits:
+        Width of the upper (phase estimation) register; 3 bits reproduce the
+        paper's output values {0, 2, 4, 6}.
+    inverse_overrides:
+        Optional mapping ``iteration -> modular inverse`` that *replaces* the
+        correct inverse for that iteration — bug type 6 of the paper uses
+        ``{0: 12}`` (12 instead of 13).
+    with_assertions:
+        Include the precondition / postcondition assertions of Sections 4.1
+        and 4.6.
+    """
+    if math.gcd(base, modulus) != 1:
+        raise ValueError("base must be coprime with the modulus (otherwise gcd already factors it)")
+    num_work_bits = max(modulus.bit_length(), 2)
+    inverse_overrides = dict(inverse_overrides or {})
+
+    program = Program(name)
+    control = program.qreg("up", num_output_bits)
+    target = program.qreg("x", num_work_bits)
+    work = program.qreg("b", num_work_bits + 1)
+    comparison = program.qreg("anc", 1)
+
+    # --- Quantum initial values (Section 4.1) ---------------------------
+    program.prepare_int(target, 1)
+    program.prepare_int(work, 0)
+    program.prep_z(comparison[0], 0)
+    for qubit in control:
+        program.prep_z(qubit, 0)
+        program.h(qubit)
+
+    if with_assertions:
+        program.assert_classical(target, 1, label="precondition: lower register = 1")
+        program.assert_superposition(
+            control, label="precondition: upper register uniform"
+        )
+
+    # --- Controlled modular exponentiation (Figure 2) -------------------
+    for k in range(num_output_bits):
+        multiplier = pow(base, 1 << k, modulus)
+        inverse = inverse_overrides.get(k, modular_inverse(multiplier, modulus))
+        append_cmult_inplace(
+            program,
+            control[k],
+            target,
+            work,
+            multiplier,
+            modulus,
+            comparison[0],
+            inverse_multiplier=inverse,
+        )
+
+    if with_assertions:
+        # Garbage collection check (Sections 4.5-4.6): the ancillary register
+        # must be disentangled from the output and back at 0.
+        program.assert_product(control, work, label="ancillae disentangled from output")
+        program.assert_classical(work, 0, label="postcondition: ancillae returned to 0")
+
+    # --- Read-out -------------------------------------------------------
+    append_iqft(program, control, swaps=True)
+    program.measure(control, label="phase")
+    return ShorCircuit(
+        program=program,
+        control_register=control,
+        target_register=target,
+        work_register=work,
+        comparison_ancilla=comparison,
+        modulus=modulus,
+        base=base,
+        num_output_bits=num_output_bits,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Analysis of the built circuit
+# ---------------------------------------------------------------------------
+
+
+def shor_joint_distribution(circuit: ShorCircuit) -> np.ndarray:
+    """Joint probability of (output register, ancillary register) — Table 3.
+
+    Row index = measured value of the ancillary (work) register, column index
+    = measured value of the upper output register, matching the layout of
+    Table 3 in the paper.
+    """
+    program = circuit.program.without_assertions()
+    state = program.simulate()
+    output_indices = [program.qubit_index(q) for q in circuit.control_register]
+    work_indices = [program.qubit_index(q) for q in circuit.work_register]
+    joint = state.probabilities(work_indices + output_indices)
+    num_work_outcomes = 1 << len(work_indices)
+    num_output_outcomes = 1 << len(output_indices)
+    table = np.zeros((num_work_outcomes, num_output_outcomes))
+    for value, probability in enumerate(joint):
+        work_value = value & (num_work_outcomes - 1)
+        output_value = value >> len(work_indices)
+        table[work_value, output_value] += probability
+    return table
+
+
+def expected_output_values(modulus: int, base: int, num_output_bits: int) -> list[int]:
+    """The ideal output values of the phase register (0, 2, 4, 6 for 15 / 7).
+
+    The order ``r`` of ``base`` modulo ``modulus`` produces phases ``s / r``;
+    with an output register of ``num_output_bits`` bits and ``r`` dividing
+    ``2**num_output_bits`` the measurement outcomes are exactly
+    ``s * 2**num_output_bits / r``.
+    """
+    order = 1
+    value = base % modulus
+    while value != 1:
+        value = (value * base) % modulus
+        order += 1
+    scale = (1 << num_output_bits) / order
+    if not float(scale).is_integer():
+        raise ValueError("output register too small for exact phase read-out")
+    return [int(s * scale) for s in range(order)]
+
+
+# ---------------------------------------------------------------------------
+# Classical post-processing
+# ---------------------------------------------------------------------------
+
+
+def order_from_measurement(measured: int, num_output_bits: int, modulus: int, base: int) -> int | None:
+    """Recover the order ``r`` from one phase measurement via continued fractions."""
+    if measured == 0:
+        return None
+    phase = Fraction(measured, 1 << num_output_bits)
+    candidate = phase.limit_denominator(modulus)
+    r = candidate.denominator
+    # The denominator may be a divisor of the true order; search small multiples.
+    for multiple in range(1, modulus + 1):
+        order = r * multiple
+        if order > modulus:
+            break
+        if pow(base, order, modulus) == 1:
+            return order
+    return None
+
+
+def factors_from_order(modulus: int, base: int, order: int) -> tuple[int, int] | None:
+    """Classical step of Shor: derive non-trivial factors from the order."""
+    if order is None or order % 2 == 1:
+        return None
+    half_power = pow(base, order // 2, modulus)
+    if half_power == modulus - 1:
+        return None
+    factor_a = math.gcd(half_power - 1, modulus)
+    factor_b = math.gcd(half_power + 1, modulus)
+    factors = sorted({factor_a, factor_b} - {1, modulus})
+    if not factors:
+        return None
+    first = factors[0]
+    return (first, modulus // first)
+
+
+def run_shor(
+    modulus: int = 15,
+    base: int = 7,
+    num_output_bits: int = 3,
+    shots: int = 64,
+    rng: np.random.Generator | int | None = None,
+) -> dict:
+    """End-to-end Shor run: build, simulate, sample, post-process.
+
+    Returns a dictionary with the sampled output counts, the recovered order
+    and the factors (when found) — the integration test of Section 4.6.
+    """
+    circuit = build_shor_program(
+        modulus=modulus,
+        base=base,
+        num_output_bits=num_output_bits,
+        with_assertions=False,
+    )
+    program = circuit.program
+    state = program.simulate()
+    output_indices = [program.qubit_index(q) for q in circuit.control_register]
+    samples = state.sample(output_indices, shots=shots, rng=rng)
+    counts = Counter(int(v) for v in samples)
+
+    order = None
+    factors = None
+    for measured, _ in counts.most_common():
+        order = order_from_measurement(measured, num_output_bits, modulus, base)
+        if order is not None:
+            factors = factors_from_order(modulus, base, order)
+            if factors is not None:
+                break
+    return {
+        "counts": dict(sorted(counts.items())),
+        "order": order,
+        "factors": factors,
+        "expected_outputs": expected_output_values(modulus, base, num_output_bits),
+    }

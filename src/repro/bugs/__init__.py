@@ -1,0 +1,15 @@
+"""Bug taxonomy (Sections 4.1-4.6) and bug-injection scenarios."""
+
+from .catalog import BUG_CATALOG, BugDescription, BugType, defense_for
+from .injector import BUG_SCENARIOS, BugScenario, get_scenario, scenario_names
+
+__all__ = [
+    "BugType",
+    "BugDescription",
+    "BUG_CATALOG",
+    "defense_for",
+    "BugScenario",
+    "BUG_SCENARIOS",
+    "scenario_names",
+    "get_scenario",
+]

@@ -1,0 +1,139 @@
+"""The bug taxonomy of the paper (bug types 1-6) and their defenses.
+
+Section 2.2 of the paper divides quantum programs into inputs, operations and
+outputs, and Sections 4.1-4.6 identify six concrete bug types along that
+structure, each paired with a defense built from the statistical assertions.
+This module records that taxonomy as data so tests, benchmarks and examples
+can iterate over it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = ["BugType", "BugDescription", "BUG_CATALOG", "defense_for"]
+
+
+class BugType(Enum):
+    """The six bug types of the paper, numbered as in Sections 4.1-4.6."""
+
+    INCORRECT_QUANTUM_INITIAL_VALUES = 1
+    INCORRECT_OPERATIONS = 2
+    INCORRECT_ITERATION = 3
+    INCORRECT_RECURSION = 4
+    INCORRECT_MIRRORING = 5
+    INCORRECT_CLASSICAL_INPUT = 6
+
+
+@dataclass(frozen=True)
+class BugDescription:
+    """One row of the taxonomy: where the bug lives and how it is caught."""
+
+    bug_type: BugType
+    section: str
+    program_part: str  # "inputs", "operations", "outputs"
+    pattern: str
+    description: str
+    defense: str
+    assertion_types: tuple[str, ...]
+
+
+BUG_CATALOG: dict[BugType, BugDescription] = {
+    BugType.INCORRECT_QUANTUM_INITIAL_VALUES: BugDescription(
+        bug_type=BugType.INCORRECT_QUANTUM_INITIAL_VALUES,
+        section="4.1",
+        program_part="inputs",
+        pattern="state preparation",
+        description=(
+            "Quantum initial values are wrong: e.g. the lower register of Shor's "
+            "algorithm is not the classical value 1, or the upper register is not "
+            "a uniform superposition."
+        ),
+        defense=(
+            "Precondition assertion checks for classical and superposition states "
+            "at subroutine entry points."
+        ),
+        assertion_types=("classical", "superposition"),
+    ),
+    BugType.INCORRECT_OPERATIONS: BugDescription(
+        bug_type=BugType.INCORRECT_OPERATIONS,
+        section="4.2",
+        program_part="operations",
+        pattern="basic gates / decompositions",
+        description=(
+            "Basic operations are translated incorrectly from circuit diagrams or "
+            "equations, e.g. the flipped rotation angles of Table 1."
+        ),
+        defense=(
+            "Unit tests on a shared subroutine library with precondition and "
+            "postcondition assertions; cross-validation against closed forms."
+        ),
+        assertion_types=("classical", "superposition"),
+    ),
+    BugType.INCORRECT_ITERATION: BugDescription(
+        bug_type=BugType.INCORRECT_ITERATION,
+        section="4.3",
+        program_part="operations",
+        pattern="iteration",
+        description=(
+            "Composition by iteration goes wrong: indexing errors in nested loops, "
+            "bit-shift errors, endian confusion, wrong rotation angles (Listing 2)."
+        ),
+        defense=(
+            "Classical assertions on integer inputs and outputs of the iterated "
+            "subroutine (the Listing 3 adder harness)."
+        ),
+        assertion_types=("classical",),
+    ),
+    BugType.INCORRECT_RECURSION: BugDescription(
+        bug_type=BugType.INCORRECT_RECURSION,
+        section="4.4",
+        program_part="operations",
+        pattern="recursion / controlled operations",
+        description=(
+            "Controlled operations (recursion over control qubits) are mis-coded, "
+            "e.g. the wrong control qubit is routed into a replicated subroutine."
+        ),
+        defense=(
+            "Entanglement assertions between the control variable and the target "
+            "variable after the controlled operation."
+        ),
+        assertion_types=("entangled",),
+    ),
+    BugType.INCORRECT_MIRRORING: BugDescription(
+        bug_type=BugType.INCORRECT_MIRRORING,
+        section="4.5",
+        program_part="operations",
+        pattern="mirroring / uncomputation",
+        description=(
+            "Uncomputation is wrong: inverse operations not reversed in order or "
+            "angles not negated, so ancilla qubits stay entangled with outputs."
+        ),
+        defense=(
+            "Product-state assertions between the ancilla variable and the rest "
+            "of the program state after uncomputation."
+        ),
+        assertion_types=("product",),
+    ),
+    BugType.INCORRECT_CLASSICAL_INPUT: BugDescription(
+        bug_type=BugType.INCORRECT_CLASSICAL_INPUT,
+        section="4.6",
+        program_part="inputs",
+        pattern="classical parameters",
+        description=(
+            "Classical input parameters are wrong, e.g. supplying (7, 12) instead "
+            "of the modular-inverse pair (7, 13) to Shor's algorithm."
+        ),
+        defense=(
+            "Classical postcondition assertions on deallocated ancilla qubits "
+            "(they must return to 0) and product-state checks on the outputs."
+        ),
+        assertion_types=("classical", "product"),
+    ),
+}
+
+
+def defense_for(bug_type: BugType) -> tuple[str, ...]:
+    """The assertion types that defend against a given bug type."""
+    return BUG_CATALOG[bug_type].assertion_types

@@ -1,0 +1,312 @@
+"""Bug injection: buggy program variants paired with their correct versions.
+
+Every scenario corresponds to one of the paper's six bug types and produces
+two programs — a correct one and a buggy one — carrying identical assertions.
+Tests and benchmarks use the pairs to check the central claim of the paper:
+the assertions pass on the correct program and catch the bug on the buggy one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..algorithms.arithmetic import build_cadd_test_harness
+from ..algorithms.modular import append_cmult_inplace, build_cmodmul_test_harness
+from ..algorithms.qft import append_iqft, append_qft, build_qft_test_harness
+from ..algorithms.shor import build_shor_program
+from ..lang.program import Program
+from .catalog import BugType
+
+__all__ = ["BugScenario", "BUG_SCENARIOS", "scenario_names", "get_scenario"]
+
+
+@dataclass(frozen=True)
+class BugScenario:
+    """A pair of programs (correct, buggy) exercising one bug type."""
+
+    name: str
+    bug_type: BugType
+    description: str
+    build_correct: Callable[[], Program]
+    build_buggy: Callable[[], Program]
+    #: The assertion type expected to catch the bug (matches AssertionOutcome.assertion_type).
+    catching_assertion: str
+    #: Recommended ensemble size for reliable detection.
+    ensemble_size: int = 32
+
+
+# ---------------------------------------------------------------------------
+# Bug type 1: incorrect quantum initial values
+# ---------------------------------------------------------------------------
+
+
+def _qft_harness_correct() -> Program:
+    return build_qft_test_harness(width=4, value=5)
+
+
+def _qft_harness_wrong_initial_value() -> Program:
+    """Prepare 6 where the algorithm (and its assertions) expects 5."""
+    program = Program("qft_harness_wrong_init")
+    register = program.qreg("reg", 4)
+    program.prepare_int(register, 6)  # bug: should be 5
+    program.assert_classical(register, 5, label="precondition: classical input")
+    append_qft(program, register)
+    program.assert_superposition(register, label="postcondition: uniform superposition")
+    append_iqft(program, register)
+    program.assert_classical(register, 5, label="postcondition: classical value restored")
+    return program
+
+
+def _shor_missing_superposition() -> Program:
+    """Shor's algorithm where the upper register is never put into superposition."""
+    circuit = build_shor_program(with_assertions=False)
+    program = Program("shor_no_superposition")
+    for register in circuit.program.registers:
+        program.add_register(register)
+    skipped_h_on_upper = set()
+    from ..lang.instructions import GateInstruction
+
+    for instruction in circuit.program.instructions:
+        if (
+            isinstance(instruction, GateInstruction)
+            and instruction.name == "h"
+            and not instruction.controls
+            and instruction.targets[0].register is circuit.control_register
+            and instruction.targets[0] not in skipped_h_on_upper
+        ):
+            skipped_h_on_upper.add(instruction.targets[0])
+            continue  # bug: forgot the Hadamards that create the superposition
+        program.append(instruction)
+    # Re-insert the paper's precondition assertions right after the preps.
+    insert_program = Program("shor_no_superposition_asserted")
+    for register in circuit.program.registers:
+        insert_program.add_register(register)
+    from ..lang.instructions import PrepInstruction
+
+    remaining = list(program.instructions)
+    prefix_end = 0
+    for index, instruction in enumerate(remaining):
+        if isinstance(instruction, PrepInstruction):
+            prefix_end = index + 1
+    for instruction in remaining[:prefix_end]:
+        insert_program.append(instruction)
+    insert_program.assert_classical(
+        circuit.target_register, 1, label="precondition: lower register = 1"
+    )
+    insert_program.assert_superposition(
+        circuit.control_register, label="precondition: upper register uniform"
+    )
+    for instruction in remaining[prefix_end:]:
+        insert_program.append(instruction)
+    return insert_program
+
+
+# ---------------------------------------------------------------------------
+# Bug types 2 and 3: incorrect operations / iteration (the adder harness)
+# ---------------------------------------------------------------------------
+
+
+def _adder_correct() -> Program:
+    return build_cadd_test_harness()
+
+
+def _adder_flipped_angles() -> Program:
+    """Table 1 bug: rotation angle signs flipped, turning the adder into a subtractor."""
+    return build_cadd_test_harness(angle_sign=-1.0, name="cadd_flipped_angles")
+
+
+def _adder_iteration_bug() -> Program:
+    """Listing 2 iteration bug: the inner loop drops the most significant constant bit."""
+    width, b_value, constant = 5, 12, 13
+    program = Program("cadd_iteration_bug")
+    ctrl = program.qreg("ctrl", 2)
+    program.prep_z(ctrl[0], 0)
+    program.prep_z(ctrl[1], 0)
+    b_register = program.qreg("b", width)
+    program.prepare_int(b_register, b_value)
+    program.assert_classical(b_register, b_value, label="precondition: b initialised")
+    append_qft(program, b_register)
+    # Buggy inner loop: `a_indx` starts at b_indx - 1 instead of b_indx, an
+    # off-by-one that omits the diagonal rotations.
+    import math
+
+    qubits = list(b_register)
+    for b_index in range(width - 1, -1, -1):
+        for a_index in range(b_index - 1, -1, -1):  # bug: should start at b_index
+            if (constant >> a_index) & 1:
+                angle = math.pi / (2 ** (b_index - a_index))
+                program.phase(qubits[b_index], angle)
+    append_iqft(program, b_register)
+    program.assert_classical(
+        b_register, b_value + constant, label="postcondition: b == 12+13"
+    )
+    return program
+
+
+# ---------------------------------------------------------------------------
+# Bug type 4: incorrect recursion (control routing)
+# ---------------------------------------------------------------------------
+
+
+def _cmodmul_correct() -> Program:
+    return build_cmodmul_test_harness()
+
+
+def _cmodmul_control_routing_bug() -> Program:
+    return build_cmodmul_test_harness(
+        control_bug_duplicate=True, name="cmodmul_control_routing_bug"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Bug type 5: incorrect mirroring (uncomputation)
+# ---------------------------------------------------------------------------
+
+
+def _inplace_multiplier_program(uncompute_correctly: bool) -> Program:
+    """A controlled in-place multiplier with ancilla-cleanup assertions."""
+    modulus, multiplier = 15, 7
+    name = "cmult_inplace" if uncompute_correctly else "cmult_inplace_bad_mirror"
+    program = Program(name)
+    ctrl = program.qreg("ctrl", 1)
+    program.prep_z(ctrl[0], 1)
+    program.h(ctrl[0])
+    x_register = program.qreg("x", 4)
+    program.prepare_int(x_register, 3)
+    b_register = program.qreg("b", 5)
+    program.prepare_int(b_register, 0)
+    ancilla = program.qreg("anc", 1)
+    program.prep_z(ancilla[0], 0)
+    append_cmult_inplace(
+        program,
+        ctrl[0],
+        x_register,
+        b_register,
+        multiplier,
+        modulus,
+        ancilla[0],
+        uncompute_correctly=uncompute_correctly,
+    )
+    program.assert_product(b_register, x_register, label="scratch disentangled from x")
+    program.assert_classical(b_register, 0, label="scratch returned to 0")
+    return program
+
+
+def _mirroring_correct() -> Program:
+    return _inplace_multiplier_program(uncompute_correctly=True)
+
+
+def _mirroring_buggy() -> Program:
+    return _inplace_multiplier_program(uncompute_correctly=False)
+
+
+# ---------------------------------------------------------------------------
+# Bug type 6: incorrect classical input parameters
+# ---------------------------------------------------------------------------
+
+
+def _shor_correct() -> Program:
+    return build_shor_program(name="shor_correct").program
+
+
+def _shor_wrong_inverse() -> Program:
+    return build_shor_program(
+        inverse_overrides={0: 12}, name="shor_wrong_inverse"
+    ).program
+
+
+def _cmodmul_wrong_inverse() -> Program:
+    return build_cmodmul_test_harness(
+        inverse_multiplier=12, name="cmodmul_wrong_inverse"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+
+BUG_SCENARIOS: dict[str, BugScenario] = {
+    scenario.name: scenario
+    for scenario in [
+        BugScenario(
+            name="wrong_initial_value",
+            bug_type=BugType.INCORRECT_QUANTUM_INITIAL_VALUES,
+            description="QFT harness prepared with 6 instead of the expected 5",
+            build_correct=_qft_harness_correct,
+            build_buggy=_qft_harness_wrong_initial_value,
+            catching_assertion="classical",
+        ),
+        BugScenario(
+            name="missing_superposition",
+            bug_type=BugType.INCORRECT_QUANTUM_INITIAL_VALUES,
+            description="Shor's upper register never put into uniform superposition",
+            build_correct=_shor_correct,
+            build_buggy=_shor_missing_superposition,
+            catching_assertion="superposition",
+            ensemble_size=64,
+        ),
+        BugScenario(
+            name="flipped_rotation_angles",
+            bug_type=BugType.INCORRECT_OPERATIONS,
+            description="Table 1 bug: controlled-rotation angle signs flipped in the adder",
+            build_correct=_adder_correct,
+            build_buggy=_adder_flipped_angles,
+            catching_assertion="classical",
+        ),
+        BugScenario(
+            name="adder_iteration_off_by_one",
+            bug_type=BugType.INCORRECT_ITERATION,
+            description="Listing 2 inner loop off-by-one drops the diagonal rotations",
+            build_correct=_adder_correct,
+            build_buggy=_adder_iteration_bug,
+            catching_assertion="classical",
+        ),
+        BugScenario(
+            name="control_routing",
+            bug_type=BugType.INCORRECT_RECURSION,
+            description="Section 4.4 bug: wrong control qubit routed into the multiplier",
+            build_correct=_cmodmul_correct,
+            build_buggy=_cmodmul_control_routing_bug,
+            catching_assertion="entangled",
+        ),
+        BugScenario(
+            name="bad_uncompute",
+            bug_type=BugType.INCORRECT_MIRRORING,
+            description="Uncompute runs forward instead of mirrored, leaving scratch entangled",
+            build_correct=_mirroring_correct,
+            build_buggy=_mirroring_buggy,
+            catching_assertion="product",
+        ),
+        BugScenario(
+            name="wrong_modular_inverse",
+            bug_type=BugType.INCORRECT_CLASSICAL_INPUT,
+            description="Section 4.6 bug: (7, 12) supplied instead of (7, 13) to Shor",
+            build_correct=_shor_correct,
+            build_buggy=_shor_wrong_inverse,
+            catching_assertion="classical",
+        ),
+        BugScenario(
+            name="wrong_modular_inverse_listing4",
+            bug_type=BugType.INCORRECT_CLASSICAL_INPUT,
+            description="Listing 4 with a_inv = 12: the product-state assertion fails",
+            build_correct=_cmodmul_correct,
+            build_buggy=_cmodmul_wrong_inverse,
+            catching_assertion="product",
+        ),
+    ]
+}
+
+
+def scenario_names() -> list[str]:
+    return sorted(BUG_SCENARIOS)
+
+
+def get_scenario(name: str) -> BugScenario:
+    try:
+        return BUG_SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown bug scenario {name!r}; available: {', '.join(scenario_names())}"
+        ) from None

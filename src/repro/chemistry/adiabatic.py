@@ -1,0 +1,198 @@
+"""Adiabatic ground-state preparation for the H2 benchmark.
+
+Section 5.2.1 of the paper lists adiabatic algorithms as the third family the
+H2 Hamiltonian can drive (alongside phase estimation and VQE).  This module
+implements the textbook digitised-adiabatic scheme: interpolate from a simple
+"occupation" Hamiltonian, whose ground state is the Hartree-Fock configuration
+and is trivial to prepare, to the full molecular Hamiltonian,
+
+    H(s) = (1 - s) * H_initial  +  s * H_target,       s: 0 -> 1,
+
+with the evolution Trotterised into discrete steps.  Slow schedules keep the
+state in the instantaneous ground state, so the final energy and the overlap
+with the exact ground state are natural "algorithm progress" checks in the
+spirit of Section 5.2.3: a schedule that fails to converge as it is made
+slower points at a bug in the Hamiltonian subroutine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..lang.program import Program
+from ..sim.statevector import Statevector
+from .h2 import ELECTRON_ASSIGNMENTS, build_h2_qubit_hamiltonian
+from .pauli import PauliString, PauliSum
+from .trotter import append_trotter_step
+
+__all__ = [
+    "build_occupation_hamiltonian",
+    "build_diagonal_hamiltonian",
+    "append_adiabatic_evolution",
+    "AdiabaticResult",
+    "prepare_ground_state_adiabatically",
+    "schedule_convergence",
+]
+
+
+def build_occupation_hamiltonian(
+    occupation: Sequence[int], penalty: float = 1.0
+) -> PauliSum:
+    """A diagonal Hamiltonian whose unique ground state is ``|occupation>``.
+
+    Each qubit contributes ``penalty * (I -/+ Z)/2`` so that the desired bit
+    value costs 0 and the flipped value costs ``penalty``; the spectral gap of
+    the initial Hamiltonian is therefore ``penalty``.
+    """
+    occupation = [int(bit) for bit in occupation]
+    if any(bit not in (0, 1) for bit in occupation):
+        raise ValueError("occupation must consist of 0/1 values")
+    num_qubits = len(occupation)
+    terms: list[PauliString] = []
+    for qubit, bit in enumerate(occupation):
+        # Project onto the *wrong* value of each bit: |0><0| = (I+Z)/2 costs
+        # `penalty` when a desired-1 qubit reads 0, and |1><1| = (I-Z)/2 when a
+        # desired-0 qubit reads 1.
+        sign = +1.0 if bit else -1.0
+        terms.append(PauliString.identity(num_qubits, coefficient=0.5 * penalty))
+        terms.append(
+            PauliString.from_terms({qubit: "Z"}, num_qubits, coefficient=0.5 * penalty * sign)
+        )
+    return PauliSum(terms).simplify()
+
+
+def build_diagonal_hamiltonian(target: PauliSum) -> PauliSum:
+    """The computational-basis-diagonal part of a Hamiltonian (I/Z terms only).
+
+    For the H2 Hamiltonian this is the standard adiabatic starting point: its
+    ground state is the Hartree-Fock configuration, it conserves particle
+    number, and the interpolation towards the full Hamiltonian keeps an almost
+    constant spectral gap (about 0.58 Ha), so slower schedules monotonically
+    improve the preparation.  The simpler occupation-penalty Hamiltonian of
+    :func:`build_occupation_hamiltonian` also works but its gap along the path
+    depends on the chosen penalty rather than on the chemistry.
+    """
+    diagonal_terms = [
+        term for term in target.simplify().terms if set(term.ops) <= {"I", "Z"}
+    ]
+    if not diagonal_terms:
+        raise ValueError("target Hamiltonian has no diagonal part")
+    return PauliSum(diagonal_terms).simplify()
+
+
+def append_adiabatic_evolution(
+    program: Program,
+    initial_hamiltonian: PauliSum,
+    target_hamiltonian: PauliSum,
+    system_qubits,
+    total_time: float,
+    num_steps: int,
+) -> Program:
+    """Digitised adiabatic evolution from ``initial`` to ``target`` Hamiltonian."""
+    if total_time <= 0:
+        raise ValueError("total_time must be positive")
+    if num_steps < 1:
+        raise ValueError("num_steps must be at least 1")
+    time_step = total_time / num_steps
+    for step in range(num_steps):
+        s = (step + 0.5) / num_steps
+        interpolated = (initial_hamiltonian * (1.0 - s)) + (target_hamiltonian * s)
+        append_trotter_step(program, interpolated.simplify(), time_step, system_qubits)
+    return program
+
+
+@dataclass
+class AdiabaticResult:
+    """Outcome of one adiabatic preparation run."""
+
+    total_time: float
+    num_steps: int
+    energy: float
+    ground_state_overlap: float
+    exact_ground_energy: float
+
+    @property
+    def energy_error(self) -> float:
+        return abs(self.energy - self.exact_ground_energy)
+
+    def as_row(self) -> dict:
+        return {
+            "total_time": self.total_time,
+            "steps": self.num_steps,
+            "energy": self.energy,
+            "overlap": self.ground_state_overlap,
+            "energy_error": self.energy_error,
+        }
+
+
+def prepare_ground_state_adiabatically(
+    target_hamiltonian: PauliSum | None = None,
+    occupation: Sequence[int] = ELECTRON_ASSIGNMENTS["G"],
+    total_time: float = 10.0,
+    num_steps: int = 40,
+    initial_gap: float = 2.0,
+    initial_mode: str = "diagonal",
+) -> AdiabaticResult:
+    """Prepare the ground state of the (H2) Hamiltonian by adiabatic evolution.
+
+    ``initial_mode`` selects the starting Hamiltonian: ``"diagonal"`` (default)
+    uses the I/Z part of the target, whose interpolation keeps a wide gap;
+    ``"occupation"`` uses the simple penalty Hamiltonian of the Hartree-Fock
+    configuration scaled to a gap of ``initial_gap``, which exhibits a narrow
+    avoided crossing and therefore needs the progress checks of Section 5.2.3.
+    The reported overlap is against the exact ground state of the target.
+    """
+    target = target_hamiltonian if target_hamiltonian is not None else build_h2_qubit_hamiltonian()
+    occupation = tuple(int(b) for b in occupation)
+    if initial_mode == "diagonal":
+        initial = build_diagonal_hamiltonian(target)
+    elif initial_mode == "occupation":
+        initial = build_occupation_hamiltonian(occupation, penalty=initial_gap)
+    else:
+        raise ValueError("initial_mode must be 'diagonal' or 'occupation'")
+
+    program = Program("adiabatic_preparation")
+    system = program.qreg("q", target.num_qubits)
+    for index, bit in enumerate(occupation):
+        if bit:
+            program.x(system[index])
+    append_adiabatic_evolution(program, initial, target, list(system), total_time, num_steps)
+    state = program.simulate()
+
+    matrix = target.to_matrix()
+    eigenvalues, eigenvectors = np.linalg.eigh(matrix)
+    ground_vector = Statevector(target.num_qubits, eigenvectors[:, 0])
+    overlap = state.fidelity(ground_vector)
+    energy = float(target.expectation(state).real)
+    return AdiabaticResult(
+        total_time=total_time,
+        num_steps=num_steps,
+        energy=energy,
+        ground_state_overlap=float(overlap),
+        exact_ground_energy=float(eigenvalues[0]),
+    )
+
+
+def schedule_convergence(
+    total_times: Sequence[float] = (1.0, 4.0, 16.0),
+    steps_per_unit_time: int = 4,
+    target_hamiltonian: PauliSum | None = None,
+    initial_mode: str = "diagonal",
+) -> list[AdiabaticResult]:
+    """Sweep the schedule length: slower evolution must track the ground state better."""
+    target = target_hamiltonian if target_hamiltonian is not None else build_h2_qubit_hamiltonian()
+    results = []
+    for total_time in total_times:
+        num_steps = max(4, int(round(steps_per_unit_time * total_time)))
+        results.append(
+            prepare_ground_state_adiabatically(
+                target_hamiltonian=target,
+                total_time=total_time,
+                num_steps=num_steps,
+                initial_mode=initial_mode,
+            )
+        )
+    return results

@@ -1,0 +1,179 @@
+"""Second-quantised fermionic operators.
+
+The quantum chemistry benchmark of the paper follows Whitfield's procedure:
+starting from one- and two-electron integrals, build the second-quantised
+Hamiltonian
+
+    H = sum_pq h_pq a_p^dag a_q
+      + 1/2 sum_pqrs h_pqrs a_p^dag a_q^dag a_r a_s,
+
+then map it onto qubits (here with the Jordan-Wigner transform).  This module
+provides the :class:`FermionOperator` container the Hamiltonian is assembled
+in; the mapping lives in :mod:`repro.chemistry.jordan_wigner`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+import numpy as np
+
+__all__ = ["FermionOperator", "LadderOperator"]
+
+#: One ladder operator: (mode index, is_creation).
+LadderOperator = tuple[int, bool]
+
+
+class FermionOperator:
+    """A linear combination of products of fermionic ladder operators.
+
+    Terms are stored as a mapping from an ordered tuple of ladder operators to
+    a complex coefficient.  ``((0, True), (1, False))`` is ``a_0^dag a_1``.
+    The empty tuple is the identity.
+    """
+
+    def __init__(self, terms: Mapping[tuple[LadderOperator, ...], complex] | None = None):
+        self.terms: dict[tuple[LadderOperator, ...], complex] = {}
+        if terms:
+            for operators, coefficient in terms.items():
+                self._add_term(tuple(operators), complex(coefficient))
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def identity(cls, coefficient: complex = 1.0) -> "FermionOperator":
+        return cls({(): coefficient})
+
+    @classmethod
+    def creation(cls, mode: int, coefficient: complex = 1.0) -> "FermionOperator":
+        return cls({((mode, True),): coefficient})
+
+    @classmethod
+    def annihilation(cls, mode: int, coefficient: complex = 1.0) -> "FermionOperator":
+        return cls({((mode, False),): coefficient})
+
+    @classmethod
+    def number(cls, mode: int, coefficient: complex = 1.0) -> "FermionOperator":
+        """The occupation-number operator ``a_mode^dag a_mode``."""
+        return cls({((mode, True), (mode, False)): coefficient})
+
+    @classmethod
+    def from_term(
+        cls, operators: Iterable[LadderOperator], coefficient: complex = 1.0
+    ) -> "FermionOperator":
+        return cls({tuple(operators): coefficient})
+
+    # ------------------------------------------------------------------
+
+    def _add_term(self, operators: tuple[LadderOperator, ...], coefficient: complex) -> None:
+        for mode, is_creation in operators:
+            if mode < 0:
+                raise ValueError("mode indices must be non-negative")
+            if not isinstance(is_creation, (bool, np.bool_)):
+                raise TypeError("ladder operator flag must be a bool")
+        if abs(coefficient) == 0.0:
+            return
+        self.terms[operators] = self.terms.get(operators, 0.0) + coefficient
+        if abs(self.terms[operators]) < 1e-15:
+            del self.terms[operators]
+
+    def num_modes(self) -> int:
+        """One more than the largest mode index appearing in any term."""
+        highest = -1
+        for operators in self.terms:
+            for mode, _ in operators:
+                highest = max(highest, mode)
+        return highest + 1
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+
+    def __add__(self, other: "FermionOperator") -> "FermionOperator":
+        result = FermionOperator(self.terms)
+        for operators, coefficient in other.terms.items():
+            result._add_term(operators, coefficient)
+        return result
+
+    def __sub__(self, other: "FermionOperator") -> "FermionOperator":
+        return self + (other * -1.0)
+
+    def __mul__(self, other: "FermionOperator | complex | float | int") -> "FermionOperator":
+        if isinstance(other, FermionOperator):
+            result = FermionOperator()
+            for ops_a, coeff_a in self.terms.items():
+                for ops_b, coeff_b in other.terms.items():
+                    result._add_term(ops_a + ops_b, coeff_a * coeff_b)
+            return result
+        result = FermionOperator()
+        for operators, coefficient in self.terms.items():
+            result._add_term(operators, coefficient * complex(other))
+        return result
+
+    __rmul__ = __mul__
+
+    def hermitian_conjugate(self) -> "FermionOperator":
+        result = FermionOperator()
+        for operators, coefficient in self.terms.items():
+            conjugated = tuple(
+                (mode, not is_creation) for mode, is_creation in reversed(operators)
+            )
+            result._add_term(conjugated, np.conj(coefficient))
+        return result
+
+    def is_hermitian(self, atol: float = 1e-10) -> bool:
+        difference = self - self.hermitian_conjugate()
+        return all(abs(c) <= atol for c in difference.terms.values())
+
+    def __len__(self) -> int:
+        return len(self.terms)
+
+    def __repr__(self) -> str:
+        return f"FermionOperator({len(self.terms)} terms, {self.num_modes()} modes)"
+
+    # ------------------------------------------------------------------
+    # Dense representation (occupation-number basis, little-endian)
+    # ------------------------------------------------------------------
+
+    def to_matrix(self, num_modes: int | None = None) -> np.ndarray:
+        """Dense matrix in the occupation basis, qubit/mode 0 = least significant bit.
+
+        Uses the Jordan-Wigner sign convention (a_p carries a parity string on
+        modes < p), so this matrix matches what the Jordan-Wigner qubit
+        Hamiltonian produces — the cross-check the tests rely on.
+        """
+        modes = num_modes if num_modes is not None else self.num_modes()
+        dim = 1 << modes
+        matrix = np.zeros((dim, dim), dtype=complex)
+        for operators, coefficient in self.terms.items():
+            matrix += coefficient * _term_matrix(operators, modes)
+        return matrix
+
+
+def _term_matrix(operators: tuple[LadderOperator, ...], num_modes: int) -> np.ndarray:
+    dim = 1 << num_modes
+    matrix = np.eye(dim, dtype=complex)
+    for mode, is_creation in reversed(operators):
+        matrix = _ladder_matrix(mode, is_creation, num_modes) @ matrix
+    return matrix
+
+
+def _ladder_matrix(mode: int, is_creation: bool, num_modes: int) -> np.ndarray:
+    dim = 1 << num_modes
+    matrix = np.zeros((dim, dim), dtype=complex)
+    for occupation in range(dim):
+        occupied = (occupation >> mode) & 1
+        if is_creation and occupied:
+            continue
+        if not is_creation and not occupied:
+            continue
+        parity = bin(occupation & ((1 << mode) - 1)).count("1")
+        sign = -1.0 if parity % 2 else 1.0
+        new_occupation = occupation ^ (1 << mode)
+        if is_creation:
+            matrix[new_occupation, occupation] = sign
+        else:
+            matrix[new_occupation, occupation] = sign
+    return matrix

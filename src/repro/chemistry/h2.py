@@ -1,0 +1,237 @@
+"""The H2 molecular Hamiltonian (STO-3G) used by the chemistry case study.
+
+Following the procedure of Whitfield, Biamonte and Aspuru-Guzik (the paper's
+reference [54]), the Hamiltonian is assembled from one- and two-electron
+integrals in the minimal STO-3G basis at the equilibrium bond length, second
+quantised over four spin orbitals, and mapped to four qubits with the
+Jordan-Wigner transform.  The paper's own cross-validation data (LIQUi|> and
+QISKit data files) is not available offline; the integrals below are the
+published Whitfield values, and the tests cross-validate the resulting
+spectrum against exact diagonalisation instead.
+
+Spin-orbital ordering (= qubit ordering, little-endian):
+
+====  =================  =========
+mode  spatial orbital    spin
+====  =================  =========
+0     bonding (sigma_g)    up
+1     bonding (sigma_g)    down
+2     antibonding (sigma_u) up
+3     antibonding (sigma_u) down
+====  =================  =========
+
+which makes the "electron assignments" of Table 5 plain computational basis
+states (e.g. the ground-state assignment 1100 = both electrons in the bonding
+orbital = basis state ``|0011>`` = integer 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .fermion import FermionOperator
+from .jordan_wigner import jordan_wigner
+from .pauli import PauliString, PauliSum
+
+__all__ = [
+    "H2Integrals",
+    "WHITFIELD_INTEGRALS",
+    "ELECTRON_ASSIGNMENTS",
+    "ASSIGNMENT_LEVELS",
+    "assignment_to_basis_state",
+    "build_h2_fermion_hamiltonian",
+    "build_h2_qubit_hamiltonian",
+    "exact_eigenvalues",
+    "two_electron_eigenvalues",
+    "dominant_eigenstate_energy",
+    "assignment_expectation_energy",
+]
+
+
+@dataclass(frozen=True)
+class H2Integrals:
+    """Spatial-orbital integrals of H2 in a minimal basis (atomic units).
+
+    ``one_body[p][q]`` is the core-Hamiltonian matrix element ``h_pq``;
+    ``two_body[(p, q, r, s)]`` is the chemists'-notation repulsion integral
+    ``(pq|rs)``; missing keys are zero.  Spatial orbital 0 is the bonding
+    (gerade) orbital and 1 the antibonding (ungerade) orbital.
+    """
+
+    one_body: tuple[tuple[float, float], tuple[float, float]]
+    two_body: dict = field(default_factory=dict)
+    nuclear_repulsion: float = 0.0
+    bond_length_angstrom: float = 0.7414
+
+    def h(self, p: int, q: int) -> float:
+        return self.one_body[p][q]
+
+    def v(self, p: int, q: int, r: int, s: int) -> float:
+        return self.two_body.get((p, q, r, s), 0.0)
+
+
+def _symmetrised_two_body(values: dict) -> dict:
+    """Expand a minimal set of (pq|rs) values using the 8-fold real symmetry."""
+    expanded: dict = {}
+    for (p, q, r, s), value in values.items():
+        for key in {
+            (p, q, r, s),
+            (q, p, r, s),
+            (p, q, s, r),
+            (q, p, s, r),
+            (r, s, p, q),
+            (s, r, p, q),
+            (r, s, q, p),
+            (s, r, q, p),
+        }:
+            expanded[key] = value
+    return expanded
+
+
+#: Whitfield et al. (2011) STO-3G integrals at R = 1.401 bohr (0.7414 angstrom).
+WHITFIELD_INTEGRALS = H2Integrals(
+    one_body=((-1.252477, 0.0), (0.0, -0.475934)),
+    two_body=_symmetrised_two_body(
+        {
+            (0, 0, 0, 0): 0.674493,  # (gg|gg)
+            (1, 1, 1, 1): 0.697397,  # (uu|uu)
+            (0, 0, 1, 1): 0.663472,  # (gg|uu)
+            (0, 1, 0, 1): 0.181287,  # (gu|gu) exchange
+        }
+    ),
+    nuclear_repulsion=1.0 / 1.401,
+    bond_length_angstrom=0.7414,
+)
+
+
+#: Table 5 electron assignments: occupation of (bonding up, bonding down,
+#: antibonding up, antibonding down).
+ELECTRON_ASSIGNMENTS: dict[str, tuple[int, int, int, int]] = {
+    "G": (1, 1, 0, 0),
+    "E1a": (0, 1, 0, 1),
+    "E1b": (1, 0, 1, 0),
+    "E2a": (0, 1, 1, 0),
+    "E2b": (1, 0, 0, 1),
+    "E3": (0, 0, 1, 1),
+}
+
+#: Which energy level each assignment belongs to (Table 5 grouping).
+ASSIGNMENT_LEVELS: dict[str, str] = {
+    "G": "G",
+    "E1a": "E1",
+    "E1b": "E1",
+    "E2a": "E2",
+    "E2b": "E2",
+    "E3": "E3",
+}
+
+
+def assignment_to_basis_state(occupation: tuple[int, int, int, int]) -> int:
+    """Computational basis state (integer) encoding an electron assignment."""
+    if len(occupation) != 4 or any(bit not in (0, 1) for bit in occupation):
+        raise ValueError("occupation must be four 0/1 values")
+    return sum(bit << index for index, bit in enumerate(occupation))
+
+
+def _spin_orbital(spatial: int, spin: int) -> int:
+    """Spin-orbital (= qubit) index from spatial orbital and spin (0=up, 1=down)."""
+    return 2 * spatial + spin
+
+
+def build_h2_fermion_hamiltonian(integrals: H2Integrals = WHITFIELD_INTEGRALS) -> FermionOperator:
+    """Second-quantised electronic Hamiltonian over four spin orbitals.
+
+    ``H = sum h_pq a^dag_{p sigma} a_{q sigma}
+        + 1/2 sum (pq|rs) a^dag_{p sigma} a^dag_{r tau} a_{s tau} a_{q sigma}``
+    (chemists' notation, spin summed over both operators independently).
+    """
+    hamiltonian = FermionOperator()
+    num_spatial = 2
+
+    for p in range(num_spatial):
+        for q in range(num_spatial):
+            value = integrals.h(p, q)
+            if value == 0.0:
+                continue
+            for spin in (0, 1):
+                hamiltonian += FermionOperator.from_term(
+                    ((_spin_orbital(p, spin), True), (_spin_orbital(q, spin), False)),
+                    value,
+                )
+
+    for p in range(num_spatial):
+        for q in range(num_spatial):
+            for r in range(num_spatial):
+                for s in range(num_spatial):
+                    value = integrals.v(p, q, r, s)
+                    if value == 0.0:
+                        continue
+                    for sigma in (0, 1):
+                        for tau in (0, 1):
+                            i = _spin_orbital(p, sigma)
+                            j = _spin_orbital(r, tau)
+                            k = _spin_orbital(s, tau)
+                            l = _spin_orbital(q, sigma)
+                            if i == j or k == l:
+                                # a^dag_i a^dag_i = 0 and a_k a_k = 0.
+                                continue
+                            hamiltonian += FermionOperator.from_term(
+                                ((i, True), (j, True), (k, False), (l, False)),
+                                0.5 * value,
+                            )
+    return hamiltonian
+
+
+def build_h2_qubit_hamiltonian(
+    integrals: H2Integrals = WHITFIELD_INTEGRALS,
+    include_nuclear_repulsion: bool = True,
+) -> PauliSum:
+    """Four-qubit Jordan-Wigner Hamiltonian of H2 (optionally + nuclear repulsion)."""
+    fermionic = build_h2_fermion_hamiltonian(integrals)
+    qubit_hamiltonian = jordan_wigner(fermionic, num_qubits=4)
+    if include_nuclear_repulsion:
+        qubit_hamiltonian = qubit_hamiltonian + PauliString.identity(
+            4, coefficient=integrals.nuclear_repulsion
+        )
+    return qubit_hamiltonian.simplify()
+
+
+# ---------------------------------------------------------------------------
+# Exact (classical) reference values
+# ---------------------------------------------------------------------------
+
+
+def exact_eigenvalues(hamiltonian: PauliSum) -> np.ndarray:
+    """All 16 eigenvalues of the qubit Hamiltonian, ascending."""
+    return hamiltonian.eigenvalues()
+
+
+def two_electron_eigenvalues(hamiltonian: PauliSum) -> np.ndarray:
+    """Eigenvalues restricted to the two-electron (half-filling) sector."""
+    matrix = hamiltonian.to_matrix()
+    basis = [state for state in range(16) if bin(state).count("1") == 2]
+    block = matrix[np.ix_(basis, basis)]
+    return np.linalg.eigvalsh(block)
+
+
+def dominant_eigenstate_energy(
+    hamiltonian: PauliSum, occupation: tuple[int, int, int, int]
+) -> tuple[float, float]:
+    """Energy and overlap of the eigenstate overlapping an assignment the most."""
+    matrix = hamiltonian.to_matrix()
+    eigenvalues, eigenvectors = np.linalg.eigh(matrix)
+    basis_state = assignment_to_basis_state(occupation)
+    overlaps = np.abs(eigenvectors[basis_state, :]) ** 2
+    best = int(np.argmax(overlaps))
+    return float(eigenvalues[best]), float(overlaps[best])
+
+
+def assignment_expectation_energy(
+    hamiltonian: PauliSum, occupation: tuple[int, int, int, int]
+) -> float:
+    """The energy expectation value <assignment| H |assignment>."""
+    matrix = hamiltonian.to_matrix()
+    basis_state = assignment_to_basis_state(occupation)
+    return float(np.real(matrix[basis_state, basis_state]))

@@ -1,0 +1,61 @@
+"""Jordan-Wigner transform: fermionic ladder operators to Pauli strings.
+
+The transform maps mode ``p`` onto qubit ``p`` with
+
+    a_p      = (X_p + i Y_p) / 2  *  Z_{p-1} ... Z_0
+    a_p^dag  = (X_p - i Y_p) / 2  *  Z_{p-1} ... Z_0
+
+so occupation of a spin orbital becomes the computational-basis value of the
+corresponding qubit, which is exactly the encoding Table 5 of the paper uses
+for its "electron assignments".
+"""
+
+from __future__ import annotations
+
+from .fermion import FermionOperator
+from .pauli import PauliString, PauliSum
+
+__all__ = ["jordan_wigner_ladder", "jordan_wigner"]
+
+
+def jordan_wigner_ladder(mode: int, is_creation: bool, num_qubits: int) -> PauliSum:
+    """Pauli representation of a single ladder operator."""
+    if not 0 <= mode < num_qubits:
+        raise ValueError("mode index out of range")
+    x_ops = ["I"] * num_qubits
+    y_ops = ["I"] * num_qubits
+    for lower in range(mode):
+        x_ops[lower] = "Z"
+        y_ops[lower] = "Z"
+    x_ops[mode] = "X"
+    y_ops[mode] = "Y"
+    y_sign = -0.5j if is_creation else +0.5j
+    return PauliSum(
+        [
+            PauliString(ops=tuple(x_ops), coefficient=0.5),
+            PauliString(ops=tuple(y_ops), coefficient=y_sign),
+        ]
+    )
+
+
+def jordan_wigner(operator: FermionOperator, num_qubits: int | None = None) -> PauliSum:
+    """Transform a :class:`FermionOperator` into a simplified :class:`PauliSum`."""
+    num_qubits = num_qubits if num_qubits is not None else operator.num_modes()
+    if num_qubits <= 0:
+        raise ValueError("operator acts on no modes; pass num_qubits explicitly")
+    total: list[PauliString] = []
+    for ladder_product, coefficient in operator.terms.items():
+        partial = PauliSum([PauliString.identity(num_qubits, coefficient=coefficient)])
+        for mode, is_creation in ladder_product:
+            factor = jordan_wigner_ladder(mode, is_creation, num_qubits)
+            partial = _multiply_sums(partial, factor)
+        total.extend(partial.terms)
+    return PauliSum(total).simplify()
+
+
+def _multiply_sums(left: PauliSum, right: PauliSum) -> PauliSum:
+    products = []
+    for a in left.terms:
+        for b in right.terms:
+            products.append(a * b)
+    return PauliSum(products).simplify()

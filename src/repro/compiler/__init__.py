@@ -1,0 +1,31 @@
+"""Compiler layer: breakpoint splitting, lowering passes and execution."""
+
+from .executor import BreakpointExecutor, BreakpointMeasurements
+from .passes import (
+    ResourceReport,
+    ValidationIssue,
+    decompose_controlled_phases,
+    decompose_controlled_rotations,
+    decompose_multi_controls,
+    decompose_toffoli,
+    lower_to_basis,
+    resource_report,
+    validate_program,
+)
+from .splitter import BreakpointProgram, split_at_assertions
+
+__all__ = [
+    "BreakpointProgram",
+    "split_at_assertions",
+    "BreakpointExecutor",
+    "BreakpointMeasurements",
+    "decompose_toffoli",
+    "decompose_controlled_rotations",
+    "decompose_controlled_phases",
+    "decompose_multi_controls",
+    "lower_to_basis",
+    "validate_program",
+    "ValidationIssue",
+    "resource_report",
+    "ResourceReport",
+]

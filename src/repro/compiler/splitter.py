@@ -1,0 +1,107 @@
+"""Breakpoint splitting: one executable program per assertion.
+
+The paper's tool uses the ScaffCC compiler to turn a Scaffold program with
+assertions into "multiple versions of OpenQASM.  Each version of the compiled
+program has the program execution up to the quantum breakpoint, followed by an
+early measurement and assertions on expected values for the quantum
+variables."  This module performs the same transformation on our IR: every
+assertion statement becomes a :class:`BreakpointProgram` containing the
+program prefix up to (but excluding) the assertion, plus the assertion
+specification itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..lang.instructions import (
+    AssertionInstruction,
+    BarrierInstruction,
+    BlockMarkerInstruction,
+    GateInstruction,
+    MeasureInstruction,
+    PrepInstruction,
+)
+from ..lang.program import Program
+
+__all__ = ["BreakpointProgram", "split_at_assertions"]
+
+
+@dataclass
+class BreakpointProgram:
+    """One breakpoint: a runnable prefix program plus the assertion to check."""
+
+    index: int
+    name: str
+    program: Program
+    assertion: AssertionInstruction
+    #: Number of unitary gates executed before the breakpoint (for reporting).
+    gates_before: int
+
+    def measured_qubits(self) -> list:
+        """The qubits the early measurement at this breakpoint must read."""
+        return self.assertion.qubits()
+
+    def describe(self) -> str:
+        return (
+            f"breakpoint {self.index} ({self.name}): {self.gates_before} gates, "
+            f"{self.assertion.describe()}"
+        )
+
+
+def split_at_assertions(program: Program, include_trailing: bool = False) -> list[BreakpointProgram]:
+    """Split ``program`` into one breakpoint program per assertion statement.
+
+    Parameters
+    ----------
+    program:
+        The program containing assertion statements.
+    include_trailing:
+        When True, a final pseudo-breakpoint containing the whole program (and
+        no assertion) is *not* generated — the flag is reserved for future use
+        and currently ignored; the executor runs the full program separately
+        when final measurement statistics are needed.
+
+    Returns
+    -------
+    list[BreakpointProgram]
+        Breakpoints in program order.  Each breakpoint's program contains every
+        non-assertion instruction that precedes the assertion in the original
+        program (gates, preparations, barriers and block markers); assertions
+        themselves are never replayed because the early measurement that
+        implements them would destroy the state.
+    """
+    del include_trailing
+    breakpoints: list[BreakpointProgram] = []
+    prefix_instructions = []
+    gate_count = 0
+    for instruction in program.instructions:
+        if isinstance(instruction, AssertionInstruction):
+            breakpoint_program = Program(f"{program.name}_bp{len(breakpoints)}")
+            for register in program.registers:
+                breakpoint_program.add_register(register)
+            for prefix_instruction in prefix_instructions:
+                breakpoint_program.append(prefix_instruction)
+            label = instruction.label or instruction.describe()
+            breakpoints.append(
+                BreakpointProgram(
+                    index=len(breakpoints),
+                    name=label,
+                    program=breakpoint_program,
+                    assertion=instruction,
+                    gates_before=gate_count,
+                )
+            )
+            continue
+        if isinstance(instruction, MeasureInstruction):
+            # Terminal measurements are not part of any breakpoint prefix; the
+            # breakpoint's own early measurement replaces them.
+            continue
+        if isinstance(instruction, GateInstruction):
+            gate_count += 1
+        elif not isinstance(
+            instruction, (PrepInstruction, BarrierInstruction, BlockMarkerInstruction)
+        ):  # pragma: no cover - defensive
+            raise TypeError(f"unexpected instruction type {type(instruction)!r}")
+        prefix_instructions.append(instruction)
+    return breakpoints

@@ -1,0 +1,274 @@
+"""The four statistical assertion types proposed by the paper.
+
+Each assertion type pairs a *null hypothesis* with a decision rule:
+
+==================  ==========================================  ====================================
+Assertion           Null hypothesis                              Assertion holds when
+==================  ==========================================  ====================================
+``assert_classical``      register always reads the expected value    null **not** rejected (large p)
+``assert_superposition``  register reads a uniform distribution       null **not** rejected (large p)
+``assert_entangled``      the two registers measure independently     null **rejected** (small p)
+``assert_product``        the two registers measure independently     null **not** rejected (large p)
+==================  ==========================================  ====================================
+
+The evaluators consume :class:`repro.sim.measurement.MeasurementEnsemble`
+objects — ensembles of classical outcomes collected at a breakpoint — and
+produce :class:`AssertionOutcome` records with the statistic, p-value and a
+pass/fail decision at a configurable significance level (0.05 in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..sim.measurement import MeasurementEnsemble
+from . import statistics as stats
+from .exceptions import InsufficientEnsembleError
+
+__all__ = [
+    "DEFAULT_SIGNIFICANCE",
+    "AssertionOutcome",
+    "BaseAssertion",
+    "ClassicalAssertion",
+    "SuperpositionAssertion",
+    "EntanglementAssertion",
+    "ProductStateAssertion",
+]
+
+#: Significance level used throughout the paper ("small p-value (<= 0.05)").
+DEFAULT_SIGNIFICANCE = 0.05
+
+
+@dataclass(frozen=True)
+class AssertionOutcome:
+    """Result of evaluating one statistical assertion on one ensemble."""
+
+    assertion_type: str
+    label: str
+    passed: bool
+    p_value: float
+    statistic: float
+    dof: int
+    num_samples: int
+    significance: float
+    message: str
+    details: dict = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        verdict = "PASS" if self.passed else "FAIL"
+        return (
+            f"[{verdict}] {self.assertion_type} {self.label or ''}".rstrip()
+            + f": p-value={self.p_value:.4g} (chi2={self.statistic:.4g}, "
+            f"dof={self.dof}, n={self.num_samples}) — {self.message}"
+        )
+
+
+class BaseAssertion:
+    """Shared behaviour of the four assertion evaluators."""
+
+    assertion_type = "base"
+
+    def __init__(self, label: str = "", significance: float = DEFAULT_SIGNIFICANCE):
+        if not 0.0 < significance < 1.0:
+            raise ValueError("significance must be in (0, 1)")
+        self.label = label
+        self.significance = significance
+
+    # Subclasses implement evaluate(...) with their own signature; the shared
+    # helper below packages results uniformly.
+
+    def _outcome(
+        self,
+        result: stats.ChiSquareResult,
+        passed: bool,
+        num_samples: int,
+        message: str,
+        extra_details: dict | None = None,
+    ) -> AssertionOutcome:
+        details = dict(result.details)
+        if extra_details:
+            details.update(extra_details)
+        return AssertionOutcome(
+            assertion_type=self.assertion_type,
+            label=self.label,
+            passed=passed,
+            p_value=result.p_value,
+            statistic=result.statistic,
+            dof=result.dof,
+            num_samples=num_samples,
+            significance=self.significance,
+            message=message,
+            details=details,
+        )
+
+
+class ClassicalAssertion(BaseAssertion):
+    """The register should collapse to one specific integer value."""
+
+    assertion_type = "classical"
+
+    def __init__(
+        self,
+        expected_value: int,
+        num_bits: int,
+        label: str = "",
+        significance: float = DEFAULT_SIGNIFICANCE,
+    ):
+        super().__init__(label=label, significance=significance)
+        if num_bits <= 0:
+            raise ValueError("num_bits must be positive")
+        if not 0 <= expected_value < (1 << num_bits):
+            raise ValueError("expected value does not fit in the register")
+        self.expected_value = int(expected_value)
+        self.num_bits = int(num_bits)
+
+    def evaluate(self, ensemble: MeasurementEnsemble) -> AssertionOutcome:
+        if ensemble.num_bits != self.num_bits:
+            raise ValueError("ensemble width does not match the assertion")
+        if ensemble.num_samples == 0:
+            raise InsufficientEnsembleError("classical assertion needs at least one sample")
+        result = stats.classical_gof(
+            ensemble.counts(), 1 << self.num_bits, self.expected_value
+        )
+        passed = not result.rejects_null(self.significance)
+        if passed:
+            message = (
+                f"all {ensemble.num_samples} measurements read {self.expected_value}; "
+                "consistent with the expected classical value"
+            )
+        else:
+            observed = sorted(ensemble.counts().items())
+            message = (
+                f"expected the classical value {self.expected_value} but observed "
+                f"{observed}; precondition/postcondition violated"
+            )
+        return self._outcome(result, passed, ensemble.num_samples, message)
+
+
+class SuperpositionAssertion(BaseAssertion):
+    """The register should read a uniform distribution of values."""
+
+    assertion_type = "superposition"
+
+    def __init__(
+        self,
+        num_bits: int,
+        support: Sequence[int] | None = None,
+        label: str = "",
+        significance: float = DEFAULT_SIGNIFICANCE,
+    ):
+        super().__init__(label=label, significance=significance)
+        if num_bits <= 0:
+            raise ValueError("num_bits must be positive")
+        self.num_bits = int(num_bits)
+        self.support = tuple(sorted(set(int(v) for v in support))) if support is not None else None
+        if self.support is not None:
+            for value in self.support:
+                if not 0 <= value < (1 << num_bits):
+                    raise ValueError("support value out of range")
+
+    def evaluate(self, ensemble: MeasurementEnsemble) -> AssertionOutcome:
+        if ensemble.num_bits != self.num_bits:
+            raise ValueError("ensemble width does not match the assertion")
+        if ensemble.num_samples < 2:
+            raise InsufficientEnsembleError(
+                "superposition assertion needs an ensemble of at least two measurements"
+            )
+        result = stats.uniform_gof(
+            ensemble.counts(), 1 << self.num_bits, support=self.support
+        )
+        passed = not result.rejects_null(self.significance)
+        scope = "all values" if self.support is None else f"values {list(self.support)}"
+        if passed:
+            message = f"measurements are consistent with a uniform superposition over {scope}"
+        else:
+            message = (
+                f"measurements are too concentrated to be a uniform superposition over {scope}"
+            )
+        return self._outcome(result, passed, ensemble.num_samples, message)
+
+
+class _PairedAssertion(BaseAssertion):
+    """Common machinery for the two contingency-table assertions."""
+
+    def _independence(
+        self, ensemble_a: MeasurementEnsemble, ensemble_b: MeasurementEnsemble
+    ) -> tuple[stats.ChiSquareResult, int]:
+        if ensemble_a.num_samples != ensemble_b.num_samples:
+            raise ValueError("paired ensembles must have the same number of samples")
+        if ensemble_a.num_samples < 2:
+            raise InsufficientEnsembleError(
+                "contingency-table assertions need an ensemble of at least two measurements"
+            )
+        table = stats.build_contingency_table(
+            ensemble_a.samples,
+            ensemble_b.samples,
+            num_outcomes_a=ensemble_a.num_outcomes,
+            num_outcomes_b=ensemble_b.num_outcomes,
+        )
+        result = stats.contingency_chi_square(table)
+        association = stats.cramers_v(table)
+        details = dict(result.details)
+        details["cramers_v"] = association
+        enriched = stats.ChiSquareResult(
+            statistic=result.statistic,
+            dof=result.dof,
+            p_value=result.p_value,
+            details=details,
+        )
+        return enriched, ensemble_a.num_samples
+
+
+class EntanglementAssertion(_PairedAssertion):
+    """The two registers should be entangled: measurements must be dependent.
+
+    The assertion *holds* when the independence null hypothesis is rejected;
+    in other words a small p-value is the good case here (Section 4.4).
+    """
+
+    assertion_type = "entangled"
+
+    def evaluate(
+        self, ensemble_a: MeasurementEnsemble, ensemble_b: MeasurementEnsemble
+    ) -> AssertionOutcome:
+        result, num_samples = self._independence(ensemble_a, ensemble_b)
+        passed = result.rejects_null(self.significance)
+        if passed:
+            message = (
+                "measurements of the two variables are correlated; consistent with "
+                "the variables being entangled"
+            )
+        else:
+            message = (
+                "measurements look independent; the variables do not appear to be "
+                "entangled as expected (possible bug in the controlled operation)"
+            )
+        return self._outcome(result, passed, num_samples, message)
+
+
+class ProductStateAssertion(_PairedAssertion):
+    """The two registers should be unentangled (product state).
+
+    The assertion holds when the independence null hypothesis is *not*
+    rejected — the counterpart used to validate uncomputation (Section 4.5).
+    """
+
+    assertion_type = "product"
+
+    def evaluate(
+        self, ensemble_a: MeasurementEnsemble, ensemble_b: MeasurementEnsemble
+    ) -> AssertionOutcome:
+        result, num_samples = self._independence(ensemble_a, ensemble_b)
+        passed = not result.rejects_null(self.significance)
+        if passed:
+            message = (
+                "measurements of the two variables look independent; consistent with "
+                "a properly disentangled (product) state"
+            )
+        else:
+            message = (
+                "measurements are still correlated; the variables remain entangled, "
+                "suggesting the mirrored/uncompute code is buggy"
+            )
+        return self._outcome(result, passed, num_samples, message)

@@ -1,0 +1,154 @@
+"""The end-to-end assertion checker.
+
+``StatisticalAssertionChecker`` wires together the three stages described in
+Section 3.3 of the paper:
+
+1. the compiler splits the program into one breakpoint program per assertion
+   (:mod:`repro.compiler.splitter`);
+2. the simulator runs an ensemble of executions for each breakpoint program
+   (:mod:`repro.compiler.executor`);
+3. the measurement results feed into chi-square statistical tests that decide
+   whether each assertion held (:mod:`repro.core.assertions`).
+
+The result is a :class:`repro.core.report.DebugReport`; optionally the checker
+raises :class:`repro.core.exceptions.AssertionViolation` at the first failing
+breakpoint, which is how the example programs emulate the interactive
+debugging workflow of the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..compiler.executor import BreakpointExecutor
+from ..compiler.splitter import BreakpointProgram, split_at_assertions
+from ..lang.instructions import (
+    AssertionInstruction,
+    ClassicalAssertInstruction,
+    EntangledAssertInstruction,
+    ProductAssertInstruction,
+    SuperpositionAssertInstruction,
+)
+from ..lang.program import Program
+from ..sim.measurement import ReadoutErrorModel
+from .assertions import (
+    DEFAULT_SIGNIFICANCE,
+    AssertionOutcome,
+    ClassicalAssertion,
+    EntanglementAssertion,
+    ProductStateAssertion,
+    SuperpositionAssertion,
+)
+from .exceptions import AssertionViolation
+from .report import BreakpointRecord, DebugReport
+
+__all__ = ["StatisticalAssertionChecker", "check_program", "build_evaluator"]
+
+
+def build_evaluator(assertion: AssertionInstruction, significance: float):
+    """Map an assertion *instruction* (IR) to its statistical evaluator."""
+    if not isinstance(assertion, AssertionInstruction):
+        raise TypeError(f"expected an assertion instruction, got {type(assertion)!r}")
+    label = assertion.label or assertion.describe()
+    if isinstance(assertion, ClassicalAssertInstruction):
+        return ClassicalAssertion(
+            expected_value=assertion.value,
+            num_bits=len(assertion.measured),
+            label=label,
+            significance=significance,
+        )
+    if isinstance(assertion, SuperpositionAssertInstruction):
+        return SuperpositionAssertion(
+            num_bits=len(assertion.measured),
+            support=assertion.values,
+            label=label,
+            significance=significance,
+        )
+    if isinstance(assertion, EntangledAssertInstruction):
+        return EntanglementAssertion(label=label, significance=significance)
+    if isinstance(assertion, ProductAssertInstruction):
+        return ProductStateAssertion(label=label, significance=significance)
+    raise TypeError(f"unknown assertion instruction {type(assertion)!r}")
+
+
+class StatisticalAssertionChecker:
+    """Checks every statistical assertion in a program via simulation."""
+
+    def __init__(
+        self,
+        program: Program,
+        ensemble_size: int = 16,
+        significance: float = DEFAULT_SIGNIFICANCE,
+        rng: np.random.Generator | int | None = None,
+        mode: str = "sample",
+        readout_error: ReadoutErrorModel | None = None,
+    ):
+        self.program = program
+        self.ensemble_size = int(ensemble_size)
+        self.significance = float(significance)
+        self.rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        self.executor = BreakpointExecutor(
+            ensemble_size=self.ensemble_size,
+            rng=self.rng,
+            mode=mode,
+            readout_error=readout_error,
+        )
+
+    # ------------------------------------------------------------------
+
+    def breakpoints(self) -> list[BreakpointProgram]:
+        return split_at_assertions(self.program)
+
+    def evaluate_breakpoint(self, breakpoint_program: BreakpointProgram) -> AssertionOutcome:
+        """Run one breakpoint and evaluate its assertion."""
+        measurements = self.executor.run(breakpoint_program)
+        evaluator = build_evaluator(breakpoint_program.assertion, self.significance)
+        if isinstance(evaluator, (ClassicalAssertion, SuperpositionAssertion)):
+            return evaluator.evaluate(measurements.group_a)
+        return evaluator.evaluate(measurements.group_a, measurements.group_b)
+
+    def run(self) -> DebugReport:
+        """Check every assertion and return the full report."""
+        report = DebugReport(
+            program_name=self.program.name,
+            ensemble_size=self.ensemble_size,
+            significance=self.significance,
+        )
+        for breakpoint_program in self.breakpoints():
+            outcome = self.evaluate_breakpoint(breakpoint_program)
+            report.add(
+                BreakpointRecord(
+                    index=breakpoint_program.index,
+                    name=breakpoint_program.name,
+                    gates_before=breakpoint_program.gates_before,
+                    outcome=outcome,
+                    ensemble_size=self.ensemble_size,
+                )
+            )
+        return report
+
+    def check(self) -> DebugReport:
+        """Like :meth:`run` but raise :class:`AssertionViolation` on the first failure."""
+        report = self.run()
+        failure = report.first_failure()
+        if failure is not None:
+            raise AssertionViolation(failure.outcome)
+        return report
+
+
+def check_program(
+    program: Program,
+    ensemble_size: int = 16,
+    significance: float = DEFAULT_SIGNIFICANCE,
+    rng: np.random.Generator | int | None = None,
+    mode: str = "sample",
+) -> DebugReport:
+    """One-shot convenience wrapper around :class:`StatisticalAssertionChecker`."""
+    checker = StatisticalAssertionChecker(
+        program,
+        ensemble_size=ensemble_size,
+        significance=significance,
+        rng=rng,
+        mode=mode,
+    )
+    return checker.run()

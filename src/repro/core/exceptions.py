@@ -1,0 +1,30 @@
+"""Exception types for the assertion framework."""
+
+from __future__ import annotations
+
+__all__ = [
+    "QuantumAssertionError",
+    "AssertionViolation",
+    "InsufficientEnsembleError",
+]
+
+
+class QuantumAssertionError(Exception):
+    """Base class for every error raised by the assertion framework."""
+
+
+class AssertionViolation(QuantumAssertionError):
+    """A statistical assertion was rejected (the program state looks buggy).
+
+    The attached :class:`repro.core.assertions.AssertionOutcome` carries the
+    statistic, p-value and contingency/histogram details that the paper uses
+    to guide the programmer toward the offending subroutine.
+    """
+
+    def __init__(self, outcome):
+        self.outcome = outcome
+        super().__init__(str(outcome))
+
+
+class InsufficientEnsembleError(QuantumAssertionError):
+    """The ensemble is too small for the requested statistical test."""

@@ -1,0 +1,143 @@
+"""Debug reports: the output of a full assertion-checking run.
+
+A :class:`DebugReport` aggregates one :class:`BreakpointRecord` per assertion
+in the program.  It renders the same kind of information the paper presents in
+Sections 4 and 5: the p-value at each breakpoint, whether the assertion held,
+and, for contingency-table assertions, the observed joint distribution
+(compare Table 3 and the Bell-state table of Section 4.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from .assertions import AssertionOutcome
+
+__all__ = ["BreakpointRecord", "DebugReport"]
+
+
+@dataclass
+class BreakpointRecord:
+    """The evaluation of one assertion at one breakpoint."""
+
+    index: int
+    name: str
+    gates_before: int
+    outcome: AssertionOutcome
+    ensemble_size: int
+
+    @property
+    def passed(self) -> bool:
+        return self.outcome.passed
+
+    @property
+    def p_value(self) -> float:
+        return self.outcome.p_value
+
+    def as_row(self) -> dict:
+        return {
+            "breakpoint": self.index,
+            "name": self.name,
+            "type": self.outcome.assertion_type,
+            "gates": self.gates_before,
+            "n": self.ensemble_size,
+            "p_value": self.outcome.p_value,
+            "passed": self.outcome.passed,
+        }
+
+    def __str__(self) -> str:
+        return f"breakpoint {self.index} [{self.name}] {self.outcome}"
+
+
+@dataclass
+class DebugReport:
+    """All breakpoint records of one assertion-checking run."""
+
+    program_name: str
+    records: list[BreakpointRecord] = field(default_factory=list)
+    ensemble_size: int = 0
+    significance: float = 0.05
+
+    def add(self, record: BreakpointRecord) -> None:
+        self.records.append(record)
+
+    @property
+    def passed(self) -> bool:
+        """True when every assertion in the program held."""
+        return all(record.passed for record in self.records)
+
+    @property
+    def num_breakpoints(self) -> int:
+        return len(self.records)
+
+    def failures(self) -> list[BreakpointRecord]:
+        return [record for record in self.records if not record.passed]
+
+    def first_failure(self) -> BreakpointRecord | None:
+        for record in self.records:
+            if not record.passed:
+                return record
+        return None
+
+    def p_values(self) -> list[float]:
+        return [record.p_value for record in self.records]
+
+    def rows(self) -> list[dict]:
+        return [record.as_row() for record in self.records]
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+
+    def summary(self) -> str:
+        """Multi-line human-readable report."""
+        lines = [
+            f"Assertion report for program {self.program_name!r} "
+            f"({self.num_breakpoints} breakpoints, ensemble size {self.ensemble_size}, "
+            f"significance {self.significance})"
+        ]
+        lines.append(format_table(self.rows()))
+        verdict = "ALL ASSERTIONS HELD" if self.passed else (
+            f"{len(self.failures())} ASSERTION(S) VIOLATED"
+        )
+        lines.append(verdict)
+        first = self.first_failure()
+        if first is not None:
+            lines.append(f"first violation: {first}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.summary()
+
+
+def format_table(rows: Iterable[dict]) -> str:
+    """Render a list of uniform dictionaries as a fixed-width text table."""
+    rows = list(rows)
+    if not rows:
+        return "(no rows)"
+    headers = list(rows[0].keys())
+    rendered_rows = []
+    for row in rows:
+        rendered_rows.append(
+            [_render_cell(row.get(header, "")) for header in headers]
+        )
+    widths = [
+        max(len(str(header)), max(len(cells[i]) for cells in rendered_rows))
+        for i, header in enumerate(headers)
+    ]
+    lines = [
+        "  ".join(str(header).ljust(widths[i]) for i, header in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for cells in rendered_rows:
+        lines.append("  ".join(cells[i].ljust(widths[i]) for i in range(len(headers))))
+    return "\n".join(lines)
+
+
+def _render_cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    if isinstance(value, bool):
+        return "yes" if value else "NO"
+    return str(value)

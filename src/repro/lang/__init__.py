@@ -1,0 +1,57 @@
+"""Program IR: registers, instructions, programs, patterns and OpenQASM I/O."""
+
+from .instructions import (
+    AssertionInstruction,
+    BarrierInstruction,
+    BlockMarkerInstruction,
+    ClassicalAssertInstruction,
+    EntangledAssertInstruction,
+    GateInstruction,
+    Instruction,
+    MeasureInstruction,
+    PrepInstruction,
+    ProductAssertInstruction,
+    SuperpositionAssertInstruction,
+)
+from .drawer import draw, draw_moments
+from .patterns import (
+    AssertionSuggestion,
+    PatternScanner,
+    auto_place_assertions,
+    compute,
+    control,
+    uncompute,
+)
+from .program import Program
+from .qasm import QasmError, from_qasm, to_qasm
+from .registers import ClassicalRegister, QuantumRegister, Qubit, flatten_qubits
+
+__all__ = [
+    "Program",
+    "QuantumRegister",
+    "ClassicalRegister",
+    "Qubit",
+    "flatten_qubits",
+    "Instruction",
+    "GateInstruction",
+    "PrepInstruction",
+    "MeasureInstruction",
+    "BarrierInstruction",
+    "BlockMarkerInstruction",
+    "AssertionInstruction",
+    "ClassicalAssertInstruction",
+    "SuperpositionAssertInstruction",
+    "EntangledAssertInstruction",
+    "ProductAssertInstruction",
+    "compute",
+    "uncompute",
+    "control",
+    "PatternScanner",
+    "AssertionSuggestion",
+    "auto_place_assertions",
+    "to_qasm",
+    "from_qasm",
+    "QasmError",
+    "draw",
+    "draw_moments",
+]

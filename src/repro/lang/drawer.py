@@ -1,0 +1,169 @@
+"""Text rendering of quantum programs (circuit diagrams like Figures 1 and 3).
+
+The paper communicates programs as circuit diagrams; this module renders a
+:class:`~repro.lang.program.Program` as a fixed-width text diagram with one
+row per qubit and one column per instruction "moment".  It is intentionally
+simple — boxes for gates, ``●`` for controls, ``⊕`` for CNOT targets, ``x``
+for swaps — but it covers everything the benchmark programs use, including
+assertion statements, which render as labelled breakpoint markers across the
+asserted qubits.
+"""
+
+from __future__ import annotations
+
+from .instructions import (
+    AssertionInstruction,
+    BarrierInstruction,
+    BlockMarkerInstruction,
+    ClassicalAssertInstruction,
+    EntangledAssertInstruction,
+    GateInstruction,
+    MeasureInstruction,
+    PrepInstruction,
+    ProductAssertInstruction,
+    SuperpositionAssertInstruction,
+)
+from .program import Program
+from .registers import Qubit
+
+__all__ = ["draw", "draw_moments"]
+
+_ASSERTION_SYMBOLS = {
+    ClassicalAssertInstruction: "A=",
+    SuperpositionAssertInstruction: "A~",
+    EntangledAssertInstruction: "A@",
+    ProductAssertInstruction: "A#",
+}
+
+
+def _gate_label(instruction: GateInstruction) -> str:
+    name = instruction.name.upper()
+    if instruction.params:
+        rendered = ",".join(f"{p:.3g}" for p in instruction.params)
+        return f"{name}({rendered})"
+    return name
+
+
+def _columns_for_instruction(instruction, program: Program) -> dict[int, str] | None:
+    """Map flat qubit index -> cell text for one instruction (None to skip)."""
+    if isinstance(instruction, (BarrierInstruction, BlockMarkerInstruction)):
+        return None
+    cells: dict[int, str] = {}
+    if isinstance(instruction, GateInstruction):
+        for control in instruction.controls:
+            cells[program.qubit_index(control)] = "●"
+        if instruction.name == "x" and instruction.controls:
+            for target in instruction.targets:
+                cells[program.qubit_index(target)] = "⊕"
+        elif instruction.name == "swap":
+            for target in instruction.targets:
+                cells[program.qubit_index(target)] = "x"
+        else:
+            label = _gate_label(instruction)
+            for target in instruction.targets:
+                cells[program.qubit_index(target)] = f"[{label}]"
+    elif isinstance(instruction, PrepInstruction):
+        cells[program.qubit_index(instruction.qubit)] = f"|{instruction.value}>"
+    elif isinstance(instruction, MeasureInstruction):
+        for qubit in instruction.measured:
+            cells[program.qubit_index(qubit)] = "[M]"
+    elif isinstance(instruction, AssertionInstruction):
+        symbol = "A?"
+        for instruction_type, candidate in _ASSERTION_SYMBOLS.items():
+            if isinstance(instruction, instruction_type):
+                symbol = candidate
+                break
+        for qubit in instruction.qubits():
+            cells[program.qubit_index(qubit)] = f"[{symbol}]"
+    else:  # pragma: no cover - defensive
+        raise TypeError(f"cannot draw {type(instruction)!r}")
+    return cells
+
+
+def draw_moments(program: Program) -> list[dict[int, str]]:
+    """Greedily pack instructions into moments (columns) of non-overlapping qubits."""
+    moments: list[dict[int, str]] = []
+    occupied: list[set[int]] = []
+    for instruction in program.instructions:
+        cells = _columns_for_instruction(instruction, program)
+        if cells is None:
+            continue
+        involved = set(cells)
+        # Multi-qubit operations also block the qubits in between so that the
+        # vertical connector does not collide with unrelated gates.
+        if len(involved) > 1:
+            low, high = min(involved), max(involved)
+            involved = set(range(low, high + 1))
+        # The instruction must go after the last column that touches any of
+        # its qubits (program order is preserved per qubit).
+        last_conflict = -1
+        for index, column_qubits in enumerate(occupied):
+            if column_qubits & involved:
+                last_conflict = index
+        target = last_conflict + 1
+        if target == len(moments):
+            moments.append({})
+            occupied.append(set())
+        moments[target].update(cells)
+        occupied[target] |= involved
+    return moments
+
+
+def draw(program: Program, max_width: int = 0) -> str:
+    """Render the program as a text circuit diagram.
+
+    ``max_width`` (characters) optionally wraps the diagram into multiple
+    stacked panels; 0 disables wrapping.
+    """
+    moments = draw_moments(program)
+    labels = {}
+    for register in program.registers:
+        for qubit in register:
+            labels[program.qubit_index(qubit)] = f"{register.name}[{qubit.index}]"
+    num_qubits = program.num_qubits
+
+    label_width = max((len(v) for v in labels.values()), default=0)
+    column_texts: list[list[str]] = []
+    column_widths: list[int] = []
+    for moment in moments:
+        width = max((len(text) for text in moment.values()), default=1)
+        column = []
+        involved = sorted(moment)
+        span = range(min(involved), max(involved) + 1) if involved else []
+        for qubit_index in range(num_qubits):
+            if qubit_index in moment:
+                column.append(moment[qubit_index].center(width, "─"))
+            elif qubit_index in span:
+                column.append("│".center(width, "─"))
+            else:
+                column.append("─" * width)
+        column_texts.append(column)
+        column_widths.append(width)
+
+    lines = []
+    for qubit_index in range(num_qubits):
+        prefix = labels.get(qubit_index, f"q{qubit_index}").rjust(label_width) + ": "
+        row = "─".join(column_texts[c][qubit_index] for c in range(len(moments)))
+        lines.append(prefix + "─" + row + "─")
+
+    if max_width and lines and len(lines[0]) > max_width:
+        return _wrap_panels(lines, label_width + 3, max_width)
+    return "\n".join(lines)
+
+
+def _wrap_panels(lines: list[str], prefix_width: int, max_width: int) -> str:
+    """Split long diagrams into stacked panels of at most ``max_width`` chars."""
+    body_width = max_width - prefix_width
+    if body_width <= 10:
+        return "\n".join(lines)
+    prefixes = [line[:prefix_width] for line in lines]
+    bodies = [line[prefix_width:] for line in lines]
+    panels = []
+    start = 0
+    total = len(bodies[0])
+    while start < total:
+        end = min(start + body_width, total)
+        panel = [prefixes[i] + bodies[i][start:end] for i in range(len(lines))]
+        panels.append("\n".join(panel))
+        start = end
+    return ("\n" + "." * max_width + "\n").join(panels)

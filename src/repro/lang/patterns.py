@@ -1,0 +1,271 @@
+"""Program patterns: compute/uncompute, control blocks and assertion auto-placement.
+
+Section 5.1 of the paper observes that higher-level language constructs —
+ProjectQ's ``Compute``/``Uncompute`` and ``Control`` blocks — make the
+placement of entanglement and product-state assertions "as natural as placing
+precondition and postcondition assertions".  This module provides those
+constructs for our IR:
+
+* :func:`compute` — a context manager recording a block of gates so that
+  :func:`uncompute` can later append its exact inverse (the mirroring pattern
+  of Section 4.5).
+* :func:`control` — a context manager that adds control qubits to every gate
+  appended inside it (the recursion pattern of Section 4.4).
+* :class:`PatternScanner` — inspects a program's block markers and suggests
+  where entanglement and product assertions should be placed; the suggestions
+  can also be applied automatically.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from .instructions import (
+    BlockMarkerInstruction,
+    EntangledAssertInstruction,
+    GateInstruction,
+    Instruction,
+    ProductAssertInstruction,
+)
+from .program import Program
+from .registers import Qubit, flatten_qubits
+
+__all__ = [
+    "compute",
+    "uncompute",
+    "control",
+    "ComputeRecord",
+    "AssertionSuggestion",
+    "PatternScanner",
+    "auto_place_assertions",
+]
+
+
+@dataclass
+class ComputeRecord:
+    """Bookkeeping for one compute block, needed to uncompute it later."""
+
+    block_id: int
+    start: int
+    end: int
+    gates: list[GateInstruction]
+    involved: tuple[Qubit, ...]
+
+
+# Records are attached to the program object so that nested helpers can find
+# them without threading extra state through every call.
+_RECORD_ATTRIBUTE = "_compute_records"
+
+
+def _records(program: Program) -> list[ComputeRecord]:
+    if not hasattr(program, _RECORD_ATTRIBUTE):
+        setattr(program, _RECORD_ATTRIBUTE, [])
+    return getattr(program, _RECORD_ATTRIBUTE)
+
+
+@contextlib.contextmanager
+def compute(program: Program, involved=()) -> Iterator[ComputeRecord]:
+    """Record the gates appended inside the block for later uncomputation.
+
+    Mirrors ProjectQ's ``with Compute(eng): ...`` (Table 4, row 2).
+    """
+    begin_marker = program.block_marker("compute", "begin", involved)
+    start = len(program.instructions)
+    record = ComputeRecord(
+        block_id=begin_marker.block_id,
+        start=start,
+        end=start,
+        gates=[],
+        involved=begin_marker.involved,
+    )
+    yield record
+    record.end = len(program.instructions)
+    record.gates = [
+        instruction
+        for instruction in program.instructions[record.start : record.end]
+        if isinstance(instruction, GateInstruction)
+    ]
+    program.block_marker("compute", "end", involved)
+    _records(program).append(record)
+
+
+def uncompute(program: Program, record: ComputeRecord | None = None) -> Program:
+    """Append the inverse of a recorded compute block (ProjectQ ``Uncompute``).
+
+    Without an explicit ``record`` the most recent un-consumed compute block is
+    uncomputed, matching the usual stack discipline of the pattern.
+    """
+    records = _records(program)
+    if record is None:
+        if not records:
+            raise ValueError("no compute block available to uncompute")
+        record = records.pop()
+    else:
+        if record in records:
+            records.remove(record)
+    program.block_marker("uncompute", "begin", record.involved)
+    for instruction in reversed(record.gates):
+        program.append(instruction.inverse())
+    program.block_marker("uncompute", "end", record.involved)
+    return program
+
+
+@contextlib.contextmanager
+def control(program: Program, controls) -> Iterator[None]:
+    """Add ``controls`` to every gate appended inside the block.
+
+    Mirrors ProjectQ's ``with Control(eng, qubits): ...`` (Table 4, row 3).
+    Non-gate instructions inside the block are rejected because a controlled
+    measurement or assertion has no meaning in the paper's model.
+    """
+    control_qubits = flatten_qubits(controls)
+    program.block_marker("control", "begin", control_qubits)
+    start = len(program.instructions)
+    yield
+    end = len(program.instructions)
+    block = program.instructions[start:end]
+    rewritten: list[Instruction] = []
+    for instruction in block:
+        if isinstance(instruction, GateInstruction):
+            rewritten.append(instruction.with_extra_controls(control_qubits))
+        elif isinstance(instruction, BlockMarkerInstruction):
+            rewritten.append(instruction)
+        else:
+            raise ValueError(
+                f"only gates may appear inside a control block, got: {instruction.describe()}"
+            )
+    program.instructions[start:end] = rewritten
+    program.block_marker("control", "end", control_qubits)
+
+
+# ---------------------------------------------------------------------------
+# Automatic assertion placement (Section 5.1.1)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AssertionSuggestion:
+    """A suggested assertion and the instruction index to insert it at."""
+
+    position: int
+    kind: str  # "entangled" or "product"
+    group_a: tuple[Qubit, ...]
+    group_b: tuple[Qubit, ...]
+    reason: str
+
+    def build_instruction(self):
+        if self.kind == "entangled":
+            return EntangledAssertInstruction(
+                label=f"auto:{self.reason}", group_a=self.group_a, group_b=self.group_b
+            )
+        if self.kind == "product":
+            return ProductAssertInstruction(
+                label=f"auto:{self.reason}", group_a=self.group_a, group_b=self.group_b
+            )
+        raise ValueError(f"unknown suggestion kind {self.kind!r}")
+
+
+class PatternScanner:
+    """Scans block markers to find the recursion and mirroring patterns."""
+
+    def __init__(self, program: Program):
+        self.program = program
+
+    def _blocks(self, kind: str) -> list[tuple[int, int, BlockMarkerInstruction]]:
+        """Return (begin_index, end_index, begin_marker) for blocks of ``kind``."""
+        blocks = []
+        open_blocks: dict[int, tuple[int, BlockMarkerInstruction]] = {}
+        for position, instruction in enumerate(self.program.instructions):
+            if not isinstance(instruction, BlockMarkerInstruction):
+                continue
+            if instruction.kind != kind:
+                continue
+            if instruction.boundary == "begin":
+                open_blocks[instruction.block_id] = (position, instruction)
+            else:
+                if instruction.block_id in open_blocks:
+                    begin_position, begin_marker = open_blocks.pop(instruction.block_id)
+                else:
+                    # "end" markers get a fresh block id; match the most
+                    # recently opened block of the same kind instead.
+                    if not open_blocks:
+                        continue
+                    last_id = max(open_blocks)
+                    begin_position, begin_marker = open_blocks.pop(last_id)
+                blocks.append((begin_position, position, begin_marker))
+        return blocks
+
+    def _targets_inside(self, begin: int, end: int, exclude: Sequence[Qubit]) -> tuple[Qubit, ...]:
+        excluded = set(exclude)
+        targets: list[Qubit] = []
+        for instruction in self.program.instructions[begin:end]:
+            if isinstance(instruction, GateInstruction):
+                for qubit in instruction.targets:
+                    if qubit not in excluded and qubit not in targets:
+                        targets.append(qubit)
+        return tuple(targets)
+
+    def suggest(self) -> list[AssertionSuggestion]:
+        """Suggested entanglement/product assertions from the program structure."""
+        suggestions: list[AssertionSuggestion] = []
+
+        for begin, end, marker in self._blocks("control"):
+            controls = marker.involved
+            targets = self._targets_inside(begin, end, exclude=controls)
+            if controls and targets:
+                suggestions.append(
+                    AssertionSuggestion(
+                        position=end + 1,
+                        kind="entangled",
+                        group_a=tuple(controls),
+                        group_b=targets,
+                        reason="control-block",
+                    )
+                )
+
+        compute_blocks = self._blocks("compute")
+        uncompute_blocks = self._blocks("uncompute")
+        for (c_begin, c_end, c_marker), (u_begin, u_end, _u_marker) in zip(
+            compute_blocks, reversed(uncompute_blocks)
+        ):
+            scratch = self._targets_inside(c_begin, c_end, exclude=())
+            rest = tuple(
+                qubit for qubit in self.program.all_qubits() if qubit not in scratch
+            )
+            if scratch and rest and u_end > c_end:
+                suggestions.append(
+                    AssertionSuggestion(
+                        position=u_end + 1,
+                        kind="product",
+                        group_a=tuple(scratch),
+                        group_b=rest,
+                        reason="compute-uncompute",
+                    )
+                )
+        suggestions.sort(key=lambda s: s.position)
+        return suggestions
+
+
+def auto_place_assertions(
+    program: Program, kinds: Sequence[str] | None = None
+) -> list[AssertionSuggestion]:
+    """Insert suggested assertions into ``program`` and return the suggestions.
+
+    ``kinds`` optionally restricts which suggestion kinds are inserted
+    (``"entangled"``, ``"product"``).  Product suggestions after a
+    compute/uncompute pair are reliable; entangled suggestions after a control
+    block are heuristic hints — the controlled operation may produce only weak
+    correlations at that point (the paper notes these assertions "need the
+    most programmer insight to correctly place"), so callers that want a fully
+    automatic, low-false-positive placement can pass ``kinds=("product",)``.
+    """
+    suggestions = PatternScanner(program).suggest()
+    if kinds is not None:
+        allowed = set(kinds)
+        suggestions = [s for s in suggestions if s.kind in allowed]
+    # Insert from the back so earlier positions stay valid.
+    for suggestion in sorted(suggestions, key=lambda s: s.position, reverse=True):
+        program.instructions.insert(suggestion.position, suggestion.build_instruction())
+    return suggestions

@@ -1,0 +1,281 @@
+"""OpenQASM 2.0 export and a small importer.
+
+The paper's tool flow compiles Scaffold programs with assertions into
+"multiple versions of OpenQASM", one per breakpoint, which are then simulated.
+This module provides the equivalent serialisation layer: breakpoint programs
+produced by :mod:`repro.compiler.splitter` can be exported to OpenQASM 2.0 and
+(for the supported gate subset) re-imported, which the tests use as a
+round-trip check.
+
+Assertions have no OpenQASM representation; they are emitted as structured
+comments (``// assert_classical ...``) exactly because the paper's flow also
+lowers the assertion to an early measurement plus an external statistical
+check.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Sequence
+
+from .instructions import (
+    AssertionInstruction,
+    BarrierInstruction,
+    BlockMarkerInstruction,
+    ClassicalAssertInstruction,
+    EntangledAssertInstruction,
+    GateInstruction,
+    MeasureInstruction,
+    PrepInstruction,
+    ProductAssertInstruction,
+    SuperpositionAssertInstruction,
+)
+from .program import Program
+from .registers import Qubit
+
+__all__ = ["to_qasm", "from_qasm", "QasmError"]
+
+
+class QasmError(ValueError):
+    """Raised when a program cannot be expressed in / parsed from OpenQASM 2.0."""
+
+
+_QASM_FIXED = {
+    ("x", 0): "x",
+    ("y", 0): "y",
+    ("z", 0): "z",
+    ("h", 0): "h",
+    ("s", 0): "s",
+    ("sdg", 0): "sdg",
+    ("t", 0): "t",
+    ("tdg", 0): "tdg",
+    ("x", 1): "cx",
+    ("z", 1): "cz",
+    ("y", 1): "cy",
+    ("h", 1): "ch",
+    ("x", 2): "ccx",
+    ("swap", 0): "swap",
+    ("swap", 1): "cswap",
+}
+
+_QASM_PARAM = {
+    ("rx", 0): "rx",
+    ("ry", 0): "ry",
+    ("rz", 0): "rz",
+    ("phase", 0): "u1",
+    ("rz", 1): "crz",
+    ("phase", 1): "cu1",
+}
+
+
+def _format_angle(value: float) -> str:
+    """Render an angle, using multiples of pi when they are exact enough."""
+    if value == 0.0:
+        return "0"
+    ratio = value / math.pi
+    for denominator in (1, 2, 4, 8, 16, 32, 64, 128, 256):
+        scaled = ratio * denominator
+        if abs(scaled - round(scaled)) < 1e-12 and round(scaled) != 0:
+            numerator = int(round(scaled))
+            if denominator == 1:
+                return f"{numerator}*pi" if numerator != 1 else "pi"
+            if numerator == 1:
+                return f"pi/{denominator}"
+            return f"{numerator}*pi/{denominator}"
+    return f"{value!r}"
+
+
+def _qubit_ref(qubit: Qubit) -> str:
+    return f"{qubit.register.name}[{qubit.index}]"
+
+
+def to_qasm(program: Program, include_assertions_as_comments: bool = True) -> str:
+    """Serialise ``program`` to OpenQASM 2.0 text."""
+    lines = ["OPENQASM 2.0;", 'include "qelib1.inc";']
+    for register in program.registers:
+        lines.append(f"qreg {register.name}[{register.size}];")
+    measure_counter = 0
+    declared_cregs: list[str] = []
+
+    for instruction in program.instructions:
+        if isinstance(instruction, GateInstruction):
+            lines.append(_gate_to_qasm(instruction))
+        elif isinstance(instruction, PrepInstruction):
+            lines.append(f"reset {_qubit_ref(instruction.qubit)};")
+            if instruction.value == 1:
+                lines.append(f"x {_qubit_ref(instruction.qubit)};")
+        elif isinstance(instruction, BarrierInstruction):
+            if instruction.marked:
+                operands = ",".join(_qubit_ref(q) for q in instruction.marked)
+                lines.append(f"barrier {operands};")
+            else:
+                lines.append("barrier;")
+        elif isinstance(instruction, MeasureInstruction):
+            creg_name = f"c{measure_counter}"
+            measure_counter += 1
+            declared_cregs.append(f"creg {creg_name}[{len(instruction.measured)}];")
+            for position, qubit in enumerate(instruction.measured):
+                lines.append(f"measure {_qubit_ref(qubit)} -> {creg_name}[{position}];")
+        elif isinstance(instruction, AssertionInstruction):
+            if include_assertions_as_comments:
+                lines.append(f"// {instruction.describe()}")
+        elif isinstance(instruction, BlockMarkerInstruction):
+            lines.append(f"// {instruction.describe().lstrip('# ')}")
+        else:  # pragma: no cover - defensive
+            raise QasmError(f"cannot serialise {type(instruction).__name__}")
+
+    # Classical registers must be declared before use; splice them in after
+    # the quantum register declarations.
+    insert_at = 2 + len(program.registers)
+    return "\n".join(lines[:insert_at] + declared_cregs + lines[insert_at:]) + "\n"
+
+
+def _gate_to_qasm(instruction: GateInstruction) -> str:
+    key = (instruction.name, len(instruction.controls))
+    operands = ",".join(_qubit_ref(q) for q in instruction.controls + instruction.targets)
+    if key in _QASM_FIXED:
+        return f"{_QASM_FIXED[key]} {operands};"
+    if key in _QASM_PARAM:
+        params = ",".join(_format_angle(p) for p in instruction.params)
+        return f"{_QASM_PARAM[key]}({params}) {operands};"
+    if instruction.name == "u3" and not instruction.controls:
+        params = ",".join(_format_angle(p) for p in instruction.params)
+        return f"u3({params}) {operands};"
+    if instruction.name == "phase" and len(instruction.controls) == 2:
+        # ccu1 is not in qelib1; emit the standard two-control decomposition:
+        # ccU1(t) = cU1(t/2)[c1,t] . CX[c0,c1] . cU1(-t/2)[c1,t] . CX[c0,c1] . cU1(t/2)[c0,t]
+        theta = instruction.params[0]
+        c0, c1 = instruction.controls
+        (target,) = instruction.targets
+        plus_half = _format_angle(theta / 2.0)
+        minus_half = _format_angle(-theta / 2.0)
+        return "\n".join(
+            [
+                f"cu1({plus_half}) {_qubit_ref(c1)},{_qubit_ref(target)};",
+                f"cx {_qubit_ref(c0)},{_qubit_ref(c1)};",
+                f"cu1({minus_half}) {_qubit_ref(c1)},{_qubit_ref(target)};",
+                f"cx {_qubit_ref(c0)},{_qubit_ref(c1)};",
+                f"cu1({plus_half}) {_qubit_ref(c0)},{_qubit_ref(target)};",
+            ]
+        )
+    raise QasmError(
+        f"gate {instruction.name!r} with {len(instruction.controls)} controls has no "
+        "OpenQASM 2.0 spelling; run the decomposition pass first"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Importer (subset)
+# ---------------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"^\s*(?P<gate>[a-z][a-z0-9_]*)\s*(\((?P<params>[^)]*)\))?\s+(?P<operands>[^;]+);\s*$"
+)
+_QREG_RE = re.compile(r"^\s*qreg\s+(?P<name>[a-zA-Z_][\w]*)\s*\[(?P<size>\d+)\]\s*;\s*$")
+_CREG_RE = re.compile(r"^\s*creg\s+(?P<name>[a-zA-Z_][\w]*)\s*\[(?P<size>\d+)\]\s*;\s*$")
+_MEASURE_RE = re.compile(
+    r"^\s*measure\s+(?P<q>[\w\[\]]+)\s*->\s*(?P<c>[\w\[\]]+)\s*;\s*$"
+)
+_OPERAND_RE = re.compile(r"^(?P<name>[a-zA-Z_][\w]*)\[(?P<index>\d+)\]$")
+
+_IMPORT_FIXED = {
+    "x": ("x", 0),
+    "y": ("y", 0),
+    "z": ("z", 0),
+    "h": ("h", 0),
+    "s": ("s", 0),
+    "sdg": ("sdg", 0),
+    "t": ("t", 0),
+    "tdg": ("tdg", 0),
+    "cx": ("x", 1),
+    "cy": ("y", 1),
+    "cz": ("z", 1),
+    "ch": ("h", 1),
+    "ccx": ("x", 2),
+    "swap": ("swap", 0),
+    "cswap": ("swap", 1),
+}
+
+_IMPORT_PARAM = {
+    "rx": ("rx", 0),
+    "ry": ("ry", 0),
+    "rz": ("rz", 0),
+    "u1": ("phase", 0),
+    "p": ("phase", 0),
+    "crz": ("rz", 1),
+    "cu1": ("phase", 1),
+    "cp": ("phase", 1),
+}
+
+
+def _parse_angle(token: str) -> float:
+    token = token.strip().replace(" ", "")
+    safe = {"pi": math.pi, "__builtins__": {}}
+    if not re.fullmatch(r"[-+*/().\deEpi]+", token):
+        raise QasmError(f"cannot parse angle expression {token!r}")
+    try:
+        return float(eval(token, safe))  # noqa: S307 - restricted charset above
+    except Exception as exc:  # pragma: no cover - defensive
+        raise QasmError(f"cannot evaluate angle expression {token!r}") from exc
+
+
+def from_qasm(text: str, name: str = "imported") -> Program:
+    """Parse the supported OpenQASM 2.0 subset back into a :class:`Program`."""
+    program = Program(name)
+    registers: dict[str, object] = {}
+
+    def _resolve(token: str) -> Qubit:
+        match = _OPERAND_RE.match(token.strip())
+        if not match:
+            raise QasmError(f"cannot parse operand {token!r}")
+        register_name = match.group("name")
+        if register_name not in registers:
+            raise QasmError(f"unknown register {register_name!r}")
+        return registers[register_name][int(match.group("index"))]
+
+    for raw_line in text.splitlines():
+        line = raw_line.split("//", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("OPENQASM") or line.startswith("include"):
+            continue
+        if line.startswith("barrier"):
+            program.barrier()
+            continue
+        qreg_match = _QREG_RE.match(line)
+        if qreg_match:
+            register = program.qreg(qreg_match.group("name"), int(qreg_match.group("size")))
+            registers[register.name] = register
+            continue
+        if _CREG_RE.match(line):
+            continue
+        measure_match = _MEASURE_RE.match(line)
+        if measure_match:
+            program.measure(_resolve(measure_match.group("q")))
+            continue
+        if line.startswith("reset"):
+            operand = line[len("reset") :].strip().rstrip(";")
+            program.prep_z(_resolve(operand), 0)
+            continue
+        token_match = _TOKEN_RE.match(line)
+        if not token_match:
+            raise QasmError(f"cannot parse line: {raw_line!r}")
+        gate = token_match.group("gate")
+        params_text = token_match.group("params")
+        operands = [_resolve(tok) for tok in token_match.group("operands").split(",")]
+        if gate in _IMPORT_FIXED:
+            base, num_controls = _IMPORT_FIXED[gate]
+            params: Sequence[float] = ()
+        elif gate in _IMPORT_PARAM:
+            base, num_controls = _IMPORT_PARAM[gate]
+            params = tuple(_parse_angle(tok) for tok in (params_text or "").split(","))
+        elif gate == "u3":
+            base, num_controls = "u3", 0
+            params = tuple(_parse_angle(tok) for tok in (params_text or "").split(","))
+        else:
+            raise QasmError(f"unsupported gate {gate!r} in importer")
+        controls = operands[:num_controls]
+        targets = operands[num_controls:]
+        program.gate(base, targets, controls=controls or None, params=params)
+    return program

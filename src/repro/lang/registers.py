@@ -1,0 +1,121 @@
+"""Quantum and classical registers for the program IR.
+
+The Scaffold listings in the paper declare quantum variables as C-style arrays
+of qubits (``qbit reg[width]``).  The equivalent here is a
+:class:`QuantumRegister`; the individual array elements are :class:`Qubit`
+objects.  Registers are the unit the statistical assertions operate on — an
+assertion names one or two registers (or explicit qubit slices) and the
+checker measures those qubits as a group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+__all__ = ["Qubit", "QuantumRegister", "ClassicalRegister", "flatten_qubits"]
+
+
+@dataclass(frozen=True)
+class Qubit:
+    """One qubit, identified by its register and position within it."""
+
+    register: "QuantumRegister"
+    index: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.index < self.register.size:
+            raise IndexError(
+                f"qubit index {self.index} out of range for register "
+                f"{self.register.name}[{self.register.size}]"
+            )
+
+    def __repr__(self) -> str:
+        return f"{self.register.name}[{self.index}]"
+
+
+class QuantumRegister:
+    """A named, fixed-size array of qubits (a Scaffold ``qbit name[size]``)."""
+
+    def __init__(self, name: str, size: int):
+        if size <= 0:
+            raise ValueError("register size must be positive")
+        if not name or not name.replace("_", "").isalnum() or name[0].isdigit():
+            raise ValueError(f"invalid register name: {name!r}")
+        self.name = name
+        self.size = int(size)
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __getitem__(self, index: int | slice) -> "Qubit | list[Qubit]":
+        if isinstance(index, slice):
+            return [Qubit(self, i) for i in range(*index.indices(self.size))]
+        if index < 0:
+            index += self.size
+        return Qubit(self, index)
+
+    def __iter__(self) -> Iterator[Qubit]:
+        return (Qubit(self, i) for i in range(self.size))
+
+    def __repr__(self) -> str:
+        return f"QuantumRegister({self.name!r}, {self.size})"
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    def qubits(self) -> list[Qubit]:
+        """All qubits, least significant (index 0) first."""
+        return list(self)
+
+
+class ClassicalRegister:
+    """A named array of classical bits holding measurement outcomes."""
+
+    def __init__(self, name: str, size: int):
+        if size <= 0:
+            raise ValueError("register size must be positive")
+        self.name = name
+        self.size = int(size)
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:
+        return f"ClassicalRegister({self.name!r}, {self.size})"
+
+
+def flatten_qubits(
+    operands: QuantumRegister | Qubit | Sequence, allow_empty: bool = False
+) -> list[Qubit]:
+    """Normalise a register / qubit / nested sequence into a flat qubit list.
+
+    Program gate methods and assertion statements accept any of these
+    spellings, mirroring how the Scaffold listings pass either whole arrays or
+    individual elements.
+    """
+    result: list[Qubit] = []
+
+    def _collect(item) -> None:
+        if isinstance(item, QuantumRegister):
+            result.extend(item.qubits())
+        elif isinstance(item, Qubit):
+            result.append(item)
+        elif isinstance(item, Iterable) and not isinstance(item, (str, bytes)):
+            for sub in item:
+                _collect(sub)
+        else:
+            raise TypeError(f"cannot interpret {item!r} as qubits")
+
+    _collect(operands)
+    if not result and not allow_empty:
+        raise ValueError("expected at least one qubit")
+    seen = set()
+    for qubit in result:
+        if qubit in seen:
+            raise ValueError(f"duplicate qubit {qubit} in operand list")
+        seen.add(qubit)
+    return result

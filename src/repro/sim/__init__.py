@@ -1,0 +1,40 @@
+"""Quantum simulation substrate (statevector simulator replacing QX)."""
+
+from . import gates
+from .density import (
+    DensityMatrix,
+    entanglement_entropy,
+    is_product_state,
+    purity,
+    reduced_density_matrix,
+    schmidt_coefficients,
+)
+from .measurement import MeasurementEnsemble, ReadoutErrorModel
+from .statevector import Statevector
+from .unitary import (
+    adder_permutation,
+    dft_matrix,
+    embed_matrix,
+    modular_multiplication_permutation,
+    permutation_matrix,
+    unitary_from_applications,
+)
+
+__all__ = [
+    "gates",
+    "Statevector",
+    "DensityMatrix",
+    "MeasurementEnsemble",
+    "ReadoutErrorModel",
+    "reduced_density_matrix",
+    "purity",
+    "entanglement_entropy",
+    "schmidt_coefficients",
+    "is_product_state",
+    "embed_matrix",
+    "unitary_from_applications",
+    "dft_matrix",
+    "permutation_matrix",
+    "adder_permutation",
+    "modular_multiplication_permutation",
+]

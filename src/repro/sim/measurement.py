@@ -1,0 +1,175 @@
+"""Measurement ensembles and an optional readout-error model.
+
+The paper's assertion checker consumes *ensembles* of classical measurement
+results taken at a breakpoint.  This module provides the container types for
+those ensembles plus a simple readout-error channel used by the extension
+experiments (the paper itself assumes ideal measurements from the QX
+simulator, so the error model defaults to "off").
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+__all__ = [
+    "MeasurementEnsemble",
+    "ReadoutErrorModel",
+    "counts_to_samples",
+    "samples_to_counts",
+]
+
+
+def samples_to_counts(samples: Iterable[int]) -> Counter:
+    """Collapse a sequence of integer outcomes into a ``Counter``."""
+    return Counter(int(s) for s in samples)
+
+
+def counts_to_samples(counts: Mapping[int, int]) -> list[int]:
+    """Expand a counts mapping back into a flat, sorted list of outcomes."""
+    samples: list[int] = []
+    for outcome in sorted(counts):
+        samples.extend([int(outcome)] * int(counts[outcome]))
+    return samples
+
+
+@dataclass
+class MeasurementEnsemble:
+    """A set of repeated measurements of one group of qubits.
+
+    Attributes
+    ----------
+    num_bits:
+        Number of qubits measured; outcomes are integers in ``[0, 2**num_bits)``.
+    samples:
+        One integer outcome per program execution (ensemble member).
+    label:
+        Human readable name of the measured quantum variable (register name).
+    """
+
+    num_bits: int
+    samples: list[int] = field(default_factory=list)
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        limit = 1 << self.num_bits
+        for sample in self.samples:
+            if not 0 <= sample < limit:
+                raise ValueError(
+                    f"sample {sample} out of range for {self.num_bits} bits"
+                )
+
+    @property
+    def num_samples(self) -> int:
+        return len(self.samples)
+
+    @property
+    def num_outcomes(self) -> int:
+        return 1 << self.num_bits
+
+    def counts(self) -> Counter:
+        return samples_to_counts(self.samples)
+
+    def frequencies(self) -> np.ndarray:
+        """Observed outcome frequencies as a dense array of length ``2**num_bits``."""
+        freq = np.zeros(self.num_outcomes, dtype=float)
+        for outcome, count in self.counts().items():
+            freq[outcome] = count
+        return freq
+
+    def empirical_distribution(self) -> np.ndarray:
+        freq = self.frequencies()
+        total = freq.sum()
+        if total == 0:
+            raise ValueError("empty ensemble has no empirical distribution")
+        return freq / total
+
+    def extract_bits(self, bit_positions: Sequence[int]) -> "MeasurementEnsemble":
+        """Project the ensemble onto a subset of measured bits.
+
+        ``bit_positions[j]`` becomes bit ``j`` of the new outcomes.  This is
+        how the checker slices a joint measurement of all qubits into the
+        per-register ensembles the assertions need.
+        """
+        new_samples = []
+        for sample in self.samples:
+            value = 0
+            for j, position in enumerate(bit_positions):
+                value |= ((sample >> position) & 1) << j
+            new_samples.append(value)
+        return MeasurementEnsemble(
+            num_bits=len(bit_positions), samples=new_samples, label=self.label
+        )
+
+    def extend(self, other: "MeasurementEnsemble") -> "MeasurementEnsemble":
+        if other.num_bits != self.num_bits:
+            raise ValueError("ensembles measure different numbers of bits")
+        return MeasurementEnsemble(
+            num_bits=self.num_bits,
+            samples=list(self.samples) + list(other.samples),
+            label=self.label or other.label,
+        )
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def __iter__(self):
+        return iter(self.samples)
+
+
+@dataclass(frozen=True)
+class ReadoutErrorModel:
+    """Independent symmetric bit-flip readout errors.
+
+    ``p01`` is the probability that a qubit prepared in 0 reads out as 1 and
+    ``p10`` the probability that a 1 reads out as 0.  The paper's experiments
+    are noise free; this model exists for the ablation benchmarks that study
+    how robust the statistical assertions are to measurement noise.
+    """
+
+    p01: float = 0.0
+    p10: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name, value in (("p01", self.p01), ("p10", self.p10)):
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {value}")
+
+    @property
+    def is_ideal(self) -> bool:
+        return self.p01 == 0.0 and self.p10 == 0.0
+
+    def corrupt(
+        self,
+        samples: Sequence[int],
+        num_bits: int,
+        rng: np.random.Generator | int | None = None,
+    ) -> list[int]:
+        """Apply the readout channel to a list of integer outcomes."""
+        if self.is_ideal:
+            return [int(s) for s in samples]
+        generator = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        corrupted = []
+        for sample in samples:
+            value = int(sample)
+            for bit in range(num_bits):
+                current = (value >> bit) & 1
+                flip_probability = self.p01 if current == 0 else self.p10
+                if generator.random() < flip_probability:
+                    value ^= 1 << bit
+            corrupted.append(value)
+        return corrupted
+
+    def corrupt_ensemble(
+        self,
+        ensemble: MeasurementEnsemble,
+        rng: np.random.Generator | int | None = None,
+    ) -> MeasurementEnsemble:
+        return MeasurementEnsemble(
+            num_bits=ensemble.num_bits,
+            samples=self.corrupt(ensemble.samples, ensemble.num_bits, rng),
+            label=ensemble.label,
+        )

@@ -1,0 +1,19 @@
+"""Experiment workloads: detection-rate sweeps and assertion cost accounting."""
+
+from .ensembles import (
+    DetectionResult,
+    assertion_cost,
+    detection_rate,
+    ensemble_size_sweep,
+    false_positive_rate,
+    significance_sweep,
+)
+
+__all__ = [
+    "DetectionResult",
+    "detection_rate",
+    "false_positive_rate",
+    "ensemble_size_sweep",
+    "significance_sweep",
+    "assertion_cost",
+]

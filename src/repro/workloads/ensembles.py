@@ -1,0 +1,178 @@
+"""Experiment harness: detection-rate sweeps and assertion-cost accounting.
+
+The paper reports point results (specific p-values at an ensemble size of 16).
+The natural follow-up questions — how reliably does each assertion catch its
+bug as a function of ensemble size, and what does assertion checking cost in
+simulated gates — are answered by the sweeps in this module, which back the
+ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..compiler.splitter import split_at_assertions
+from ..core.checker import StatisticalAssertionChecker
+from ..lang.program import Program
+
+__all__ = [
+    "DetectionResult",
+    "detection_rate",
+    "false_positive_rate",
+    "ensemble_size_sweep",
+    "assertion_cost",
+    "significance_sweep",
+]
+
+
+@dataclass(frozen=True)
+class DetectionResult:
+    """Outcome of repeated assertion-checking runs on one program."""
+
+    program_name: str
+    ensemble_size: int
+    trials: int
+    num_failing_runs: int
+
+    @property
+    def failure_fraction(self) -> float:
+        return self.num_failing_runs / self.trials if self.trials else 0.0
+
+    @property
+    def pass_fraction(self) -> float:
+        return 1.0 - self.failure_fraction
+
+
+def _repeat_checks(
+    build_program: Callable[[], Program] | Program,
+    ensemble_size: int,
+    trials: int,
+    significance: float,
+    rng: np.random.Generator | int | None,
+) -> DetectionResult:
+    generator = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    program = build_program() if callable(build_program) else build_program
+    failing = 0
+    for _ in range(trials):
+        checker = StatisticalAssertionChecker(
+            program,
+            ensemble_size=ensemble_size,
+            significance=significance,
+            rng=generator,
+        )
+        report = checker.run()
+        if not report.passed:
+            failing += 1
+    return DetectionResult(
+        program_name=program.name,
+        ensemble_size=ensemble_size,
+        trials=trials,
+        num_failing_runs=failing,
+    )
+
+
+def detection_rate(
+    build_buggy_program: Callable[[], Program] | Program,
+    ensemble_size: int = 16,
+    trials: int = 20,
+    significance: float = 0.05,
+    rng: np.random.Generator | int | None = None,
+) -> float:
+    """Fraction of checking runs on a *buggy* program in which some assertion fails."""
+    result = _repeat_checks(build_buggy_program, ensemble_size, trials, significance, rng)
+    return result.failure_fraction
+
+
+def false_positive_rate(
+    build_correct_program: Callable[[], Program] | Program,
+    ensemble_size: int = 16,
+    trials: int = 20,
+    significance: float = 0.05,
+    rng: np.random.Generator | int | None = None,
+) -> float:
+    """Fraction of checking runs on a *correct* program in which some assertion fails."""
+    result = _repeat_checks(build_correct_program, ensemble_size, trials, significance, rng)
+    return result.failure_fraction
+
+
+def ensemble_size_sweep(
+    build_correct_program: Callable[[], Program] | Program,
+    build_buggy_program: Callable[[], Program] | Program,
+    sizes: Sequence[int] = (4, 8, 16, 32, 64),
+    trials: int = 20,
+    significance: float = 0.05,
+    rng: np.random.Generator | int | None = None,
+) -> list[dict]:
+    """Detection rate and false-positive rate as functions of the ensemble size."""
+    generator = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    rows = []
+    for size in sizes:
+        detection = detection_rate(
+            build_buggy_program, ensemble_size=size, trials=trials,
+            significance=significance, rng=generator,
+        )
+        false_positive = false_positive_rate(
+            build_correct_program, ensemble_size=size, trials=trials,
+            significance=significance, rng=generator,
+        )
+        rows.append(
+            {
+                "ensemble_size": size,
+                "detection_rate": detection,
+                "false_positive_rate": false_positive,
+            }
+        )
+    return rows
+
+
+def significance_sweep(
+    build_correct_program: Callable[[], Program] | Program,
+    build_buggy_program: Callable[[], Program] | Program,
+    significances: Sequence[float] = (0.01, 0.05, 0.10),
+    ensemble_size: int = 16,
+    trials: int = 20,
+    rng: np.random.Generator | int | None = None,
+) -> list[dict]:
+    """Detection/false-positive trade-off as the significance level varies."""
+    generator = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    rows = []
+    for significance in significances:
+        rows.append(
+            {
+                "significance": significance,
+                "detection_rate": detection_rate(
+                    build_buggy_program, ensemble_size=ensemble_size, trials=trials,
+                    significance=significance, rng=generator,
+                ),
+                "false_positive_rate": false_positive_rate(
+                    build_correct_program, ensemble_size=ensemble_size, trials=trials,
+                    significance=significance, rng=generator,
+                ),
+            }
+        )
+    return rows
+
+
+def assertion_cost(program: Program, ensemble_size: int = 16) -> dict:
+    """Cost model of checking a program's assertions.
+
+    The paper's methodology re-simulates the program prefix once per
+    breakpoint, so the dominant cost is the total number of simulated gates
+    summed over breakpoints, multiplied by the ensemble size when the faithful
+    "rerun" mode is used.
+    """
+    breakpoints = split_at_assertions(program)
+    gates_per_breakpoint = [bp.gates_before for bp in breakpoints]
+    total_prefix_gates = int(sum(gates_per_breakpoint))
+    return {
+        "program": program.name,
+        "num_assertions": len(breakpoints),
+        "program_gates": program.num_gates(),
+        "gates_per_breakpoint": gates_per_breakpoint,
+        "total_prefix_gates": total_prefix_gates,
+        "sample_mode_simulated_gates": total_prefix_gates,
+        "rerun_mode_simulated_gates": total_prefix_gates * ensemble_size,
+    }

@@ -1,0 +1,20 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.chemistry import build_h2_qubit_hamiltonian
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator for reproducible statistical tests."""
+    return np.random.default_rng(20190622)  # ISCA'19 dates
+
+
+@pytest.fixture(scope="session")
+def h2_hamiltonian():
+    """The 4-qubit H2 Hamiltonian (built once per session; it is static data)."""
+    return build_h2_qubit_hamiltonian()

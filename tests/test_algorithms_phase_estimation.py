@@ -1,0 +1,99 @@
+"""Tests for textbook QPE and iterative phase estimation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms.phase_estimation import (
+    IterativePhaseEstimator,
+    build_qpe_program,
+    phase_to_value,
+    qpe_phase_distribution,
+)
+from repro.lang import Program
+
+
+def make_phase_oracle(phase: float):
+    """Controlled powers of a diagonal unitary with known eigenphase."""
+
+    def apply(program: Program, control, system, power: int) -> None:
+        program.cphase(control, system[0], 2 * math.pi * phase * power)
+
+    return apply
+
+
+def prepare_one(program: Program, system) -> None:
+    program.x(system[0])
+
+
+class TestQpe:
+    @pytest.mark.parametrize("phase_bits,phase", [(3, 0.125), (3, 0.375), (4, 0.6875)])
+    def test_exact_phase_read_out(self, phase_bits, phase):
+        program, phase_register, _ = build_qpe_program(
+            phase_bits, 1, make_phase_oracle(phase), prepare_one
+        )
+        distribution = qpe_phase_distribution(program, phase_register)
+        peak = int(np.argmax(distribution))
+        assert distribution[peak] == pytest.approx(1.0, abs=1e-9)
+        assert phase_to_value(peak, phase_bits) == pytest.approx(phase)
+
+    def test_inexact_phase_peaks_at_nearest_value(self):
+        phase = 0.3  # not representable in 3 bits
+        program, phase_register, _ = build_qpe_program(
+            3, 1, make_phase_oracle(phase), prepare_one
+        )
+        distribution = qpe_phase_distribution(program, phase_register)
+        peak = int(np.argmax(distribution))
+        assert abs(phase_to_value(peak, 3) - phase) <= 1 / 8
+        assert distribution[peak] > 0.4
+
+    def test_eigenstate_zero_gives_zero_phase(self):
+        # |0> is an eigenstate of the phase gate with eigenvalue 1.
+        program, phase_register, _ = build_qpe_program(
+            3, 1, make_phase_oracle(0.375), prepare_system=None
+        )
+        distribution = qpe_phase_distribution(program, phase_register)
+        assert int(np.argmax(distribution)) == 0
+
+
+class TestIpe:
+    @pytest.mark.parametrize("phase", [0.0, 0.5, 0.3125, 0.8125])
+    def test_exact_phases_recovered(self, phase):
+        estimator = IterativePhaseEstimator(
+            1, make_phase_oracle(phase), prepare_one, num_bits=4
+        )
+        result = estimator.estimate()
+        assert result.phase == pytest.approx(phase)
+        assert len(result.bits) == 4
+        assert len(result.per_round_probabilities) == 4
+
+    def test_bits_are_msb_first(self):
+        estimator = IterativePhaseEstimator(
+            1, make_phase_oracle(0.75), prepare_one, num_bits=2
+        )
+        result = estimator.estimate()
+        assert result.bits == [1, 1]
+
+    def test_sampled_mode_with_many_shots_matches_exact(self, rng):
+        estimator = IterativePhaseEstimator(
+            1, make_phase_oracle(0.4375), prepare_one, num_bits=4
+        )
+        exact = estimator.estimate()
+        sampled = estimator.estimate(rng=rng, shots=200)
+        assert sampled.phase == pytest.approx(exact.phase)
+
+    def test_precision_refines_towards_true_phase(self):
+        phase = 0.3
+        errors = []
+        for bits in (2, 4, 6):
+            estimator = IterativePhaseEstimator(
+                1, make_phase_oracle(phase), prepare_one, num_bits=bits
+            )
+            errors.append(abs(estimator.estimate().phase - phase))
+        assert errors[2] <= errors[0]
+        assert errors[2] <= 1 / (1 << 6)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            IterativePhaseEstimator(1, make_phase_oracle(0.1), prepare_one, num_bits=0)

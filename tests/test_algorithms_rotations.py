@@ -1,0 +1,79 @@
+"""Tests for the controlled-rotation decompositions of Figure 3 / Table 1."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms.rotations import (
+    VARIANTS,
+    build_controlled_rz_variant,
+    controlled_phase_matrix,
+    controlled_rz_matrix,
+    variant_is_correct,
+    variant_matrix,
+)
+from repro.sim import gates
+
+
+class TestReferenceMatrices:
+    def test_controlled_rz_structure(self):
+        matrix = controlled_rz_matrix(0.8)
+        # Control is qubit 0 (the low bit), so the control-0 subspace is the
+        # even basis indices, which the gate must leave untouched.
+        assert np.allclose(matrix[np.ix_([0, 2], [0, 2])], np.eye(2))
+        assert np.allclose(matrix[np.ix_([1, 3], [1, 3])], gates.rz(0.8))
+        assert gates.is_unitary(matrix)
+
+    def test_controlled_phase_structure(self):
+        theta = 0.8
+        matrix = controlled_phase_matrix(theta)
+        expected = np.diag([1, 1, 1, np.exp(1j * theta)])
+        assert np.allclose(matrix, expected)
+
+
+class TestTable1Variants:
+    @pytest.mark.parametrize("angle", [math.pi / 2, math.pi / 8, 1.1, -0.7])
+    def test_both_correct_variants_agree(self, angle):
+        a = variant_matrix(angle, "drop_a")
+        c = variant_matrix(angle, "drop_c")
+        assert np.allclose(a, c, atol=1e-10)
+
+    @pytest.mark.parametrize("angle", [math.pi / 2, math.pi / 8, 1.1])
+    @pytest.mark.parametrize("variant", ["drop_a", "drop_c"])
+    def test_correct_variants_implement_controlled_rotation(self, angle, variant):
+        assert variant_is_correct(angle, variant)
+
+    @pytest.mark.parametrize("angle", [math.pi / 2, math.pi / 8, 1.1])
+    def test_flipped_variant_is_wrong(self, angle):
+        assert not variant_is_correct(angle, "flipped")
+
+    def test_flipped_variant_rotates_in_opposite_direction(self):
+        angle = math.pi / 4
+        flipped = variant_matrix(angle, "flipped")
+        correct_for_negative_angle = variant_matrix(-angle, "drop_a")
+        # The flipped decomposition is the correct decomposition of the
+        # *negated* angle, up to the trailing D rotation on the control.
+        d_difference = np.kron(np.eye(2), gates.rz(angle))
+        assert np.allclose(flipped, d_difference @ correct_for_negative_angle, atol=1e-10)
+
+    def test_correct_variants_equal_controlled_phase_up_to_global_phase(self):
+        angle = 0.9
+        candidate = variant_matrix(angle, "drop_a")
+        assert gates.gates_equal_up_to_global_phase(candidate, controlled_phase_matrix(angle))
+
+    def test_flipped_differs_from_controlled_phase(self):
+        angle = 0.9
+        candidate = variant_matrix(angle, "flipped")
+        assert not gates.gates_equal_up_to_global_phase(candidate, controlled_phase_matrix(angle))
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError):
+            build_controlled_rz_variant(0.5, "drop_b")
+
+    def test_variant_list(self):
+        assert set(VARIANTS) == {"drop_a", "drop_c", "flipped"}
+
+    def test_zero_angle_everything_is_identity(self):
+        for variant in VARIANTS:
+            assert np.allclose(variant_matrix(0.0, variant), np.eye(4), atol=1e-12)

@@ -1,0 +1,125 @@
+"""Tests for the H2 Hamiltonian construction and its exact spectrum."""
+
+import numpy as np
+import pytest
+
+from repro.chemistry import (
+    ASSIGNMENT_LEVELS,
+    ELECTRON_ASSIGNMENTS,
+    WHITFIELD_INTEGRALS,
+    assignment_expectation_energy,
+    assignment_to_basis_state,
+    build_h2_fermion_hamiltonian,
+    build_h2_qubit_hamiltonian,
+    dominant_eigenstate_energy,
+    exact_eigenvalues,
+    two_electron_eigenvalues,
+)
+
+
+class TestIntegrals:
+    def test_integral_symmetry(self):
+        integrals = WHITFIELD_INTEGRALS
+        assert integrals.v(0, 0, 1, 1) == integrals.v(1, 1, 0, 0)
+        assert integrals.v(0, 1, 0, 1) == integrals.v(1, 0, 1, 0)
+        assert integrals.v(0, 1, 1, 1) == 0.0
+
+    def test_one_body_values(self):
+        assert WHITFIELD_INTEGRALS.h(0, 0) == pytest.approx(-1.252477)
+        assert WHITFIELD_INTEGRALS.h(1, 1) == pytest.approx(-0.475934)
+        assert WHITFIELD_INTEGRALS.h(0, 1) == 0.0
+
+    def test_nuclear_repulsion(self):
+        assert WHITFIELD_INTEGRALS.nuclear_repulsion == pytest.approx(1 / 1.401)
+
+
+class TestHamiltonianConstruction:
+    def test_fermionic_hamiltonian_is_hermitian(self):
+        assert build_h2_fermion_hamiltonian().is_hermitian()
+
+    def test_qubit_hamiltonian_is_hermitian_with_15_terms(self, h2_hamiltonian):
+        simplified = h2_hamiltonian.simplify()
+        assert simplified.is_hermitian()
+        assert len(simplified) == 15
+
+    def test_jordan_wigner_matches_fermionic_matrix(self, h2_hamiltonian):
+        fermionic = build_h2_fermion_hamiltonian()
+        dense = fermionic.to_matrix(4) + np.eye(16) * WHITFIELD_INTEGRALS.nuclear_repulsion
+        assert np.allclose(h2_hamiltonian.to_matrix(), dense, atol=1e-9)
+
+    def test_hamiltonian_conserves_particle_number(self, h2_hamiltonian):
+        matrix = h2_hamiltonian.to_matrix()
+        for bra in range(16):
+            for ket in range(16):
+                if bin(bra).count("1") != bin(ket).count("1"):
+                    assert abs(matrix[bra, ket]) < 1e-10
+
+    def test_ground_state_energy_matches_fci_reference(self, h2_hamiltonian):
+        """The FCI/STO-3G total energy of H2 near equilibrium is about -1.137 Ha."""
+        assert exact_eigenvalues(h2_hamiltonian)[0] == pytest.approx(-1.1373, abs=2e-3)
+
+    def test_hartree_fock_energy(self, h2_hamiltonian):
+        """<1100|H|1100> is the restricted Hartree-Fock energy, about -1.117 Ha."""
+        hf = assignment_expectation_energy(h2_hamiltonian, ELECTRON_ASSIGNMENTS["G"])
+        assert hf == pytest.approx(-1.1167, abs=2e-3)
+
+    def test_excluding_nuclear_repulsion_shifts_spectrum(self):
+        with_nuclear = build_h2_qubit_hamiltonian(include_nuclear_repulsion=True)
+        without = build_h2_qubit_hamiltonian(include_nuclear_repulsion=False)
+        shift = WHITFIELD_INTEGRALS.nuclear_repulsion
+        assert np.allclose(
+            exact_eigenvalues(with_nuclear), exact_eigenvalues(without) + shift, atol=1e-9
+        )
+
+
+class TestTable5Structure:
+    def test_assignment_encoding(self):
+        assert assignment_to_basis_state((1, 1, 0, 0)) == 3
+        assert assignment_to_basis_state((0, 0, 1, 1)) == 12
+        with pytest.raises(ValueError):
+            assignment_to_basis_state((1, 2, 0, 0))
+
+    def test_six_assignments_map_to_four_levels(self):
+        assert len(ELECTRON_ASSIGNMENTS) == 6
+        assert set(ASSIGNMENT_LEVELS.values()) == {"G", "E1", "E2", "E3"}
+
+    def test_two_electron_sector_has_four_distinct_levels(self, h2_hamiltonian):
+        eigenvalues = two_electron_eigenvalues(h2_hamiltonian)
+        distinct = np.unique(np.round(eigenvalues, 6))
+        assert len(eigenvalues) == 6
+        assert len(distinct) == 4
+
+    def test_paired_assignments_have_equal_expectation_energy(self, h2_hamiltonian):
+        """Section 5.2.2 symmetry check: both E1 (and both E2) assignments agree."""
+        e1a = assignment_expectation_energy(h2_hamiltonian, ELECTRON_ASSIGNMENTS["E1a"])
+        e1b = assignment_expectation_energy(h2_hamiltonian, ELECTRON_ASSIGNMENTS["E1b"])
+        e2a = assignment_expectation_energy(h2_hamiltonian, ELECTRON_ASSIGNMENTS["E2a"])
+        e2b = assignment_expectation_energy(h2_hamiltonian, ELECTRON_ASSIGNMENTS["E2b"])
+        assert e1a == pytest.approx(e1b, abs=1e-9)
+        assert e2a == pytest.approx(e2b, abs=1e-9)
+
+    def test_level_ordering_matches_table5(self, h2_hamiltonian):
+        energies = {
+            level: assignment_expectation_energy(h2_hamiltonian, occupation)
+            for level, occupation in [
+                ("G", ELECTRON_ASSIGNMENTS["G"]),
+                ("E1", ELECTRON_ASSIGNMENTS["E1a"]),
+                ("E2", ELECTRON_ASSIGNMENTS["E2a"]),
+                ("E3", ELECTRON_ASSIGNMENTS["E3"]),
+            ]
+        }
+        assert energies["G"] < energies["E1"] < energies["E2"] < energies["E3"]
+
+    def test_e1_assignments_are_exact_eigenstates(self, h2_hamiltonian):
+        for name in ("E1a", "E1b"):
+            _, overlap = dominant_eigenstate_energy(
+                h2_hamiltonian, ELECTRON_ASSIGNMENTS[name]
+            )
+            assert overlap == pytest.approx(1.0)
+
+    def test_ground_assignment_strongly_overlaps_ground_state(self, h2_hamiltonian):
+        energy, overlap = dominant_eigenstate_energy(
+            h2_hamiltonian, ELECTRON_ASSIGNMENTS["G"]
+        )
+        assert overlap > 0.95
+        assert energy == pytest.approx(exact_eigenvalues(h2_hamiltonian)[0])

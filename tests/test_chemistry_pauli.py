@@ -1,0 +1,144 @@
+"""Tests for the Pauli-string algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chemistry import PauliString, PauliSum
+from repro.sim import Statevector, gates
+
+
+pauli_labels = st.text(alphabet="IXYZ", min_size=1, max_size=4)
+
+
+class TestPauliString:
+    def test_construction_and_label(self):
+        pauli = PauliString.from_label("XZI", coefficient=2.0)
+        assert pauli.label() == "XZI"
+        assert pauli.num_qubits == 3
+        assert pauli.support() == [0, 1]
+        assert pauli.weight() == 2
+
+    def test_invalid_label(self):
+        with pytest.raises(ValueError):
+            PauliString.from_label("XQ")
+
+    def test_from_terms_sparse(self):
+        pauli = PauliString.from_terms({2: "Y"}, num_qubits=3)
+        assert pauli.label() == "IIY"
+        with pytest.raises(ValueError):
+            PauliString.from_terms({5: "X"}, num_qubits=3)
+
+    def test_identity(self):
+        identity = PauliString.identity(3, coefficient=0.5)
+        assert identity.is_identity
+        assert identity.to_matrix().shape == (8, 8)
+        assert np.allclose(identity.to_matrix(), 0.5 * np.eye(8))
+
+    def test_single_qubit_matrices(self):
+        assert np.allclose(PauliString.from_label("X").to_matrix(), gates.X)
+        assert np.allclose(PauliString.from_label("Y").to_matrix(), gates.Y)
+        assert np.allclose(PauliString.from_label("Z").to_matrix(), gates.Z)
+
+    def test_two_qubit_matrix_ordering(self):
+        # label "XI": X acts on qubit 0 (low bit).
+        matrix = PauliString.from_label("XI").to_matrix()
+        assert np.allclose(matrix, np.kron(np.eye(2), gates.X))
+
+    def test_multiplication_phases(self):
+        x = PauliString.from_label("X")
+        y = PauliString.from_label("Y")
+        z = PauliString.from_label("Z")
+        assert (x * y).label() == "Z"
+        assert (x * y).coefficient == pytest.approx(1j)
+        assert (y * x).coefficient == pytest.approx(-1j)
+        assert (z * z).label() == "I"
+
+    def test_scalar_multiplication(self):
+        pauli = 2.0 * PauliString.from_label("ZZ")
+        assert pauli.coefficient == 2.0
+        assert (-pauli).coefficient == -2.0
+
+    def test_commutation(self):
+        assert PauliString.from_label("XX").commutes_with(PauliString.from_label("YY"))
+        assert not PauliString.from_label("XI").commutes_with(PauliString.from_label("ZI"))
+        assert PauliString.from_label("XZ").commutes_with(PauliString.from_label("XZ"))
+
+    def test_expectation_on_basis_state(self):
+        state = Statevector.from_int(0b01, 2)
+        z0 = PauliString.from_label("ZI")
+        z1 = PauliString.from_label("IZ")
+        assert z0.expectation(state) == pytest.approx(-1.0)
+        assert z1.expectation(state) == pytest.approx(+1.0)
+
+    def test_expectation_identity(self):
+        state = Statevector.uniform_superposition(2)
+        assert PauliString.identity(2, 3.5).expectation(state) == pytest.approx(3.5)
+
+    @given(label_a=pauli_labels, label_b=pauli_labels)
+    @settings(max_examples=60, deadline=None)
+    def test_product_matches_matrix_product(self, label_a, label_b):
+        n = min(len(label_a), len(label_b))
+        a = PauliString.from_label(label_a[:n])
+        b = PauliString.from_label(label_b[:n])
+        product = a * b
+        assert np.allclose(product.to_matrix(), a.to_matrix() @ b.to_matrix(), atol=1e-10)
+
+
+class TestPauliSum:
+    def test_simplify_combines_terms(self):
+        total = PauliSum(
+            [
+                PauliString.from_label("XZ", 1.0),
+                PauliString.from_label("XZ", 2.0),
+                PauliString.from_label("ZZ", 1e-15),
+            ]
+        )
+        simplified = total.simplify()
+        assert len(simplified) == 1
+        assert simplified.terms[0].coefficient == pytest.approx(3.0)
+
+    def test_addition_and_subtraction(self):
+        a = PauliSum([PauliString.from_label("X")])
+        b = PauliSum([PauliString.from_label("Z")])
+        combined = a + b
+        assert len(combined) == 2
+        difference = (a + b) - b
+        assert len(difference.simplify()) == 1
+
+    def test_scalar_multiplication(self):
+        total = 2.0 * PauliSum([PauliString.from_label("Z", 1.5)])
+        assert total.terms[0].coefficient == pytest.approx(3.0)
+
+    def test_identity_coefficient(self):
+        total = PauliSum(
+            [PauliString.identity(2, 0.25), PauliString.from_label("ZZ", 1.0)]
+        )
+        assert total.identity_coefficient() == pytest.approx(0.25)
+        assert len(total.non_identity_terms()) == 1
+
+    def test_matrix_and_eigenvalues(self):
+        total = PauliSum([PauliString.from_label("Z", 1.0), PauliString.identity(1, 2.0)])
+        assert np.allclose(total.to_matrix(), np.diag([3.0, 1.0]))
+        assert np.allclose(total.eigenvalues(), [1.0, 3.0])
+        assert total.ground_state_energy() == pytest.approx(1.0)
+
+    def test_expectation(self):
+        total = PauliSum([PauliString.from_label("ZZ", 0.5)])
+        state = Statevector.from_int(0b01, 2)
+        assert total.expectation(state) == pytest.approx(-0.5)
+
+    def test_hermiticity_check(self):
+        hermitian = PauliSum([PauliString.from_label("XY", 1.0)])
+        assert hermitian.is_hermitian()
+        not_hermitian = PauliSum([PauliString.from_label("XY", 1.0j)])
+        assert not not_hermitian.is_hermitian()
+
+    def test_mixed_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            PauliSum([PauliString.from_label("X"), PauliString.from_label("XX")])
+
+    def test_describe(self):
+        total = PauliSum([PauliString.from_label("ZZ", -0.5)])
+        assert "ZZ" in total.describe()

@@ -1,0 +1,194 @@
+"""Tests for Trotterised evolution and the H2 energy estimators."""
+
+import math
+
+import numpy as np
+import pytest
+from scipy.linalg import expm
+
+from repro.chemistry import (
+    ELECTRON_ASSIGNMENTS,
+    H2EnergyEstimator,
+    PauliString,
+    PauliSum,
+    append_evolution,
+    append_pauli_evolution,
+    append_trotter_step,
+    build_h2_qubit_hamiltonian,
+    precision_convergence,
+    table5_rows,
+    trotter_convergence,
+)
+from repro.lang import Program
+
+
+class TestPauliEvolution:
+    @pytest.mark.parametrize("label", ["Z", "X", "Y", "XX", "YZ", "XYZ", "ZIZ"])
+    @pytest.mark.parametrize("angle", [0.3, -1.2])
+    def test_single_term_evolution_matches_expm(self, label, angle):
+        pauli = PauliString.from_label(label)
+        program = Program()
+        q = program.qreg("q", len(label))
+        append_pauli_evolution(program, pauli, angle, list(q))
+        reference = expm(-1j * angle * pauli.to_matrix())
+        assert np.allclose(program.unitary(), reference, atol=1e-9)
+
+    def test_identity_term_uncontrolled_is_noop(self):
+        program = Program()
+        q = program.qreg("q", 2)
+        append_pauli_evolution(program, PauliString.identity(2), 0.7, list(q))
+        assert program.num_gates() == 0
+
+    def test_identity_term_controlled_kicks_phase_back(self):
+        program = Program()
+        c = program.qreg("c", 1)
+        q = program.qreg("q", 1)
+        append_pauli_evolution(program, PauliString.identity(1), 0.7, [q[0]], control=c[0])
+        matrix = program.unitary()
+        # The control qubit acquires exp(-i*0.7) on its |1> branch.
+        assert matrix[1, 1] == pytest.approx(np.exp(-0.7j))
+
+    def test_controlled_evolution_identity_when_control_zero(self):
+        pauli = PauliString.from_label("XY")
+        program = Program()
+        c = program.qreg("c", 1)
+        q = program.qreg("q", 2)
+        append_pauli_evolution(program, pauli, 0.9, list(q), control=c[0])
+        state = program.simulate()
+        assert state.amplitude(0) == pytest.approx(1.0)
+
+    def test_controlled_evolution_matches_block_matrix(self):
+        pauli = PauliString.from_label("ZX")
+        angle = 0.53
+        program = Program()
+        c = program.qreg("c", 1)
+        q = program.qreg("q", 2)
+        append_pauli_evolution(program, pauli, angle, list(q), control=c[0])
+        matrix = program.unitary()
+        # Control = qubit 0: odd rows/columns form the exp(-i angle P) block.
+        block = matrix[np.ix_([1, 3, 5, 7], [1, 3, 5, 7])]
+        assert np.allclose(block, expm(-1j * angle * pauli.to_matrix()), atol=1e-9)
+
+    def test_size_mismatch_rejected(self):
+        program = Program()
+        q = program.qreg("q", 1)
+        with pytest.raises(ValueError):
+            append_pauli_evolution(program, PauliString.from_label("XX"), 0.1, list(q))
+
+
+class TestTrotterisation:
+    def _two_term_hamiltonian(self):
+        return PauliSum(
+            [PauliString.from_label("XI", 0.3), PauliString.from_label("ZZ", -0.7)]
+        )
+
+    def test_commuting_hamiltonian_is_exact(self):
+        hamiltonian = PauliSum(
+            [PauliString.from_label("ZI", 0.4), PauliString.from_label("ZZ", 0.2)]
+        )
+        program = Program()
+        q = program.qreg("q", 2)
+        append_evolution(program, hamiltonian, 1.3, list(q), trotter_steps=1)
+        reference = expm(-1.3j * hamiltonian.to_matrix())
+        assert np.allclose(program.unitary(), reference, atol=1e-9)
+
+    def test_error_decreases_with_more_steps(self):
+        hamiltonian = self._two_term_hamiltonian()
+        reference = expm(-1j * hamiltonian.to_matrix())
+        errors = []
+        for steps in (1, 4, 16):
+            program = Program()
+            q = program.qreg("q", 2)
+            append_evolution(program, hamiltonian, 1.0, list(q), trotter_steps=steps)
+            errors.append(np.linalg.norm(program.unitary() - reference))
+        assert errors[1] < errors[0]
+        assert errors[2] < errors[1]
+
+    def test_complex_coefficients_rejected(self):
+        bad = PauliSum([PauliString.from_label("X", 1.0j)])
+        program = Program()
+        q = program.qreg("q", 1)
+        with pytest.raises(ValueError):
+            append_trotter_step(program, bad, 1.0, list(q))
+
+    def test_invalid_step_count(self):
+        program = Program()
+        q = program.qreg("q", 1)
+        with pytest.raises(ValueError):
+            append_evolution(program, PauliSum([PauliString.from_label("X")]), 1.0, list(q), 0)
+
+    def test_h2_controlled_evolution_phase_matches_eigenvalue(self, h2_hamiltonian):
+        """Controlled-U on an eigenstate kicks exp(-i E t) onto the control."""
+        time = 0.7
+        occupation = ELECTRON_ASSIGNMENTS["E1a"]  # an exact eigenstate
+        program = Program()
+        c = program.qreg("c", 1)
+        q = program.qreg("q", 4)
+        program.h(c[0])
+        for index, bit in enumerate(occupation):
+            if bit:
+                program.x(q[index])
+        append_evolution(
+            program, h2_hamiltonian, time, list(q), trotter_steps=64, control=c[0]
+        )
+        state = program.simulate()
+        # Phase difference between the |0> and |1> branches of the control.
+        c_index = program.qubit_index(c[0])
+        basis = sum(bit << (program.qubit_index(q[i]) ) for i, bit in enumerate(occupation))
+        amp0 = state.amplitude(basis)
+        amp1 = state.amplitude(basis | (1 << c_index))
+        measured_phase = np.angle(amp1 / amp0)
+        expected_energy = -0.5325  # triplet level (see test_chemistry_h2)
+        expected_phase = (-expected_energy * time + np.pi) % (2 * np.pi) - np.pi
+        assert measured_phase == pytest.approx(expected_phase, abs=0.05)
+
+
+class TestEnergyEstimators:
+    @pytest.fixture(scope="class")
+    def estimator(self):
+        return H2EnergyEstimator(num_bits=5, trotter_steps_per_unit=2)
+
+    def test_ipe_ground_state_energy(self, estimator):
+        estimate = estimator.estimate_ipe(ELECTRON_ASSIGNMENTS["G"])
+        assert estimate.energy == pytest.approx(-1.137, abs=0.15)
+        assert estimate.method == "ipe"
+
+    def test_ipe_triplet_energy(self, estimator):
+        estimate = estimator.estimate_ipe(ELECTRON_ASSIGNMENTS["E1a"])
+        assert estimate.energy == pytest.approx(-0.5325, abs=0.15)
+
+    def test_qpe_peak_probability_reasonable(self, estimator):
+        estimate = estimator.estimate_qpe(ELECTRON_ASSIGNMENTS["E1b"])
+        assert estimate.details["peak_probability"] > 0.4
+        assert estimate.details["peak_energy"] == pytest.approx(-0.5325, abs=0.2)
+
+    def test_table5_rows_reproduce_structure(self):
+        rows = table5_rows(H2EnergyEstimator(num_bits=5, trotter_steps_per_unit=2))
+        assert len(rows) == 6
+        by_level = {}
+        for row in rows:
+            by_level.setdefault(row["level"], []).append(row["qpe_energy"])
+        # Paired assignments give the same energy.
+        assert by_level["E1"][0] == pytest.approx(by_level["E1"][1], abs=1e-9)
+        assert by_level["E2"][0] == pytest.approx(by_level["E2"][1], abs=1e-9)
+        # Level ordering matches Table 5.
+        assert by_level["G"][0] < by_level["E1"][0] < by_level["E2"][0] < by_level["E3"][0]
+
+    def test_phase_to_energy_wrapping(self, estimator):
+        assert estimator.phase_to_energy(0.25) == pytest.approx(-math.pi / 2)
+        assert estimator.phase_to_energy(0.75) == pytest.approx(+math.pi / 2)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            H2EnergyEstimator(time_step=0.0)
+
+    def test_trotter_convergence_rows(self):
+        rows = trotter_convergence(steps_list=(1, 2), num_bits=4)
+        assert [row["trotter_steps_per_unit"] for row in rows] == [1, 2]
+
+    def test_precision_convergence_rounds_consistently(self):
+        """Section 5.2.3: the high-precision run rounds to the low-precision answer."""
+        rows = precision_convergence(bits_list=(3, 5), trotter_steps_per_unit=2)
+        coarse = rows[0]["phase"]
+        fine = rows[1]["phase"]
+        assert abs(fine - coarse) <= 1 / (1 << 3)

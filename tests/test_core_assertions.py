@@ -1,0 +1,146 @@
+"""Tests for the four assertion evaluators."""
+
+import pytest
+
+from repro.core import (
+    ClassicalAssertion,
+    EntanglementAssertion,
+    InsufficientEnsembleError,
+    ProductStateAssertion,
+    SuperpositionAssertion,
+)
+from repro.sim import MeasurementEnsemble
+
+
+def ensemble(num_bits, samples, label=""):
+    return MeasurementEnsemble(num_bits=num_bits, samples=list(samples), label=label)
+
+
+class TestClassicalAssertion:
+    def test_passes_when_all_samples_match(self):
+        assertion = ClassicalAssertion(expected_value=5, num_bits=4)
+        outcome = assertion.evaluate(ensemble(4, [5] * 16))
+        assert outcome.passed
+        assert outcome.p_value == 1.0
+        assert outcome.assertion_type == "classical"
+
+    def test_fails_on_any_mismatch(self):
+        assertion = ClassicalAssertion(expected_value=5, num_bits=4)
+        outcome = assertion.evaluate(ensemble(4, [5] * 15 + [7]))
+        assert not outcome.passed
+        assert outcome.p_value == 0.0
+        assert "expected the classical value 5" in outcome.message
+
+    def test_width_mismatch_rejected(self):
+        assertion = ClassicalAssertion(expected_value=1, num_bits=2)
+        with pytest.raises(ValueError):
+            assertion.evaluate(ensemble(3, [1]))
+
+    def test_empty_ensemble_rejected(self):
+        assertion = ClassicalAssertion(expected_value=1, num_bits=2)
+        with pytest.raises(InsufficientEnsembleError):
+            assertion.evaluate(ensemble(2, []))
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            ClassicalAssertion(expected_value=4, num_bits=2)
+        with pytest.raises(ValueError):
+            ClassicalAssertion(expected_value=0, num_bits=0)
+        with pytest.raises(ValueError):
+            ClassicalAssertion(expected_value=0, num_bits=1, significance=1.5)
+
+
+class TestSuperpositionAssertion:
+    def test_passes_on_roughly_uniform_data(self):
+        assertion = SuperpositionAssertion(num_bits=2)
+        outcome = assertion.evaluate(ensemble(2, [0, 1, 2, 3] * 8))
+        assert outcome.passed
+        assert outcome.p_value == pytest.approx(1.0)
+
+    def test_fails_on_concentrated_data(self):
+        assertion = SuperpositionAssertion(num_bits=3)
+        outcome = assertion.evaluate(ensemble(3, [0] * 64))
+        assert not outcome.passed
+        assert outcome.p_value < 1e-6
+
+    def test_support_restriction(self):
+        assertion = SuperpositionAssertion(num_bits=2, support=[0, 3])
+        outcome = assertion.evaluate(ensemble(2, [0, 3] * 10))
+        assert outcome.passed
+        full_assertion = SuperpositionAssertion(num_bits=2)
+        assert not full_assertion.evaluate(ensemble(2, [0, 3] * 10)).passed
+
+    def test_needs_at_least_two_samples(self):
+        assertion = SuperpositionAssertion(num_bits=1)
+        with pytest.raises(InsufficientEnsembleError):
+            assertion.evaluate(ensemble(1, [0]))
+
+    def test_support_validation(self):
+        with pytest.raises(ValueError):
+            SuperpositionAssertion(num_bits=2, support=[0, 9])
+
+
+class TestEntanglementAssertion:
+    def test_correlated_measurements_pass(self):
+        assertion = EntanglementAssertion()
+        a = ensemble(1, [0, 0, 0, 0, 1, 1, 1, 1] * 2)
+        b = ensemble(1, [0, 0, 0, 0, 1, 1, 1, 1] * 2)
+        outcome = assertion.evaluate(a, b)
+        assert outcome.passed
+        assert outcome.p_value == pytest.approx(0.000465, abs=5e-5)
+        assert outcome.details["cramers_v"] == pytest.approx(1.0)
+
+    def test_independent_measurements_fail(self):
+        assertion = EntanglementAssertion()
+        a = ensemble(1, [0, 1] * 8)
+        b = ensemble(1, [0, 0, 1, 1] * 4)
+        outcome = assertion.evaluate(a, b)
+        assert not outcome.passed
+        assert outcome.p_value > 0.05
+
+    def test_constant_variable_fails(self):
+        """A variable stuck at one value can never witness entanglement."""
+        assertion = EntanglementAssertion()
+        outcome = assertion.evaluate(ensemble(1, [0] * 16), ensemble(1, [0, 1] * 8))
+        assert not outcome.passed
+        assert outcome.p_value == 1.0
+
+    def test_mismatched_lengths_rejected(self):
+        assertion = EntanglementAssertion()
+        with pytest.raises(ValueError):
+            assertion.evaluate(ensemble(1, [0, 1]), ensemble(1, [0]))
+
+    def test_too_small_ensemble_rejected(self):
+        assertion = EntanglementAssertion()
+        with pytest.raises(InsufficientEnsembleError):
+            assertion.evaluate(ensemble(1, [0]), ensemble(1, [0]))
+
+
+class TestProductStateAssertion:
+    def test_independent_measurements_pass(self):
+        assertion = ProductStateAssertion()
+        a = ensemble(1, [0, 1] * 8)
+        b = ensemble(1, [0, 0, 1, 1] * 4)
+        assert assertion.evaluate(a, b).passed
+
+    def test_constant_register_passes_with_p_one(self):
+        """The Section 4.5 case: the uncomputed register always reads 0."""
+        assertion = ProductStateAssertion()
+        outcome = assertion.evaluate(ensemble(4, [0] * 16), ensemble(1, [0, 1] * 8))
+        assert outcome.passed
+        assert outcome.p_value == 1.0
+
+    def test_correlated_measurements_fail(self):
+        assertion = ProductStateAssertion()
+        a = ensemble(1, [0] * 8 + [1] * 8)
+        b = ensemble(2, [3] * 8 + [1] * 8)
+        outcome = assertion.evaluate(a, b)
+        assert not outcome.passed
+        assert outcome.p_value < 0.01
+        assert "still correlated" in outcome.message
+
+    def test_outcome_str_renders(self):
+        assertion = ProductStateAssertion(label="cleanup")
+        outcome = assertion.evaluate(ensemble(1, [0] * 8), ensemble(1, [0, 1] * 4))
+        text = str(outcome)
+        assert "PASS" in text and "product" in text

@@ -1,0 +1,240 @@
+"""Tests for the chi-square statistics underlying the assertions.
+
+The numerical anchors here come straight from the paper: the Yates-corrected
+2x2 contingency test on 16 perfectly correlated samples must give p ~= 0.0005
+(Section 4.4), the degenerate one-column table must give p = 1.0
+(Section 4.5), and an off-peak observation under the concentrated classical
+null must give p = 0.0 (Section 4.3).
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import stats as scipy_stats
+
+from repro.core import statistics as stats
+
+
+class TestChiSquareSurvival:
+    def test_matches_scipy(self):
+        for statistic, dof in [(0.5, 1), (3.84, 1), (10.0, 3), (25.0, 7)]:
+            assert stats.chi_square_survival(statistic, dof) == pytest.approx(
+                scipy_stats.chi2.sf(statistic, dof), rel=1e-10
+            )
+
+    def test_zero_dof_convention(self):
+        assert stats.chi_square_survival(0.0, 0) == 1.0
+
+    def test_infinite_statistic(self):
+        assert stats.chi_square_survival(math.inf, 3) == 0.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            stats.chi_square_survival(1.0, -1)
+        with pytest.raises(ValueError):
+            stats.chi_square_survival(-1.0, 1)
+
+
+class TestGoodnessOfFit:
+    def test_uniform_data_against_uniform_null(self):
+        observed = {i: 10 for i in range(8)}
+        result = stats.chi_square_gof(observed, [1 / 8] * 8)
+        assert result.statistic == pytest.approx(0.0)
+        assert result.p_value == pytest.approx(1.0)
+        assert result.dof == 7
+
+    def test_matches_scipy_chisquare(self, rng):
+        observed = rng.integers(1, 30, size=6)
+        expected = np.full(6, observed.sum() / 6)
+        ours = stats.chi_square_gof(np.asarray(observed, dtype=float), [1 / 6] * 6)
+        reference = scipy_stats.chisquare(observed, expected)
+        assert ours.statistic == pytest.approx(reference.statistic)
+        assert ours.p_value == pytest.approx(reference.pvalue)
+
+    def test_impossible_outcome_gives_zero_pvalue(self):
+        result = stats.chi_square_gof(
+            np.array([0.0, 0.0, 1.0, 1.0]), [0.5, 0.5, 0.0, 0.0]
+        )
+        assert math.isinf(result.statistic)
+        assert result.p_value == 0.0
+
+    def test_sample_list_input(self):
+        result = stats.chi_square_gof([0, 1, 0, 1, 2, 2], [1 / 3] * 3)
+        assert result.details["num_samples"] == 6
+
+    def test_probabilities_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            stats.chi_square_gof([1, 1], [0.5, 0.4])
+
+    def test_empty_ensemble_rejected(self):
+        with pytest.raises(ValueError):
+            stats.chi_square_gof({}, [0.5, 0.5])
+
+    def test_negative_probability_rejected(self):
+        with pytest.raises(ValueError):
+            stats.chi_square_gof([1, 1], [1.5, -0.5])
+
+    def test_dense_histogram_must_match_length(self):
+        with pytest.raises(ValueError):
+            stats.chi_square_gof(np.array([1.0, 2.0]), [1 / 3] * 3)
+
+    @given(
+        counts=st.lists(st.integers(0, 40), min_size=2, max_size=8).filter(
+            lambda c: sum(c) > 0
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_pvalue_always_in_unit_interval(self, counts):
+        probabilities = [1 / len(counts)] * len(counts)
+        result = stats.chi_square_gof(np.asarray(counts, dtype=float), probabilities)
+        assert 0.0 <= result.p_value <= 1.0
+        assert result.statistic >= 0.0
+
+
+class TestClassicalGof:
+    def test_all_on_peak(self):
+        result = stats.classical_gof({5: 16}, 32, 5)
+        assert result.p_value == 1.0
+        assert result.statistic == 0.0
+
+    def test_any_off_peak_sample_gives_zero(self):
+        result = stats.classical_gof({5: 15, 6: 1}, 32, 5)
+        assert result.p_value == 0.0
+        assert math.isinf(result.statistic)
+
+    def test_sample_list_input(self):
+        assert stats.classical_gof([3, 3, 3], 4, 3).p_value == 1.0
+        assert stats.classical_gof([3, 2, 3], 4, 3).p_value == 0.0
+
+    def test_expected_value_out_of_range(self):
+        with pytest.raises(ValueError):
+            stats.classical_gof([0], 4, 4)
+
+
+class TestUniformGof:
+    def test_uniform_over_support_subset(self):
+        observed = {0: 8, 3: 8}
+        full = stats.uniform_gof(observed, 4)
+        restricted = stats.uniform_gof(observed, 4, support=[0, 3])
+        assert full.p_value < 0.05  # clearly not uniform over all four values
+        assert restricted.p_value == pytest.approx(1.0)
+
+    def test_concentrated_data_rejected(self):
+        result = stats.uniform_gof({0: 64}, 8)
+        assert result.p_value < 1e-6
+
+    def test_support_out_of_range(self):
+        with pytest.raises(ValueError):
+            stats.uniform_gof({0: 1}, 4, support=[0, 7])
+
+
+class TestContingency:
+    def test_paper_bell_state_value(self):
+        """16 perfectly correlated samples -> p ~= 0.0005 with Yates correction."""
+        table = np.array([[8, 0], [0, 8]])
+        result = stats.contingency_chi_square(table)
+        assert result.statistic == pytest.approx(12.25)
+        assert result.p_value == pytest.approx(0.000465, abs=5e-5)
+        assert result.details["yates"] is True
+
+    def test_matches_scipy_with_yates(self):
+        table = np.array([[12, 4], [3, 13]])
+        ours = stats.contingency_chi_square(table, yates=True)
+        chi2, p, dof, _ = scipy_stats.chi2_contingency(table, correction=True)
+        assert ours.statistic == pytest.approx(chi2)
+        assert ours.p_value == pytest.approx(p)
+        assert ours.dof == dof
+
+    def test_matches_scipy_without_yates(self):
+        table = np.array([[10, 5, 3], [2, 8, 9], [4, 4, 4]])
+        ours = stats.contingency_chi_square(table, yates=False)
+        chi2, p, dof, _ = scipy_stats.chi2_contingency(table, correction=False)
+        assert ours.statistic == pytest.approx(chi2)
+        assert ours.p_value == pytest.approx(p)
+        assert ours.dof == dof
+
+    def test_degenerate_single_column_gives_p_one(self):
+        """Section 4.5: one variable constant -> independence cannot be rejected."""
+        table = np.array([[9.0], [7.0]])
+        result = stats.contingency_chi_square(table)
+        assert result.p_value == 1.0
+        assert result.dof == 0
+        assert result.details["degenerate"] is True
+
+    def test_independent_variables_large_p(self):
+        table = np.array([[20, 20], [20, 20]])
+        assert stats.contingency_chi_square(table).p_value == pytest.approx(1.0)
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(ValueError):
+            stats.contingency_chi_square(np.zeros((2, 2)))
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            stats.contingency_chi_square(np.array([[1, -1], [2, 3]]))
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            stats.contingency_chi_square(np.array([1, 2, 3]))
+
+
+class TestContingencyTableConstruction:
+    def test_build_and_drop_empty(self):
+        samples_a = [0, 0, 1, 1]
+        samples_b = [3, 3, 5, 5]
+        table = stats.build_contingency_table(samples_a, samples_b, 2, 8)
+        assert table.shape == (2, 2)
+        assert table[0, 0] == 2 and table[1, 1] == 2
+
+    def test_without_dropping(self):
+        table = stats.build_contingency_table([0, 1], [0, 1], 2, 4, drop_empty=False)
+        assert table.shape == (2, 4)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            stats.build_contingency_table([0, 1], [0], 2, 2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            stats.build_contingency_table([], [], 2, 2)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            stats.build_contingency_table([0, 2], [0, 1], 2, 2)
+
+    def test_independence_wrapper(self):
+        result = stats.independence_test_from_samples([0, 0, 1, 1], [1, 1, 0, 0], 2, 2)
+        assert result.p_value < 0.5
+        assert "joint_counts" in result.details
+
+
+class TestAssociationMeasures:
+    def test_cramers_v_perfect_association(self):
+        table = np.array([[10, 0], [0, 10]])
+        assert stats.cramers_v(table) == pytest.approx(1.0)
+
+    def test_cramers_v_independent(self):
+        table = np.array([[10, 10], [10, 10]])
+        assert stats.cramers_v(table) == pytest.approx(0.0)
+
+    def test_cramers_v_degenerate(self):
+        assert stats.cramers_v(np.array([[5.0], [5.0]])) == 0.0
+
+    def test_contingency_coefficient_range(self):
+        table = np.array([[10, 2], [3, 12]])
+        coefficient = stats.contingency_coefficient(table)
+        assert 0.0 < coefficient < 1.0
+
+    @given(
+        a=st.integers(0, 30), b=st.integers(0, 30), c=st.integers(0, 30), d=st.integers(0, 30)
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_cramers_v_bounded(self, a, b, c, d):
+        table = np.array([[a, b], [c, d]], dtype=float)
+        if table.sum() == 0:
+            return
+        value = stats.cramers_v(table)
+        assert -1e-9 <= value <= 1.0 + 1e-9

@@ -1,0 +1,142 @@
+"""Integration tests pinning the paper's headline numbers and claims.
+
+Each test corresponds to a specific quantitative or structural claim made in
+the paper; EXPERIMENTS.md cross-references these tests and the benchmarks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.bell import bell_contingency_probabilities, build_bell_program
+from repro.algorithms.modular import build_cmodmul_test_harness
+from repro.algorithms.qft import build_qft_test_harness
+from repro.algorithms.shor import build_shor_program, run_shor, shor_joint_distribution, table2_rows
+from repro.algorithms.grover import run_grover
+from repro.chemistry import (
+    ELECTRON_ASSIGNMENTS,
+    assignment_expectation_energy,
+    two_electron_eigenvalues,
+)
+from repro.core import check_program
+
+
+class TestFigure1BellState:
+    def test_bell_measurements_follow_the_contingency_table(self):
+        program = build_bell_program(with_assertion=False).without_assertions()
+        state = program.simulate()
+        joint = state.probabilities([0, 1]).reshape(2, 2)
+        # Rows: m0, columns: m1 — the table of Section 4.4.
+        assert np.allclose(joint, bell_contingency_probabilities().T)
+
+    def test_entanglement_assertion_pvalue_at_16_samples(self):
+        """Perfectly correlated 16-sample ensemble -> p ~= 0.0005."""
+        report = check_program(build_bell_program(), ensemble_size=16, rng=1)
+        assert report.passed
+        assert report.records[0].p_value == pytest.approx(0.000465, abs=5e-5)
+
+
+class TestSection43AdderClaim:
+    def test_buggy_adder_postcondition_pvalue_is_exactly_zero(self, rng):
+        from repro.algorithms.arithmetic import build_cadd_test_harness
+
+        report = check_program(
+            build_cadd_test_harness(angle_sign=-1.0), ensemble_size=16, rng=rng
+        )
+        assert report.records[1].p_value == 0.0
+
+
+class TestSection44And45MultiplierClaims:
+    def test_correct_harness_pvalues(self):
+        report = check_program(build_cmodmul_test_harness(), ensemble_size=16, rng=0)
+        by_label = {r.outcome.assertion_type: r.p_value for r in report.records}
+        # "the first assertion returns p-value = 0.0005 for an ensemble size of 16"
+        assert by_label["entangled"] == pytest.approx(5e-4, abs=5e-4)
+        # "the assert_product statement ... returns p-value = 1.0"
+        assert by_label["product"] == 1.0
+
+    def test_wrong_inverse_product_pvalue_small(self):
+        report = check_program(
+            build_cmodmul_test_harness(inverse_multiplier=12), ensemble_size=16, rng=0
+        )
+        product = next(r for r in report.records if r.outcome.assertion_type == "product")
+        # "the assertion returns p-value = 0.0005 ... indicating the two
+        # registers are still incorrectly entangled"
+        assert product.p_value < 0.01
+        assert not product.passed
+
+    def test_misrouted_control_not_significant(self):
+        report = check_program(
+            build_cmodmul_test_harness(control_bug_duplicate=True), ensemble_size=16, rng=0
+        )
+        entangled = next(
+            r for r in report.records if r.outcome.assertion_type == "entangled"
+        )
+        # "the first assertion returns p-value = 0.121 ... the control register
+        # value is not correctly toggling the operation" — the exact value
+        # depends on the sampled ensemble; the claim is that it is NOT
+        # significant, so the entanglement assertion fails.
+        assert entangled.p_value > 0.05
+        assert not entangled.passed
+
+
+class TestTables2And3:
+    def test_table2_reproduction(self):
+        rows = table2_rows(15, 7, 4)
+        assert [(r["a"], r["a_inv"]) for r in rows] == [(7, 13), (4, 4), (1, 1), (1, 1)]
+
+    def test_table3_reproduction(self):
+        circuit = build_shor_program(inverse_overrides={0: 12})
+        table = shor_joint_distribution(circuit)
+        # Ancilla row 0: outputs 0, 2, 4, 6 each with probability 1/8.
+        assert np.allclose(table[0, [0, 2, 4, 6]], 1 / 8)
+        assert np.allclose(table[0, [1, 3, 5, 7]], 0.0)
+        # Non-zero ancilla rows {2, 7, 8, 13}: uniform 1/64.
+        for row in (2, 7, 8, 13):
+            assert np.allclose(table[row], 1 / 64)
+        # Everything else is empty, and the whole table is normalised.
+        assert table.sum() == pytest.approx(1.0)
+        assert np.count_nonzero(table.sum(axis=1) > 1e-9) == 5
+
+    def test_shor_outputs_0_2_4_6(self):
+        """Section 4.6: 'the algorithm should return 0, 2, 4, or 6, each with
+        equal probability, from measuring the upper register'."""
+        result = run_shor(rng=2, shots=256)
+        counts = result["counts"]
+        assert set(counts) == {0, 2, 4, 6}
+        for value in (0, 2, 4, 6):
+            assert counts[value] == pytest.approx(64, abs=30)
+        assert result["factors"] == (3, 5)
+
+
+class TestSection51Grover:
+    def test_search_succeeds_with_both_coding_styles(self):
+        for style in ("scaffold", "projectq"):
+            result = run_grover(degree=3, target=3, style=style, rng=9)
+            assert result["found"], style
+
+
+class TestSection52Chemistry:
+    def test_six_assignments_four_levels(self, h2_hamiltonian):
+        energies = sorted(
+            round(assignment_expectation_energy(h2_hamiltonian, occupation), 6)
+            for occupation in ELECTRON_ASSIGNMENTS.values()
+        )
+        assert len(set(energies)) == 4
+
+    def test_degeneracy_structure_of_the_spectrum(self, h2_hamiltonian):
+        eigenvalues = np.round(two_electron_eigenvalues(h2_hamiltonian), 6)
+        values, counts = np.unique(eigenvalues, return_counts=True)
+        assert sorted(counts.tolist()) == [1, 1, 1, 3]
+
+
+class TestFullShorDebuggingWorkflow:
+    def test_assertions_localise_the_wrong_inverse_bug(self):
+        """The workflow of Section 4: preconditions pass, the garbage-collection
+        postconditions fail, pointing at the deallocation/classical inputs."""
+        circuit = build_shor_program(inverse_overrides={0: 12})
+        report = check_program(circuit.program, ensemble_size=32, rng=6)
+        records = {r.name: r for r in report.records}
+        assert records["precondition: lower register = 1"].passed
+        assert records["precondition: upper register uniform"].passed
+        assert not records["postcondition: ancillae returned to 0"].passed
+        assert not records["ancillae disentangled from output"].passed

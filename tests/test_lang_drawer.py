@@ -1,0 +1,114 @@
+"""Tests for the text circuit drawer."""
+
+import pytest
+
+from repro.algorithms.qft import build_qft_test_harness
+from repro.lang import Program, draw, draw_moments
+
+
+def bell_program():
+    program = Program("bell")
+    q = program.qreg("q", 2)
+    program.prep_z(q[0], 0)
+    program.prep_z(q[1], 0)
+    program.h(q[0])
+    program.cnot(q[0], q[1])
+    program.assert_entangled([q[0]], [q[1]])
+    program.measure(q)
+    return program, q
+
+
+class TestMoments:
+    def test_parallel_gates_share_a_moment(self):
+        program = Program()
+        q = program.qreg("q", 2)
+        program.h(q[0])
+        program.h(q[1])
+        assert len(draw_moments(program)) == 1
+
+    def test_dependent_gates_get_separate_moments(self):
+        program = Program()
+        q = program.qreg("q", 2)
+        program.h(q[0])
+        program.cnot(q[0], q[1])
+        program.h(q[0])
+        assert len(draw_moments(program)) == 3
+
+    def test_blocking_of_spanned_qubits(self):
+        # A gate between q0 and q2 blocks q1's column even though q1 is untouched.
+        program = Program()
+        q = program.qreg("q", 3)
+        program.cnot(q[0], q[2])
+        program.h(q[1])
+        moments = draw_moments(program)
+        assert len(moments) == 2
+
+    def test_barriers_and_markers_are_skipped(self):
+        program = Program()
+        q = program.qreg("q", 1)
+        program.barrier()
+        program.h(q[0])
+        assert len(draw_moments(program)) == 1
+
+
+class TestDraw:
+    def test_bell_drawing_contains_expected_symbols(self):
+        program, q = bell_program()
+        text = draw(program)
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("q[0]:")
+        assert "●" in lines[0]  # control
+        assert "⊕" in lines[1]  # CNOT target
+        assert "[H]" in lines[0]
+        assert "[M]" in lines[0] and "[M]" in lines[1]
+        assert "[A@]" in lines[0]  # entanglement assertion marker
+        assert "|0>" in lines[0]
+
+    def test_rows_have_equal_length(self):
+        program = build_qft_test_harness(width=3, value=5)
+        lines = draw(program).splitlines()
+        assert len({len(line) for line in lines}) == 1
+        assert len(lines) == 3
+
+    def test_parameterised_gate_label(self):
+        program = Program()
+        q = program.qreg("q", 1)
+        program.rz(q[0], 0.5)
+        assert "RZ(0.5)" in draw(program)
+
+    def test_swap_symbol(self):
+        program = Program()
+        q = program.qreg("q", 2)
+        program.swap(q[0], q[1])
+        text = draw(program)
+        assert text.count("x") >= 2
+
+    def test_classical_and_superposition_assertion_markers(self):
+        program = Program()
+        q = program.qreg("q", 2)
+        program.assert_classical(q, 2)
+        program.assert_superposition(q)
+        text = draw(program)
+        assert "[A=]" in text
+        assert "[A~]" in text
+
+    def test_wrapping_of_long_circuits(self):
+        program = Program()
+        q = program.qreg("q", 1)
+        for _ in range(40):
+            program.h(q[0])
+        wrapped = draw(program, max_width=60)
+        assert "....." in wrapped  # panel separator
+        assert all(len(line) <= 60 for line in wrapped.splitlines())
+
+    def test_multi_register_labels(self):
+        program = Program()
+        a = program.qreg("alpha", 1)
+        b = program.qreg("b", 2)
+        program.h(a[0])
+        program.cnot(a[0], b[1])
+        lines = draw(program).splitlines()
+        assert lines[0].startswith("alpha[0]:")
+        assert lines[1].strip().startswith("b[0]:")
+        assert len(lines) == 3

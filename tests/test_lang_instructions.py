@@ -1,0 +1,164 @@
+"""Tests for IR instruction types and gate inversion rules."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.lang import QuantumRegister
+from repro.lang.instructions import (
+    BarrierInstruction,
+    BlockMarkerInstruction,
+    ClassicalAssertInstruction,
+    EntangledAssertInstruction,
+    GateInstruction,
+    MeasureInstruction,
+    PrepInstruction,
+    ProductAssertInstruction,
+    SuperpositionAssertInstruction,
+    gate_matrix,
+    inverse_gate_spec,
+)
+from repro.sim import gates
+
+
+@pytest.fixture
+def register():
+    return QuantumRegister("q", 4)
+
+
+class TestGateInstruction:
+    def test_describe_and_qubits(self, register):
+        instruction = GateInstruction(
+            name="rz", targets=(register[1],), controls=(register[0],), params=(0.5,)
+        )
+        assert instruction.qubits() == [register[0], register[1]]
+        assert "crz" in instruction.describe()
+
+    def test_overlapping_control_target_rejected(self, register):
+        with pytest.raises(ValueError):
+            GateInstruction(name="x", targets=(register[0],), controls=(register[0],))
+
+    def test_unknown_gate_rejected(self, register):
+        with pytest.raises(KeyError):
+            GateInstruction(name="bogus", targets=(register[0],))
+
+    def test_parameter_arity_enforced(self, register):
+        with pytest.raises(ValueError):
+            GateInstruction(name="x", targets=(register[0],), params=(0.1,))
+
+    def test_base_matrix(self, register):
+        instruction = GateInstruction(name="h", targets=(register[0],))
+        assert np.allclose(instruction.base_matrix(), gates.H)
+
+    def test_with_extra_controls(self, register):
+        instruction = GateInstruction(name="x", targets=(register[2],), controls=(register[1],))
+        extended = instruction.with_extra_controls([register[0]])
+        assert extended.controls == (register[0], register[1])
+
+    def test_inverse_of_parameterised_gate(self, register):
+        instruction = GateInstruction(name="rz", targets=(register[0],), params=(0.7,))
+        inverse = instruction.inverse()
+        assert inverse.params == (-0.7,)
+        product = inverse.base_matrix() @ instruction.base_matrix()
+        assert np.allclose(product, np.eye(2))
+
+    def test_inverse_of_dagger_pairs(self, register):
+        s_gate = GateInstruction(name="s", targets=(register[0],))
+        assert s_gate.inverse().name == "sdg"
+        t_dagger = GateInstruction(name="tdg", targets=(register[0],))
+        assert t_dagger.inverse().name == "t"
+
+    def test_inverse_of_u3(self, register):
+        instruction = GateInstruction(name="u3", targets=(register[0],), params=(0.3, 0.5, 0.7))
+        product = instruction.inverse().base_matrix() @ instruction.base_matrix()
+        assert np.allclose(product, np.eye(2), atol=1e-10)
+
+
+class TestInverseSpec:
+    @pytest.mark.parametrize("name", ["x", "y", "z", "h", "cx", "swap", "ccx"])
+    def test_self_inverse(self, name):
+        assert inverse_gate_spec(name, ())[0] == name
+
+    def test_negating_gates(self):
+        assert inverse_gate_spec("phase", (1.2,)) == ("phase", (-1.2,))
+        assert inverse_gate_spec("rx", (0.4,)) == ("rx", (-0.4,))
+
+    def test_every_invertible_pair_multiplies_to_identity(self):
+        for name, params in [
+            ("h", ()),
+            ("s", ()),
+            ("t", ()),
+            ("rz", (0.3,)),
+            ("ry", (1.2,)),
+            ("phase", (2.1,)),
+            ("u3", (0.3, 1.0, -0.4)),
+        ]:
+            inv_name, inv_params = inverse_gate_spec(name, params)
+            product = gate_matrix(inv_name, inv_params) @ gate_matrix(name, params)
+            assert np.allclose(product, np.eye(product.shape[0]), atol=1e-10), name
+
+    def test_unknown_gate(self):
+        with pytest.raises(KeyError):
+            inverse_gate_spec("warp", ())
+
+
+class TestOtherInstructions:
+    def test_prep_validation(self, register):
+        assert PrepInstruction(qubit=register[0], value=1).qubits() == [register[0]]
+        with pytest.raises(ValueError):
+            PrepInstruction(qubit=register[0], value=2)
+
+    def test_measure_and_barrier(self, register):
+        measure = MeasureInstruction(measured=(register[0], register[1]), label="m")
+        assert len(measure.qubits()) == 2
+        barrier = BarrierInstruction(marked=(register[0],), comment="phase 1")
+        assert "phase 1" in barrier.describe()
+
+    def test_block_marker_validation(self, register):
+        marker = BlockMarkerInstruction(kind="compute", boundary="begin", block_id=0)
+        assert marker.qubits() == []
+        with pytest.raises(ValueError):
+            BlockMarkerInstruction(kind="loop", boundary="begin", block_id=0)
+        with pytest.raises(ValueError):
+            BlockMarkerInstruction(kind="compute", boundary="middle", block_id=0)
+
+
+class TestAssertionInstructions:
+    def test_classical_assert_range_check(self, register):
+        instruction = ClassicalAssertInstruction(measured=(register[0], register[1]), value=3)
+        assert instruction.is_assertion
+        with pytest.raises(ValueError):
+            ClassicalAssertInstruction(measured=(register[0],), value=2)
+        with pytest.raises(ValueError):
+            ClassicalAssertInstruction(measured=(), value=0)
+
+    def test_superposition_support_validation(self, register):
+        instruction = SuperpositionAssertInstruction(
+            measured=(register[0], register[1]), values=(0, 3)
+        )
+        assert "uniform over [0, 3]" in instruction.describe()
+        with pytest.raises(ValueError):
+            SuperpositionAssertInstruction(measured=(register[0],), values=(0,))
+        with pytest.raises(ValueError):
+            SuperpositionAssertInstruction(measured=(register[0],), values=(0, 0))
+        with pytest.raises(ValueError):
+            SuperpositionAssertInstruction(measured=(register[0],), values=(0, 5))
+
+    def test_entangled_requires_disjoint_groups(self, register):
+        instruction = EntangledAssertInstruction(
+            group_a=(register[0],), group_b=(register[1], register[2])
+        )
+        assert len(instruction.qubits()) == 3
+        with pytest.raises(ValueError):
+            EntangledAssertInstruction(group_a=(register[0],), group_b=(register[0],))
+        with pytest.raises(ValueError):
+            EntangledAssertInstruction(group_a=(), group_b=(register[0],))
+
+    def test_product_requires_disjoint_groups(self, register):
+        instruction = ProductAssertInstruction(
+            group_a=(register[0],), group_b=(register[1],)
+        )
+        assert "assert_product" in instruction.describe()
+        with pytest.raises(ValueError):
+            ProductAssertInstruction(group_a=(register[1],), group_b=(register[1],))

@@ -1,0 +1,132 @@
+"""Tests for OpenQASM 2.0 export and re-import."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms.qft import append_qft
+from repro.lang import Program, QasmError, from_qasm, to_qasm
+from repro.lang.qasm import _format_angle
+
+
+class TestExport:
+    def test_header_and_register_declarations(self):
+        program = Program()
+        program.qreg("q", 3)
+        text = to_qasm(program)
+        assert text.startswith("OPENQASM 2.0;")
+        assert 'include "qelib1.inc";' in text
+        assert "qreg q[3];" in text
+
+    def test_standard_gates(self):
+        program = Program()
+        q = program.qreg("q", 3)
+        program.h(q[0]).cnot(q[0], q[1]).toffoli(q[0], q[1], q[2])
+        program.rz(q[0], math.pi / 2).cphase(q[0], q[1], math.pi / 4)
+        text = to_qasm(program)
+        assert "h q[0];" in text
+        assert "cx q[0],q[1];" in text
+        assert "ccx q[0],q[1],q[2];" in text
+        assert "rz(pi/2) q[0];" in text
+        assert "cu1(pi/4) q[0],q[1];" in text
+
+    def test_prep_exports_as_reset(self):
+        program = Program()
+        q = program.qreg("q", 1)
+        program.prep_z(q[0], 1)
+        text = to_qasm(program)
+        assert "reset q[0];" in text
+        assert "x q[0];" in text
+
+    def test_measure_declares_creg(self):
+        program = Program()
+        q = program.qreg("q", 2)
+        program.measure(q, label="m")
+        text = to_qasm(program)
+        assert "creg c0[2];" in text
+        assert "measure q[0] -> c0[0];" in text
+
+    def test_assertions_become_comments(self):
+        program = Program()
+        q = program.qreg("q", 2)
+        program.assert_classical(q, 2)
+        text = to_qasm(program)
+        assert "// assert_classical" in text
+        bare = to_qasm(program, include_assertions_as_comments=False)
+        assert "assert_classical" not in bare
+
+    def test_double_controlled_phase_is_decomposed(self):
+        program = Program()
+        q = program.qreg("q", 3)
+        program.ccphase(q[0], q[1], q[2], math.pi / 2)
+        text = to_qasm(program)
+        assert text.count("cu1") == 3
+        assert text.count("cx") == 2
+
+    def test_unsupported_gate_raises(self):
+        program = Program()
+        q = program.qreg("q", 4)
+        program.mcz([q[0], q[1], q[2]], q[3])
+        with pytest.raises(QasmError):
+            to_qasm(program)
+
+    def test_format_angle(self):
+        assert _format_angle(math.pi) == "pi"
+        assert _format_angle(math.pi / 8) == "pi/8"
+        assert _format_angle(-math.pi / 2) == "-1*pi/2"
+        assert _format_angle(0.0) == "0"
+        assert "0.123" in _format_angle(0.123)
+
+
+class TestImport:
+    def test_round_trip_preserves_semantics(self):
+        program = Program()
+        q = program.qreg("q", 3)
+        append_qft(program, q, swaps=True)
+        text = to_qasm(program)
+        restored = from_qasm(text)
+        assert np.allclose(restored.unitary(), program.unitary(), atol=1e-10)
+
+    def test_round_trip_bell(self):
+        program = Program()
+        q = program.qreg("q", 2)
+        program.h(q[0]).cnot(q[0], q[1])
+        restored = from_qasm(to_qasm(program))
+        assert np.allclose(restored.unitary(), program.unitary())
+
+    def test_import_measure_and_reset(self):
+        text = """
+        OPENQASM 2.0;
+        include "qelib1.inc";
+        qreg q[2];
+        creg c[2];
+        reset q[0];
+        h q[0];
+        measure q[0] -> c[0];
+        """
+        program = from_qasm(text)
+        assert program.num_qubits == 2
+        assert len(program.instructions) == 3
+
+    def test_import_rejects_unknown_gate(self):
+        text = "OPENQASM 2.0;\nqreg q[1];\nmystery q[0];\n"
+        with pytest.raises(QasmError):
+            from_qasm(text)
+
+    def test_import_rejects_unknown_register(self):
+        text = "OPENQASM 2.0;\nqreg q[1];\nh r[0];\n"
+        with pytest.raises(QasmError):
+            from_qasm(text)
+
+    def test_import_parses_pi_expressions(self):
+        text = "OPENQASM 2.0;\nqreg q[1];\nrz(3*pi/4) q[0];\nu1(-pi/2) q[0];\n"
+        program = from_qasm(text)
+        params = [i.params[0] for i in program.gate_instructions()]
+        assert params[0] == pytest.approx(3 * math.pi / 4)
+        assert params[1] == pytest.approx(-math.pi / 2)
+
+    def test_import_rejects_malformed_angle(self):
+        text = "OPENQASM 2.0;\nqreg q[1];\nrz(import os) q[0];\n"
+        with pytest.raises(QasmError):
+            from_qasm(text)

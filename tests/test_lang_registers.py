@@ -1,0 +1,86 @@
+"""Tests for quantum registers, qubits and operand flattening."""
+
+import pytest
+
+from repro.lang import QuantumRegister, ClassicalRegister, Qubit, flatten_qubits
+
+
+class TestQuantumRegister:
+    def test_basic_properties(self):
+        register = QuantumRegister("q", 4)
+        assert len(register) == 4
+        assert register[0].index == 0
+        assert register[-1].index == 3
+        assert repr(register[2]) == "q[2]"
+
+    def test_slicing(self):
+        register = QuantumRegister("q", 4)
+        assert [q.index for q in register[1:3]] == [1, 2]
+
+    def test_iteration(self):
+        register = QuantumRegister("q", 3)
+        assert [q.index for q in register] == [0, 1, 2]
+        assert register.qubits() == list(register)
+
+    def test_out_of_range(self):
+        register = QuantumRegister("q", 2)
+        with pytest.raises(IndexError):
+            _ = register[2]
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            QuantumRegister("q", 0)
+
+    def test_invalid_name(self):
+        with pytest.raises(ValueError):
+            QuantumRegister("2bad", 2)
+        with pytest.raises(ValueError):
+            QuantumRegister("", 2)
+
+    def test_identity_semantics(self):
+        a = QuantumRegister("q", 2)
+        b = QuantumRegister("q", 2)
+        assert a != b
+        assert a == a
+        assert a[0] != b[0]
+
+    def test_classical_register(self):
+        creg = ClassicalRegister("c", 3)
+        assert len(creg) == 3
+        with pytest.raises(ValueError):
+            ClassicalRegister("c", 0)
+
+
+class TestFlattenQubits:
+    def test_register_flattens_to_all_qubits(self):
+        register = QuantumRegister("q", 3)
+        assert flatten_qubits(register) == list(register)
+
+    def test_single_qubit(self):
+        register = QuantumRegister("q", 3)
+        assert flatten_qubits(register[1]) == [register[1]]
+
+    def test_nested_sequences(self):
+        a = QuantumRegister("a", 2)
+        b = QuantumRegister("b", 1)
+        flat = flatten_qubits([a[0], [a[1], b]])
+        assert flat == [a[0], a[1], b[0]]
+
+    def test_duplicates_rejected(self):
+        register = QuantumRegister("q", 2)
+        with pytest.raises(ValueError):
+            flatten_qubits([register[0], register[0]])
+
+    def test_empty_rejected_unless_allowed(self):
+        with pytest.raises(ValueError):
+            flatten_qubits([])
+        assert flatten_qubits([], allow_empty=True) == []
+
+    def test_garbage_rejected(self):
+        with pytest.raises(TypeError):
+            flatten_qubits("q[0]")
+
+    def test_qubit_validation(self):
+        register = QuantumRegister("q", 2)
+        with pytest.raises(IndexError):
+            Qubit(register, 5)

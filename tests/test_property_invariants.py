@@ -1,0 +1,193 @@
+"""Property-based invariants across the stack (hypothesis).
+
+These properties cut across modules: random programs stay normalised, the
+adjoint of a program really is its inverse, controlling a program on a |1>
+control reproduces the original action, the swap-free QFT and the Fourier
+adder compose into exact modular addition, and the statistical assertions are
+consistent with the exact entanglement ground truth from the density-matrix
+substrate.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.assertions import EntanglementAssertion, ProductStateAssertion
+from repro.lang import Program
+from repro.sim import MeasurementEnsemble, Statevector, is_product_state
+
+
+# ---------------------------------------------------------------------------
+# Random program generation
+# ---------------------------------------------------------------------------
+
+_SINGLE_QUBIT_GATES = ["h", "x", "y", "z", "s", "t", "sdg", "tdg"]
+_PARAM_GATES = ["rx", "ry", "rz", "phase"]
+
+
+def _random_program(seed: int, num_qubits: int, num_gates: int) -> Program:
+    generator = np.random.default_rng(seed)
+    program = Program(f"random_{seed}")
+    register = program.qreg("q", num_qubits)
+    for _ in range(num_gates):
+        choice = generator.integers(0, 4)
+        if choice == 0:
+            name = _SINGLE_QUBIT_GATES[generator.integers(0, len(_SINGLE_QUBIT_GATES))]
+            program.gate(name, register[int(generator.integers(0, num_qubits))])
+        elif choice == 1:
+            name = _PARAM_GATES[generator.integers(0, len(_PARAM_GATES))]
+            program.gate(
+                name,
+                register[int(generator.integers(0, num_qubits))],
+                params=(float(generator.uniform(-math.pi, math.pi)),),
+            )
+        elif choice == 2 and num_qubits >= 2:
+            a, b = generator.choice(num_qubits, size=2, replace=False)
+            program.cnot(register[int(a)], register[int(b)])
+        else:
+            a = int(generator.integers(0, num_qubits))
+            program.gate(
+                "phase",
+                register[a],
+                controls=register[int((a + 1) % num_qubits)] if num_qubits >= 2 else None,
+                params=(float(generator.uniform(-math.pi, math.pi)),),
+            )
+    return program
+
+
+class TestProgramInvariants:
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_random_programs_preserve_norm(self, seed):
+        program = _random_program(seed, num_qubits=3, num_gates=12)
+        state = program.simulate()
+        assert state.is_normalized()
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_inverse_program_undoes_the_program(self, seed):
+        program = _random_program(seed, num_qubits=3, num_gates=10)
+        state = program.simulate()
+        restored = program.inverse().simulate(initial_state=state)
+        assert restored.fidelity(Statevector(3)) == pytest.approx(1.0)
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_controlled_program_with_hot_control_matches_original(self, seed):
+        program = _random_program(seed, num_qubits=2, num_gates=8)
+        data_register = program.registers[0]
+
+        host = Program("host")
+        control = host.qreg("c", 1)
+        host.add_register(data_register)
+        host.x(control[0])
+        host.extend(program.controlled_on(control[0]))
+        controlled_state = host.simulate()
+
+        reference = program.simulate()
+        # Project out the control qubit (it stays |1>) and compare.
+        data_indices = [host.qubit_index(q) for q in data_register]
+        controlled_probs = controlled_state.probabilities(data_indices)
+        assert np.allclose(controlled_probs, reference.probabilities(), atol=1e-9)
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_unitary_of_random_program_is_unitary(self, seed):
+        program = _random_program(seed, num_qubits=2, num_gates=6)
+        matrix = program.unitary()
+        assert np.allclose(matrix.conj().T @ matrix, np.eye(4), atol=1e-9)
+
+
+class TestArithmeticInvariants:
+    @given(
+        width=st.integers(2, 4),
+        a=st.integers(0, 15),
+        b=st.integers(0, 15),
+        c=st.integers(0, 15),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_addition_is_associative_in_fourier_space(self, width, a, b, c):
+        """Adding a then b equals adding (a+b) in one go (all mod 2^width)."""
+        from repro.algorithms.arithmetic import append_phi_add_const
+        from repro.algorithms.qft import append_iqft, append_qft
+
+        a %= 1 << width
+        b %= 1 << width
+        c %= 1 << width
+
+        two_step = Program("two_step")
+        register = two_step.qreg("b", width)
+        two_step.prepare_int(register, c)
+        append_qft(two_step, register)
+        append_phi_add_const(two_step, register, a)
+        append_phi_add_const(two_step, register, b)
+        append_iqft(two_step, register)
+
+        one_step = Program("one_step")
+        register2 = one_step.qreg("b", width)
+        one_step.prepare_int(register2, c)
+        append_qft(one_step, register2)
+        append_phi_add_const(one_step, register2, (a + b) % (1 << width))
+        append_iqft(one_step, register2)
+
+        expected = (a + b + c) % (1 << width)
+        for program, reg in ((two_step, register), (one_step, register2)):
+            state = program.simulate()
+            indices = [program.qubit_index(q) for q in reg]
+            assert state.probability_of_outcome(indices, expected) == pytest.approx(1.0)
+
+    @given(multiplier=st.sampled_from([1, 2, 4, 7, 8, 11, 13, 14]), x=st.integers(0, 14))
+    @settings(max_examples=20, deadline=None)
+    def test_inplace_multiplier_matches_classical_arithmetic(self, multiplier, x):
+        from repro.algorithms.modular import append_cmult_inplace
+
+        program = Program("mult")
+        ctrl = program.qreg("c", 1)
+        program.x(ctrl[0])
+        x_register = program.qreg("x", 4)
+        b_register = program.qreg("b", 5)
+        ancilla = program.qreg("a", 1)
+        program.prepare_int(x_register, x)
+        append_cmult_inplace(program, ctrl[0], x_register, b_register, multiplier, 15, ancilla[0])
+        state = program.simulate()
+        indices = [program.qubit_index(q) for q in x_register]
+        expected = (multiplier * x) % 15 if x < 15 else x
+        assert state.probability_of_outcome(indices, expected) == pytest.approx(1.0)
+
+
+class TestAssertionsAgreeWithGroundTruth:
+    """The statistical verdicts must agree with exact density-matrix checks."""
+
+    def _two_qubit_state_program(self, entangling_angle: float) -> Program:
+        program = Program("partial")
+        q = program.qreg("q", 2)
+        program.h(q[0])
+        program.cry(q[0], q[1], entangling_angle)
+        return program
+
+    @given(angle=st.sampled_from([0.0, 0.5, 1.0, 2.0, math.pi]))
+    @settings(max_examples=10, deadline=None)
+    def test_entanglement_assertion_vs_purity(self, angle):
+        program = self._two_qubit_state_program(angle)
+        state = program.simulate()
+        exactly_product = is_product_state(state, [0], [1])
+
+        samples = state.sample([0, 1], shots=256, rng=7)
+        ensemble_a = MeasurementEnsemble(1, [int(s) & 1 for s in samples])
+        ensemble_b = MeasurementEnsemble(1, [(int(s) >> 1) & 1 for s in samples])
+
+        entangled_outcome = EntanglementAssertion().evaluate(ensemble_a, ensemble_b)
+        product_outcome = ProductStateAssertion().evaluate(ensemble_a, ensemble_b)
+
+        if exactly_product:
+            # No correlation exists, so the product assertion must hold and the
+            # entanglement assertion must fail.
+            assert product_outcome.passed
+            assert not entangled_outcome.passed
+        elif angle >= 1.0:
+            # Strongly entangled: with 256 samples the verdicts are reliable.
+            assert entangled_outcome.passed
+            assert not product_outcome.passed

@@ -1,0 +1,132 @@
+"""Tests for density matrices, partial trace and exact entanglement checks."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.sim import (
+    DensityMatrix,
+    Statevector,
+    entanglement_entropy,
+    gates,
+    is_product_state,
+    purity,
+    reduced_density_matrix,
+    schmidt_coefficients,
+)
+
+
+def bell_state() -> Statevector:
+    state = Statevector(2)
+    state.apply_matrix(gates.H, [0])
+    state.apply_controlled(gates.X, [0], [1])
+    return state
+
+
+def ghz_state(n: int = 3) -> Statevector:
+    state = Statevector(n)
+    state.apply_matrix(gates.H, [0])
+    for i in range(n - 1):
+        state.apply_controlled(gates.X, [i], [i + 1])
+    return state
+
+
+class TestDensityMatrix:
+    def test_from_statevector_is_valid(self):
+        rho = DensityMatrix.from_statevector(bell_state())
+        assert rho.is_valid()
+        assert rho.purity() == pytest.approx(1.0)
+
+    def test_probabilities_match_statevector(self):
+        state = Statevector.uniform_superposition(2)
+        rho = DensityMatrix.from_statevector(state)
+        assert np.allclose(rho.probabilities(), state.probabilities())
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            DensityMatrix(np.ones((2, 3)))
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            DensityMatrix(np.eye(3))
+
+    def test_num_qubits_consistency_check(self):
+        with pytest.raises(ValueError):
+            DensityMatrix(np.eye(4) / 4, num_qubits=3)
+
+    def test_maximally_mixed_purity(self):
+        rho = DensityMatrix(np.eye(2) / 2)
+        assert rho.purity() == pytest.approx(0.5)
+        assert rho.is_valid()
+
+
+class TestPartialTrace:
+    def test_product_state_reduction(self):
+        state = Statevector.from_int(0b10, 2)
+        rho = reduced_density_matrix(state, [0])
+        assert np.allclose(rho.data, [[1, 0], [0, 0]])
+        rho1 = reduced_density_matrix(state, [1])
+        assert np.allclose(rho1.data, [[0, 0], [0, 1]])
+
+    def test_bell_reduction_is_maximally_mixed(self):
+        rho = reduced_density_matrix(bell_state(), [0])
+        assert np.allclose(rho.data, np.eye(2) / 2)
+
+    def test_reduction_keeps_order(self):
+        # |q1 q0> = |01>: keep [1, 0] -> first listed qubit is the low bit.
+        state = Statevector.from_int(0b01, 2)
+        rho = reduced_density_matrix(state, [1, 0])
+        probabilities = np.real(np.diag(rho.data))
+        # outcome bit0 = qubit1 = 0, bit1 = qubit0 = 1 -> index 2
+        assert probabilities[2] == pytest.approx(1.0)
+
+    def test_duplicate_keep_rejected(self):
+        with pytest.raises(ValueError):
+            reduced_density_matrix(bell_state(), [0, 0])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            reduced_density_matrix(bell_state(), [2])
+
+
+class TestEntanglementMeasures:
+    def test_purity_of_bell_half(self):
+        assert purity(bell_state(), [0]) == pytest.approx(0.5)
+
+    def test_purity_of_product_state(self):
+        state = Statevector(2)
+        state.apply_matrix(gates.H, [0])
+        assert purity(state, [0]) == pytest.approx(1.0)
+
+    def test_entanglement_entropy_bell_is_one_bit(self):
+        assert entanglement_entropy(bell_state(), [0]) == pytest.approx(1.0)
+
+    def test_entanglement_entropy_product_is_zero(self):
+        state = Statevector.from_int(2, 2)
+        assert entanglement_entropy(state, [0]) == pytest.approx(0.0, abs=1e-9)
+
+    def test_ghz_single_qubit_entropy(self):
+        assert entanglement_entropy(ghz_state(3), [0]) == pytest.approx(1.0)
+
+    def test_schmidt_coefficients_bell(self):
+        coefficients = schmidt_coefficients(bell_state(), [0])
+        assert np.allclose(coefficients, [1 / math.sqrt(2), 1 / math.sqrt(2)])
+
+    def test_is_product_state(self):
+        assert not is_product_state(bell_state(), [0], [1])
+        separable = Statevector(2)
+        separable.apply_matrix(gates.H, [0])
+        separable.apply_matrix(gates.X, [1])
+        assert is_product_state(separable, [0], [1])
+
+    def test_is_product_state_partial_groups(self):
+        # GHZ: qubit 0 is entangled with the rest; but a 3-qubit GHZ plus a
+        # free qubit leaves the free qubit in a product state with everything.
+        state = Statevector(4)
+        state.apply_matrix(gates.H, [0])
+        state.apply_controlled(gates.X, [0], [1])
+        state.apply_controlled(gates.X, [0], [2])
+        state.apply_matrix(gates.H, [3])
+        assert not is_product_state(state, [0], [1, 2])
+        assert is_product_state(state, [3], [0, 1, 2])

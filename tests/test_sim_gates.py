@@ -1,0 +1,174 @@
+"""Unit tests for the gate matrix library."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import gates
+
+
+ALL_FIXED = sorted(set(map(id, gates.FIXED_GATES.values())))
+
+
+class TestFixedGates:
+    def test_every_fixed_gate_is_unitary(self):
+        for name, matrix in gates.FIXED_GATES.items():
+            assert gates.is_unitary(matrix), f"{name} is not unitary"
+
+    def test_pauli_algebra(self):
+        assert np.allclose(gates.X @ gates.X, gates.I)
+        assert np.allclose(gates.Y @ gates.Y, gates.I)
+        assert np.allclose(gates.Z @ gates.Z, gates.I)
+        assert np.allclose(gates.X @ gates.Y, 1j * gates.Z)
+        assert np.allclose(gates.Y @ gates.Z, 1j * gates.X)
+        assert np.allclose(gates.Z @ gates.X, 1j * gates.Y)
+
+    def test_hadamard_maps_z_to_x(self):
+        assert np.allclose(gates.H @ gates.Z @ gates.H, gates.X)
+        assert np.allclose(gates.H @ gates.X @ gates.H, gates.Z)
+
+    def test_s_and_t_phases(self):
+        assert np.allclose(gates.S @ gates.S, gates.Z)
+        assert np.allclose(gates.T @ gates.T, gates.S)
+        assert np.allclose(gates.S @ gates.SDG, gates.I)
+        assert np.allclose(gates.T @ gates.TDG, gates.I)
+
+    def test_sx_squares_to_x(self):
+        assert np.allclose(gates.SX @ gates.SX, gates.X)
+
+    def test_cnot_permutation(self):
+        # control = qubit 0 (LSB), target = qubit 1.
+        expected = np.zeros((4, 4))
+        mapping = {0: 0, 1: 3, 2: 2, 3: 1}
+        for source, destination in mapping.items():
+            expected[destination, source] = 1.0
+        assert np.allclose(gates.CNOT, expected)
+
+    def test_toffoli_flips_only_when_both_controls_set(self):
+        for state in range(8):
+            column = gates.CCNOT[:, state]
+            if state & 0b011 == 0b011:
+                assert column[state ^ 0b100] == 1.0
+            else:
+                assert column[state] == 1.0
+
+    def test_cswap_swaps_targets_when_control_set(self):
+        # control = qubit 0, swapped = qubits 1 and 2.
+        for state in range(8):
+            column = gates.CSWAP[:, state]
+            if state & 1:
+                bit1 = (state >> 1) & 1
+                bit2 = (state >> 2) & 1
+                swapped = (state & 1) | (bit2 << 1) | (bit1 << 2)
+                assert column[swapped] == 1.0
+            else:
+                assert column[state] == 1.0
+
+
+class TestParameterisedGates:
+    @pytest.mark.parametrize("builder", [gates.rx, gates.ry, gates.rz, gates.phase])
+    @pytest.mark.parametrize("theta", [0.0, 0.3, math.pi / 2, math.pi, -1.7])
+    def test_unitary(self, builder, theta):
+        assert gates.is_unitary(builder(theta))
+
+    def test_rotation_at_zero_is_identity(self):
+        for builder in (gates.rx, gates.ry, gates.rz, gates.phase):
+            assert np.allclose(builder(0.0), gates.I)
+
+    def test_rx_pi_is_x_up_to_phase(self):
+        assert gates.gates_equal_up_to_global_phase(gates.rx(math.pi), gates.X)
+
+    def test_ry_pi_is_y_up_to_phase(self):
+        assert gates.gates_equal_up_to_global_phase(gates.ry(math.pi), gates.Y)
+
+    def test_rz_pi_is_z_up_to_phase(self):
+        assert gates.gates_equal_up_to_global_phase(gates.rz(math.pi), gates.Z)
+
+    def test_phase_vs_rz_differ_by_global_phase_only(self):
+        theta = 0.42
+        assert gates.gates_equal_up_to_global_phase(gates.phase(theta), gates.rz(theta))
+        assert not np.allclose(gates.phase(theta), gates.rz(theta))
+
+    def test_u3_reduces_to_known_gates(self):
+        assert np.allclose(gates.u3(0.0, 0.0, 0.0), gates.I)
+        assert gates.gates_equal_up_to_global_phase(
+            gates.u3(math.pi, 0.0, math.pi), gates.X
+        )
+        assert gates.gates_equal_up_to_global_phase(
+            gates.u3(math.pi / 2, 0.0, math.pi), gates.H
+        )
+
+    @given(theta=st.floats(-10, 10), phi=st.floats(-10, 10), lam=st.floats(-10, 10))
+    @settings(max_examples=50, deadline=None)
+    def test_u3_always_unitary(self, theta, phi, lam):
+        assert gates.is_unitary(gates.u3(theta, phi, lam))
+
+    @given(theta=st.floats(-10, 10))
+    @settings(max_examples=50, deadline=None)
+    def test_rotation_composition(self, theta):
+        """Rz(a) Rz(b) == Rz(a+b)."""
+        assert np.allclose(
+            gates.rz(theta) @ gates.rz(0.5), gates.rz(theta + 0.5), atol=1e-10
+        )
+
+
+class TestControlled:
+    def test_controlled_x_is_cnot(self):
+        assert np.allclose(gates.controlled(gates.X), gates.CNOT)
+
+    def test_doubly_controlled_x_is_toffoli(self):
+        assert np.allclose(gates.controlled(gates.X, 2), gates.CCNOT)
+
+    def test_controlled_z_is_cz(self):
+        assert np.allclose(gates.controlled(gates.Z), gates.CZ)
+
+    def test_controlled_swap_is_fredkin(self):
+        assert np.allclose(gates.controlled(gates.SWAP), gates.CSWAP)
+
+    def test_zero_controls_is_identity_operation(self):
+        assert np.allclose(gates.controlled(gates.H, 0), gates.H)
+
+    def test_negative_controls_rejected(self):
+        with pytest.raises(ValueError):
+            gates.controlled(gates.X, -1)
+
+    def test_controlled_preserves_unitarity(self):
+        for num_controls in range(4):
+            assert gates.is_unitary(gates.controlled(gates.ry(0.7), num_controls))
+
+    def test_controlled_phase_structure(self):
+        theta = 0.9
+        matrix = gates.controlled(gates.phase(theta))
+        expected = np.diag([1, 1, 1, np.exp(1j * theta)])
+        assert np.allclose(matrix, expected)
+
+
+class TestHelpers:
+    def test_kron_all_orders_factors_little_endian(self):
+        # X on qubit 0, I on qubit 1 -> acts on the low bit.
+        matrix = gates.kron_all([gates.X, gates.I])
+        state = np.zeros(4)
+        state[0] = 1.0
+        assert np.allclose(matrix @ state, [0, 1, 0, 0])
+
+    def test_global_phase_between_detects_phase(self):
+        phase = np.exp(0.3j)
+        assert np.isclose(
+            gates.global_phase_between(phase * gates.H, gates.H), phase
+        )
+
+    def test_global_phase_between_rejects_different_gates(self):
+        assert gates.global_phase_between(gates.X, gates.Z) is None
+
+    def test_gates_equal_up_to_global_phase(self):
+        assert gates.gates_equal_up_to_global_phase(1j * gates.Y, gates.Y)
+        assert not gates.gates_equal_up_to_global_phase(gates.X, gates.Y)
+
+    def test_is_unitary_rejects_non_square(self):
+        assert not gates.is_unitary(np.ones((2, 3)))
+
+    def test_is_unitary_rejects_singular(self):
+        assert not gates.is_unitary(np.zeros((2, 2)))

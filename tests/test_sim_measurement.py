@@ -1,0 +1,95 @@
+"""Tests for measurement ensembles and the readout-error model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import MeasurementEnsemble, ReadoutErrorModel
+from repro.sim.measurement import counts_to_samples, samples_to_counts
+
+
+class TestEnsemble:
+    def test_counts_and_frequencies(self):
+        ensemble = MeasurementEnsemble(num_bits=2, samples=[0, 3, 3, 1])
+        assert ensemble.counts() == {0: 1, 3: 2, 1: 1}
+        assert np.allclose(ensemble.frequencies(), [1, 1, 0, 2])
+        assert np.allclose(ensemble.empirical_distribution(), [0.25, 0.25, 0, 0.5])
+
+    def test_out_of_range_sample_rejected(self):
+        with pytest.raises(ValueError):
+            MeasurementEnsemble(num_bits=1, samples=[0, 2])
+
+    def test_empty_distribution_rejected(self):
+        with pytest.raises(ValueError):
+            MeasurementEnsemble(num_bits=1, samples=[]).empirical_distribution()
+
+    def test_extract_bits(self):
+        # samples over 3 bits; keep bits [2, 0] -> new bit0 = old bit2, new bit1 = old bit0
+        ensemble = MeasurementEnsemble(num_bits=3, samples=[0b101, 0b011, 0b100])
+        extracted = ensemble.extract_bits([2, 0])
+        assert extracted.num_bits == 2
+        assert extracted.samples == [0b11, 0b10, 0b01]
+
+    def test_extract_bits_preserves_sample_count(self):
+        ensemble = MeasurementEnsemble(num_bits=4, samples=list(range(16)))
+        assert extracted_len(ensemble) == 16
+
+    def test_extend(self):
+        a = MeasurementEnsemble(num_bits=2, samples=[0, 1])
+        b = MeasurementEnsemble(num_bits=2, samples=[2])
+        merged = a.extend(b)
+        assert merged.samples == [0, 1, 2]
+        with pytest.raises(ValueError):
+            a.extend(MeasurementEnsemble(num_bits=3, samples=[0]))
+
+    def test_iteration_and_len(self):
+        ensemble = MeasurementEnsemble(num_bits=2, samples=[1, 2, 3])
+        assert len(ensemble) == 3
+        assert list(ensemble) == [1, 2, 3]
+
+    @given(samples=st.lists(st.integers(0, 7), min_size=1, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_counts_round_trip(self, samples):
+        counts = samples_to_counts(samples)
+        assert sorted(counts_to_samples(counts)) == sorted(samples)
+
+    @given(samples=st.lists(st.integers(0, 15), min_size=1, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_frequencies_sum_to_sample_count(self, samples):
+        ensemble = MeasurementEnsemble(num_bits=4, samples=samples)
+        assert ensemble.frequencies().sum() == len(samples)
+
+
+def extracted_len(ensemble: MeasurementEnsemble) -> int:
+    return len(ensemble.extract_bits([0, 1]))
+
+
+class TestReadoutError:
+    def test_defaults_are_ideal(self):
+        model = ReadoutErrorModel()
+        assert model.is_ideal
+        assert model.corrupt([1, 2, 3], num_bits=2) == [1, 2, 3]
+
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            ReadoutErrorModel(p01=1.5)
+        with pytest.raises(ValueError):
+            ReadoutErrorModel(p10=-0.1)
+
+    def test_full_flip(self):
+        model = ReadoutErrorModel(p01=1.0, p10=1.0)
+        assert model.corrupt([0b00, 0b11], num_bits=2, rng=0) == [0b11, 0b00]
+
+    def test_partial_flip_statistics(self, rng):
+        model = ReadoutErrorModel(p01=0.25, p10=0.0)
+        samples = model.corrupt([0] * 4000, num_bits=1, rng=rng)
+        flipped = sum(samples)
+        assert 800 < flipped < 1200
+
+    def test_corrupt_ensemble_wrapper(self, rng):
+        model = ReadoutErrorModel(p01=1.0)
+        ensemble = MeasurementEnsemble(num_bits=2, samples=[0, 0], label="x")
+        corrupted = model.corrupt_ensemble(ensemble, rng=rng)
+        assert corrupted.samples == [3, 3]
+        assert corrupted.label == "x"

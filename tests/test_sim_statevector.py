@@ -1,0 +1,227 @@
+"""Unit and property tests for the statevector simulator."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Statevector, gates
+
+
+class TestConstruction:
+    def test_default_is_all_zeros_state(self):
+        state = Statevector(3)
+        assert state.amplitude(0) == 1.0
+        assert state.norm() == pytest.approx(1.0)
+
+    def test_from_int(self):
+        state = Statevector.from_int(5, 3)
+        assert state.amplitude(5) == 1.0
+        assert state.probability_of_outcome([0, 1, 2], 5) == pytest.approx(1.0)
+
+    def test_from_int_out_of_range(self):
+        with pytest.raises(ValueError):
+            Statevector.from_int(8, 3)
+
+    def test_from_label_msb_first(self):
+        state = Statevector.from_label("10")
+        # qubit 1 = 1, qubit 0 = 0 -> integer 2
+        assert state.amplitude(2) == 1.0
+
+    def test_from_label_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            Statevector.from_label("01x")
+
+    def test_uniform_superposition(self):
+        state = Statevector.uniform_superposition(3)
+        assert np.allclose(state.probabilities(), np.full(8, 1 / 8))
+
+    def test_wrong_amplitude_count_rejected(self):
+        with pytest.raises(ValueError):
+            Statevector(2, np.ones(3))
+
+    def test_copy_is_independent(self):
+        state = Statevector(1)
+        clone = state.copy()
+        clone.apply_matrix(gates.X, [0])
+        assert state.amplitude(0) == 1.0
+        assert clone.amplitude(1) == 1.0
+
+
+class TestGateApplication:
+    def test_x_flips_bit(self):
+        state = Statevector(2)
+        state.apply_matrix(gates.X, [1])
+        assert state.amplitude(2) == 1.0
+
+    def test_h_creates_superposition(self):
+        state = Statevector(1)
+        state.apply_matrix(gates.H, [0])
+        assert np.allclose(state.probabilities(), [0.5, 0.5])
+
+    def test_cnot_on_arbitrary_qubit_pair(self):
+        # |q2 q1 q0> = |001>; CNOT control q0 target q2 -> |101> = 5
+        state = Statevector.from_int(1, 3)
+        state.apply_matrix(gates.CNOT, [0, 2])
+        assert state.amplitude(5) == pytest.approx(1.0)
+
+    def test_apply_controlled_matches_explicit_matrix(self):
+        state_a = Statevector.from_int(0b011, 3)
+        state_b = state_a.copy()
+        state_a.apply_controlled(gates.X, controls=[0, 1], targets=[2])
+        state_b.apply_matrix(gates.CCNOT, [0, 1, 2])
+        assert state_a == state_b
+
+    def test_apply_named_gate(self):
+        state = Statevector(1)
+        state.apply_gate("h", [0])
+        state.apply_gate("rz", [0], math.pi)
+        assert state.is_normalized()
+
+    def test_apply_unknown_gate(self):
+        with pytest.raises(KeyError):
+            Statevector(1).apply_gate("frobnicate", [0])
+
+    def test_duplicate_qubits_rejected(self):
+        with pytest.raises(ValueError):
+            Statevector(2).apply_matrix(gates.CNOT, [0, 0])
+
+    def test_out_of_range_qubit_rejected(self):
+        with pytest.raises(ValueError):
+            Statevector(2).apply_matrix(gates.X, [2])
+
+    def test_wrong_matrix_size_rejected(self):
+        with pytest.raises(ValueError):
+            Statevector(2).apply_matrix(gates.CNOT, [0])
+
+    def test_control_target_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            Statevector(2).apply_controlled(gates.X, [0], [0])
+
+    def test_bell_state_preparation(self):
+        state = Statevector(2)
+        state.apply_matrix(gates.H, [0])
+        state.apply_controlled(gates.X, [0], [1])
+        amplitudes = state.to_dict()
+        assert set(amplitudes) == {0, 3}
+        assert amplitudes[0] == pytest.approx(1 / math.sqrt(2))
+        assert amplitudes[3] == pytest.approx(1 / math.sqrt(2))
+
+    @given(seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_random_single_qubit_gates_preserve_norm(self, seed):
+        generator = np.random.default_rng(seed)
+        state = Statevector(3)
+        for _ in range(10):
+            qubit = int(generator.integers(0, 3))
+            theta = float(generator.uniform(-math.pi, math.pi))
+            state.apply_matrix(gates.ry(theta), [qubit])
+            state.apply_matrix(gates.rz(theta / 2), [qubit])
+        assert state.is_normalized()
+
+
+class TestProbabilities:
+    def test_marginal_probabilities_order(self):
+        # state |q1 q0> = |10> (integer 2): qubit 0 is 0, qubit 1 is 1
+        state = Statevector.from_int(2, 2)
+        assert np.allclose(state.probabilities([0]), [1.0, 0.0])
+        assert np.allclose(state.probabilities([1]), [0.0, 1.0])
+        # Joint distribution over (q1, q0) with q1 the low bit of the outcome.
+        assert np.allclose(state.probabilities([1, 0]), [0.0, 1.0, 0.0, 0.0])
+
+    def test_probabilities_sum_to_one(self):
+        state = Statevector.uniform_superposition(4)
+        assert state.probabilities([1, 3]).sum() == pytest.approx(1.0)
+
+    def test_probability_of_outcome(self):
+        state = Statevector.from_int(6, 3)
+        assert state.probability_of_outcome([1, 2], 3) == pytest.approx(1.0)
+        assert state.probability_of_outcome([0], 0) == pytest.approx(1.0)
+
+    def test_probability_of_outcome_out_of_range(self):
+        with pytest.raises(ValueError):
+            Statevector(2).probability_of_outcome([0], 2)
+
+
+class TestSamplingAndMeasurement:
+    def test_sampling_deterministic_state(self, rng):
+        state = Statevector.from_int(5, 3)
+        samples = state.sample(shots=50, rng=rng)
+        assert set(samples.tolist()) == {5}
+
+    def test_sample_counts(self, rng):
+        state = Statevector(1)
+        state.apply_matrix(gates.H, [0])
+        counts = state.sample_counts(shots=2000, rng=rng)
+        assert abs(counts[0] - 1000) < 150
+
+    def test_sampling_does_not_collapse(self, rng):
+        state = Statevector(1)
+        state.apply_matrix(gates.H, [0])
+        state.sample(shots=10, rng=rng)
+        assert np.allclose(state.probabilities(), [0.5, 0.5])
+
+    def test_measure_collapses(self, rng):
+        state = Statevector(2)
+        state.apply_matrix(gates.H, [0])
+        state.apply_controlled(gates.X, [0], [1])
+        outcome = state.measure([0, 1], rng=rng)
+        assert outcome in (0, 3)
+        assert state.probability_of_outcome([0, 1], outcome) == pytest.approx(1.0)
+
+    def test_bell_measurements_correlated(self, rng):
+        outcomes = []
+        for _ in range(20):
+            state = Statevector(2)
+            state.apply_matrix(gates.H, [0])
+            state.apply_controlled(gates.X, [0], [1])
+            outcomes.append(state.measure([0, 1], rng=rng))
+        assert set(outcomes) <= {0, 3}
+
+    def test_project_impossible_outcome(self):
+        state = Statevector.from_int(0, 2)
+        with pytest.raises(ValueError):
+            state.project([0], 1)
+
+    def test_reset_qubit(self, rng):
+        state = Statevector.from_int(3, 2)
+        state.reset_qubit(0, rng=rng)
+        assert state.probability_of_outcome([0], 0) == pytest.approx(1.0)
+        assert state.probability_of_outcome([1], 1) == pytest.approx(1.0)
+
+
+class TestObservablesAndComparison:
+    def test_expectation_value_of_z(self):
+        state = Statevector.from_int(1, 1)
+        assert state.expectation_value(gates.Z, [0]) == pytest.approx(-1.0)
+
+    def test_expectation_value_full_register(self):
+        state = Statevector.uniform_superposition(2)
+        matrix = np.kron(gates.Z, gates.Z)
+        assert state.expectation_value(matrix) == pytest.approx(0.0)
+
+    def test_inner_and_fidelity(self):
+        a = Statevector.from_int(0, 1)
+        b = Statevector(1)
+        b.apply_matrix(gates.H, [0])
+        assert a.fidelity(b) == pytest.approx(0.5)
+        assert abs(a.inner(b)) == pytest.approx(1 / math.sqrt(2))
+
+    def test_equiv_up_to_global_phase(self):
+        a = Statevector.from_int(1, 1)
+        b = Statevector(1, data=np.array([0.0, 1j]))
+        assert a.equiv(b)
+        assert a != b
+
+    def test_incompatible_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            Statevector(1).inner(Statevector(2))
+
+    def test_normalize(self):
+        state = Statevector(1, data=np.array([3.0, 4.0]))
+        state.normalize()
+        assert state.norm() == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            Statevector(1, data=np.array([0.0, 0.0])).normalize()
