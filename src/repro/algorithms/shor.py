@@ -77,6 +77,7 @@ def build_shor_program(
     num_output_bits: int = 3,
     inverse_overrides: dict[int, int] | None = None,
     with_assertions: bool = True,
+    assert_each_iteration: bool = False,
     name: str = "shor",
 ) -> ShorCircuit:
     """Build the full Shor order-finding program for ``modulus`` and ``base``.
@@ -95,6 +96,12 @@ def build_shor_program(
     with_assertions:
         Include the precondition / postcondition assertions of Sections 4.1
         and 4.6.
+    assert_each_iteration:
+        Additionally assert after every controlled modular-multiplication
+        iteration that the scratch register is back at 0 — the paper's
+        interactive debugging workflow, which places a breakpoint per
+        iteration of Figure 2.  This is the "Shor breakpoint workload" used
+        by the incremental-executor benchmark.
     """
     if math.gcd(base, modulus) != 1:
         raise ValueError("base must be coprime with the modulus (otherwise gcd already factors it)")
@@ -135,6 +142,10 @@ def build_shor_program(
             comparison[0],
             inverse_multiplier=inverse,
         )
+        if with_assertions and assert_each_iteration:
+            program.assert_classical(
+                work, 0, label=f"iteration {k}: scratch returned to 0"
+            )
 
     if with_assertions:
         # Garbage collection check (Sections 4.5-4.6): the ancillary register

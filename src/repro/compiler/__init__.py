@@ -12,10 +12,19 @@ from .passes import (
     resource_report,
     validate_program,
 )
-from .splitter import BreakpointProgram, split_at_assertions
+from .splitter import (
+    BreakpointProgram,
+    ExecutionPlan,
+    PlanSegment,
+    build_execution_plan,
+    split_at_assertions,
+)
 
 __all__ = [
     "BreakpointProgram",
+    "PlanSegment",
+    "ExecutionPlan",
+    "build_execution_plan",
     "split_at_assertions",
     "BreakpointExecutor",
     "BreakpointMeasurements",

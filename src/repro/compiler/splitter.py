@@ -1,35 +1,56 @@
-"""Breakpoint splitting: one executable program per assertion.
+"""Breakpoint splitting: shared-prefix execution plans.
 
 The paper's tool uses the ScaffCC compiler to turn a Scaffold program with
 assertions into "multiple versions of OpenQASM.  Each version of the compiled
 program has the program execution up to the quantum breakpoint, followed by an
 early measurement and assertions on expected values for the quantum
-variables."  This module performs the same transformation on our IR: every
-assertion statement becomes a :class:`BreakpointProgram` containing the
-program prefix up to (but excluding) the assertion, plus the assertion
-specification itself.
+variables."  Reproducing that literally costs O(total_gates x k) gate
+applications for a k-assertion program, because every breakpoint re-simulates
+its whole prefix from scratch.
+
+This module instead compiles the program into an :class:`ExecutionPlan` made
+of :class:`PlanSegment`\\ s — the *delta* instructions between consecutive
+breakpoints.  Consecutive breakpoints share their common prefix, so an
+incremental executor (:mod:`repro.compiler.executor`) can walk the plan once,
+checkpoint at each breakpoint, and do O(total_gates) work overall.  The
+original per-breakpoint view is still available: :class:`BreakpointProgram`
+remains as a thin compatibility layer materialised on demand via
+:func:`split_at_assertions` or :meth:`ExecutionPlan.breakpoint_programs`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..lang.instructions import (
     AssertionInstruction,
     BarrierInstruction,
     BlockMarkerInstruction,
     GateInstruction,
+    Instruction,
     MeasureInstruction,
     PrepInstruction,
 )
 from ..lang.program import Program
+from ..lang.registers import Qubit
 
-__all__ = ["BreakpointProgram", "split_at_assertions"]
+__all__ = [
+    "PlanSegment",
+    "ExecutionPlan",
+    "BreakpointProgram",
+    "build_execution_plan",
+    "split_at_assertions",
+]
 
 
 @dataclass
 class BreakpointProgram:
-    """One breakpoint: a runnable prefix program plus the assertion to check."""
+    """One breakpoint: a runnable prefix program plus the assertion to check.
+
+    Compatibility view over the plan: the prefix program replays every
+    non-assertion instruction before the breakpoint, exactly as the paper's
+    per-version compilation does.
+    """
 
     index: int
     name: str
@@ -49,59 +70,169 @@ class BreakpointProgram:
         )
 
 
-def split_at_assertions(program: Program, include_trailing: bool = False) -> list[BreakpointProgram]:
-    """Split ``program`` into one breakpoint program per assertion statement.
+@dataclass
+class PlanSegment:
+    """The delta between two consecutive breakpoints.
 
-    Parameters
-    ----------
-    program:
-        The program containing assertion statements.
-    include_trailing:
-        When True, a final pseudo-breakpoint containing the whole program (and
-        no assertion) is *not* generated — the flag is reserved for future use
-        and currently ignored; the executor runs the full program separately
-        when final measurement statistics are needed.
-
-    Returns
-    -------
-    list[BreakpointProgram]
-        Breakpoints in program order.  Each breakpoint's program contains every
-        non-assertion instruction that precedes the assertion in the original
-        program (gates, preparations, barriers and block markers); assertions
-        themselves are never replayed because the early measurement that
-        implements them would destroy the state.
+    ``instructions`` holds every non-assertion instruction strictly between
+    the previous breakpoint (or the program start for segment 0) and this
+    segment's assertion.  Simulating the segments in order reconstructs every
+    breakpoint prefix exactly once.
     """
-    del include_trailing
-    breakpoints: list[BreakpointProgram] = []
-    prefix_instructions = []
-    gate_count = 0
-    for instruction in program.instructions:
-        if isinstance(instruction, AssertionInstruction):
-            breakpoint_program = Program(f"{program.name}_bp{len(breakpoints)}")
-            for register in program.registers:
-                breakpoint_program.add_register(register)
-            for prefix_instruction in prefix_instructions:
-                breakpoint_program.append(prefix_instruction)
-            label = instruction.label or instruction.describe()
-            breakpoints.append(
+
+    index: int
+    name: str
+    instructions: tuple[Instruction, ...]
+    assertion: AssertionInstruction
+    #: Cumulative unitary gates before this breakpoint (sum of deltas so far).
+    gates_before: int
+    #: Unitary gates inside this segment alone.
+    gate_delta: int
+
+    def measured_qubits(self) -> list[Qubit]:
+        return self.assertion.qubits()
+
+    def describe(self) -> str:
+        return (
+            f"segment {self.index} ({self.name}): +{self.gate_delta} gates "
+            f"(cumulative {self.gates_before}), {self.assertion.describe()}"
+        )
+
+
+@dataclass
+class ExecutionPlan:
+    """Shared-prefix compilation of a program's breakpoints.
+
+    The plan owns the source program (for register/qubit numbering) and the
+    ordered segment list.  Walking the segments once and checkpointing at each
+    assertion performs ``total_gates`` gate applications, versus
+    ``sum(gates_before)`` for the legacy one-prefix-per-breakpoint scheme.
+    """
+
+    program: Program
+    segments: list[PlanSegment] = field(default_factory=list)
+
+    @property
+    def num_breakpoints(self) -> int:
+        return len(self.segments)
+
+    @property
+    def total_gates(self) -> int:
+        """Unitary gate *instructions* a single incremental walk applies.
+
+        ``PrepZ`` corrections are not gate instructions, so a backend's
+        instrumented ``gates_applied`` counter can exceed this by one X per
+        value-1 preparation; the asymptotic bound is unaffected because
+        preparations, like gates, run once per walk instead of once per
+        prefix.
+        """
+        return sum(segment.gate_delta for segment in self.segments)
+
+    @property
+    def legacy_gates(self) -> int:
+        """Gate instructions the per-prefix scheme simulates (O(total_gates x k))."""
+        return sum(segment.gates_before for segment in self.segments)
+
+    def _materialize_prefix(self, index: int, instructions: list) -> Program:
+        """Build a prefix program from pre-validated instructions.
+
+        The instructions were validated against the same registers when the
+        source program was built, so they are placed directly instead of
+        re-validated through ``Program.append``.
+        """
+        prefix = Program(f"{self.program.name}_bp{index}")
+        for register in self.program.registers:
+            prefix.add_register(register)
+        prefix.instructions = instructions
+        return prefix
+
+    def prefix_program(self, index: int) -> Program:
+        """Materialise the full prefix program of breakpoint ``index``."""
+        instructions = [
+            instruction
+            for earlier in self.segments[: index + 1]
+            for instruction in earlier.instructions
+        ]
+        return self._materialize_prefix(index, instructions)
+
+    def breakpoint_programs(self) -> list[BreakpointProgram]:
+        """The legacy per-breakpoint view (one prefix program per assertion)."""
+        programs = []
+        cumulative: list = []
+        for segment in self.segments:
+            cumulative.extend(segment.instructions)
+            programs.append(
                 BreakpointProgram(
-                    index=len(breakpoints),
-                    name=label,
-                    program=breakpoint_program,
-                    assertion=instruction,
-                    gates_before=gate_count,
+                    index=segment.index,
+                    name=segment.name,
+                    program=self._materialize_prefix(segment.index, list(cumulative)),
+                    assertion=segment.assertion,
+                    gates_before=segment.gates_before,
                 )
             )
+        return programs
+
+    def describe(self) -> str:
+        lines = [
+            f"plan for {self.program.name}: {self.num_breakpoints} breakpoints, "
+            f"{self.total_gates} gates incremental vs {self.legacy_gates} legacy"
+        ]
+        lines.extend(f"  {segment.describe()}" for segment in self.segments)
+        return "\n".join(lines)
+
+
+def build_execution_plan(program: Program) -> ExecutionPlan:
+    """Compile ``program`` into an :class:`ExecutionPlan` of delta segments.
+
+    Each assertion statement becomes one segment holding the instructions
+    since the previous assertion.  Terminal measurements are excluded (the
+    breakpoint's own early measurement replaces them); assertions themselves
+    are never replayed because the early measurement that implements them
+    would destroy the state.  Instructions after the last assertion do not
+    belong to any segment — no breakpoint ever executes them.
+    """
+    plan = ExecutionPlan(program=program)
+    pending: list[Instruction] = []
+    pending_gates = 0
+    cumulative_gates = 0
+    for instruction in program.instructions:
+        if isinstance(instruction, AssertionInstruction):
+            cumulative_gates += pending_gates
+            label = instruction.label or instruction.describe()
+            plan.segments.append(
+                PlanSegment(
+                    index=len(plan.segments),
+                    name=label,
+                    instructions=tuple(pending),
+                    assertion=instruction,
+                    gates_before=cumulative_gates,
+                    gate_delta=pending_gates,
+                )
+            )
+            pending = []
+            pending_gates = 0
             continue
         if isinstance(instruction, MeasureInstruction):
             # Terminal measurements are not part of any breakpoint prefix; the
             # breakpoint's own early measurement replaces them.
             continue
         if isinstance(instruction, GateInstruction):
-            gate_count += 1
+            pending_gates += 1
         elif not isinstance(
             instruction, (PrepInstruction, BarrierInstruction, BlockMarkerInstruction)
         ):  # pragma: no cover - defensive
             raise TypeError(f"unexpected instruction type {type(instruction)!r}")
-        prefix_instructions.append(instruction)
-    return breakpoints
+        pending.append(instruction)
+    return plan
+
+
+def split_at_assertions(program: Program) -> list[BreakpointProgram]:
+    """Split ``program`` into one breakpoint program per assertion statement.
+
+    Compatibility wrapper over :func:`build_execution_plan`: each returned
+    :class:`BreakpointProgram` contains every non-assertion instruction that
+    precedes its assertion in the original program (gates, preparations,
+    barriers and block markers), materialised from the plan's shared-prefix
+    segments.
+    """
+    return build_execution_plan(program).breakpoint_programs()

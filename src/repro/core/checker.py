@@ -20,8 +20,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..compiler.executor import BreakpointExecutor
-from ..compiler.splitter import BreakpointProgram, split_at_assertions
+from ..compiler.executor import BreakpointExecutor, BreakpointMeasurements
+from ..compiler.splitter import (
+    BreakpointProgram,
+    ExecutionPlan,
+    build_execution_plan,
+    split_at_assertions,
+)
 from ..lang.instructions import (
     AssertionInstruction,
     ClassicalAssertInstruction,
@@ -82,6 +87,7 @@ class StatisticalAssertionChecker:
         rng: np.random.Generator | int | None = None,
         mode: str = "sample",
         readout_error: ReadoutErrorModel | None = None,
+        backend: str | None = None,
     ):
         self.program = program
         self.ensemble_size = int(ensemble_size)
@@ -92,30 +98,46 @@ class StatisticalAssertionChecker:
             rng=self.rng,
             mode=mode,
             readout_error=readout_error,
+            backend=backend,
         )
 
     # ------------------------------------------------------------------
+
+    def execution_plan(self) -> ExecutionPlan:
+        """The shared-prefix plan the incremental executor walks."""
+        return build_execution_plan(self.program)
 
     def breakpoints(self) -> list[BreakpointProgram]:
         return split_at_assertions(self.program)
 
     def evaluate_breakpoint(self, breakpoint_program: BreakpointProgram) -> AssertionOutcome:
-        """Run one breakpoint and evaluate its assertion."""
+        """Run one breakpoint in isolation and evaluate its assertion."""
         measurements = self.executor.run(breakpoint_program)
-        evaluator = build_evaluator(breakpoint_program.assertion, self.significance)
+        return self._evaluate(measurements)
+
+    def _evaluate(self, measurements: BreakpointMeasurements) -> AssertionOutcome:
+        evaluator = build_evaluator(
+            measurements.breakpoint.assertion, self.significance
+        )
         if isinstance(evaluator, (ClassicalAssertion, SuperpositionAssertion)):
             return evaluator.evaluate(measurements.group_a)
         return evaluator.evaluate(measurements.group_a, measurements.group_b)
 
     def run(self) -> DebugReport:
-        """Check every assertion and return the full report."""
+        """Check every assertion and return the full report.
+
+        Ensembles come from one incremental walk of the execution plan (or
+        per-member prefix re-simulation in ``"rerun"`` mode — the executor
+        decides based on its mode).
+        """
         report = DebugReport(
             program_name=self.program.name,
             ensemble_size=self.ensemble_size,
             significance=self.significance,
         )
-        for breakpoint_program in self.breakpoints():
-            outcome = self.evaluate_breakpoint(breakpoint_program)
+        for measurements in self.executor.run_plan(self.execution_plan()):
+            breakpoint_program = measurements.breakpoint
+            outcome = self._evaluate(measurements)
             report.add(
                 BreakpointRecord(
                     index=breakpoint_program.index,
@@ -142,6 +164,7 @@ def check_program(
     significance: float = DEFAULT_SIGNIFICANCE,
     rng: np.random.Generator | int | None = None,
     mode: str = "sample",
+    backend: str | None = None,
 ) -> DebugReport:
     """One-shot convenience wrapper around :class:`StatisticalAssertionChecker`."""
     checker = StatisticalAssertionChecker(
@@ -150,5 +173,6 @@ def check_program(
         significance=significance,
         rng=rng,
         mode=mode,
+        backend=backend,
     )
     return checker.run()

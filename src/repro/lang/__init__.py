@@ -22,12 +22,13 @@ from .patterns import (
     control,
     uncompute,
 )
-from .program import Program
+from .program import Program, run_instructions
 from .qasm import QasmError, from_qasm, to_qasm
 from .registers import ClassicalRegister, QuantumRegister, Qubit, flatten_qubits
 
 __all__ = [
     "Program",
+    "run_instructions",
     "QuantumRegister",
     "ClassicalRegister",
     "Qubit",

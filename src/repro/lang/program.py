@@ -21,6 +21,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from ..sim.backend import SimulationBackend, make_backend
 from ..sim.statevector import Statevector
 from .instructions import (
     AssertionInstruction,
@@ -37,7 +38,64 @@ from .instructions import (
 )
 from .registers import ClassicalRegister, QuantumRegister, Qubit, flatten_qubits
 
-__all__ = ["Program"]
+__all__ = ["Program", "run_instructions"]
+
+
+def run_instructions(
+    program: "Program",
+    instructions: Iterable[Instruction],
+    backend: SimulationBackend,
+    rng: np.random.Generator | int | None = None,
+) -> SimulationBackend:
+    """Interpret a stream of IR ``instructions`` onto an initialised ``backend``.
+
+    This is the single lowering point from the lang IR to the simulation
+    layer: :meth:`Program.simulate` feeds it the whole instruction list, the
+    incremental executor feeds it one plan segment at a time.  ``program``
+    supplies the qubit numbering (the instructions must belong to it).
+    Assertions, barriers, block markers and measurements are no-ops here —
+    they are handled by the compiler/executor.
+    """
+    for instruction in instructions:
+        if isinstance(instruction, GateInstruction):
+            targets = [program.qubit_index(q) for q in instruction.targets]
+            if instruction.controls:
+                controls = [program.qubit_index(q) for q in instruction.controls]
+                backend.apply_controlled(instruction.base_matrix(), controls, targets)
+            else:
+                backend.apply_matrix(instruction.base_matrix(), targets)
+        elif isinstance(instruction, PrepInstruction):
+            _apply_prep(program, backend, instruction, rng)
+        elif isinstance(
+            instruction,
+            (
+                AssertionInstruction,
+                BarrierInstruction,
+                BlockMarkerInstruction,
+                MeasureInstruction,
+            ),
+        ):
+            continue
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown instruction type: {type(instruction)!r}")
+    return backend
+
+
+def _apply_prep(
+    program: "Program",
+    backend: SimulationBackend,
+    instruction: PrepInstruction,
+    rng: np.random.Generator | int | None,
+) -> None:
+    """``PrepZ``: exact on basis-state qubits, measurement-based reset otherwise."""
+    index = program.qubit_index(instruction.qubit)
+    probability_one = float(backend.probabilities([index])[1])
+    if probability_one < 1e-12 or probability_one > 1.0 - 1e-12:
+        current = 1 if probability_one > 0.5 else 0
+    else:
+        current = backend.measure([index], rng=rng)
+    if current != instruction.value:
+        backend.apply_gate("x", [index])
 
 
 class Program:
@@ -454,38 +512,31 @@ class Program:
         self,
         initial_state: Statevector | None = None,
         rng: np.random.Generator | int | None = None,
+        backend: "str | SimulationBackend | None" = None,
     ) -> Statevector:
-        """Run the unitary content of the program on the statevector simulator.
+        """Run the unitary content of the program on a simulation backend.
 
         Assertions, barriers, block markers and trailing measurements are
         skipped — they are handled by the compiler/executor.  ``PrepZ`` on a
         qubit that is still in a computational basis state is applied exactly;
         on a qubit in superposition it falls back to a measurement-based reset
         using ``rng`` (the paper's programs only prepare fresh qubits).
-        """
-        state = initial_state.copy() if initial_state is not None else Statevector(self.num_qubits)
-        if state.num_qubits != self.num_qubits:
-            raise ValueError("initial state has the wrong number of qubits")
-        for instruction in self.instructions:
-            if isinstance(instruction, GateInstruction):
-                targets = [self.qubit_index(q) for q in instruction.targets]
-                if instruction.controls:
-                    controls = [self.qubit_index(q) for q in instruction.controls]
-                    state.apply_controlled(instruction.base_matrix(), controls, targets)
-                else:
-                    state.apply_matrix(instruction.base_matrix(), targets)
-            elif isinstance(instruction, PrepInstruction):
-                self._apply_prep(state, instruction, rng)
-            elif isinstance(
-                instruction,
-                (AssertionInstruction, BarrierInstruction, BlockMarkerInstruction, MeasureInstruction),
-            ):
-                continue
-            else:  # pragma: no cover - defensive
-                raise TypeError(f"unknown instruction type: {type(instruction)!r}")
-        return state
 
-    def unitary(self) -> np.ndarray:
+        ``backend`` selects the simulation backend (a registry name such as
+        ``"statevector"``, a :class:`repro.sim.SimulationBackend` instance, or
+        ``None`` for the default statevector backend).  The returned state is
+        always a :class:`Statevector`; when an explicit backend instance is
+        passed it is left holding the final state (with its gate counter
+        updated) and the returned statevector is a copy.
+        """
+        engine = make_backend(backend)
+        engine.initialize(self.num_qubits, initial_state=initial_state)
+        run_instructions(self, self.instructions, engine, rng=rng)
+        # Only a caller-owned backend instance keeps the state; engines
+        # created here are discarded, so their state can be handed out as-is.
+        return engine.to_statevector(copy=isinstance(backend, SimulationBackend))
+
+    def unitary(self, backend: "str | SimulationBackend | None" = None) -> np.ndarray:
         """Exact unitary matrix of the program's gate content.
 
         Used to cross-validate subroutines against closed-form linear algebra
@@ -505,26 +556,12 @@ class Program:
         dim = 1 << self.num_qubits
         matrix = np.zeros((dim, dim), dtype=complex)
         for column in range(dim):
-            state = self.simulate(initial_state=Statevector.from_int(column, self.num_qubits))
+            state = self.simulate(
+                initial_state=Statevector.from_int(column, self.num_qubits),
+                backend=backend,
+            )
             matrix[:, column] = state.data
         return matrix
-
-    def _apply_prep(
-        self,
-        state: Statevector,
-        instruction: PrepInstruction,
-        rng: np.random.Generator | int | None,
-    ) -> None:
-        index = self.qubit_index(instruction.qubit)
-        probability_one = state.probability_of_outcome([index], 1)
-        if probability_one < 1e-12 or probability_one > 1.0 - 1e-12:
-            current = 1 if probability_one > 0.5 else 0
-        else:
-            current = state.measure([index], rng=rng)
-        if current != instruction.value:
-            from ..sim import gates as _gates
-
-            state.apply_matrix(_gates.X, [index])
 
     # ------------------------------------------------------------------
     # Rendering

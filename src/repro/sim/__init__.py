@@ -1,6 +1,13 @@
 """Quantum simulation substrate (statevector simulator replacing QX)."""
 
-from . import gates
+from . import gates, kernels
+from .backend import (
+    BACKENDS,
+    SimulationBackend,
+    StatevectorBackend,
+    make_backend,
+    register_backend,
+)
 from .density import (
     DensityMatrix,
     entanglement_entropy,
@@ -22,6 +29,12 @@ from .unitary import (
 
 __all__ = [
     "gates",
+    "kernels",
+    "SimulationBackend",
+    "StatevectorBackend",
+    "BACKENDS",
+    "register_backend",
+    "make_backend",
     "Statevector",
     "DensityMatrix",
     "MeasurementEnsemble",

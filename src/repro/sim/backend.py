@@ -1,0 +1,288 @@
+"""Pluggable simulation backends.
+
+The execution stack (``lang`` programs → compiler ``ExecutionPlan`` →
+simulation → ``core`` checker) talks to the simulator exclusively through the
+:class:`SimulationBackend` interface defined here.  The interface is the
+extension point for alternative simulation strategies — a density-matrix
+backend for noisy ensembles or a stabilizer backend for Clifford-only
+programs would subclass it and register under a new name — while
+:class:`StatevectorBackend` is the production implementation backing every
+benchmark.
+
+Two capabilities distinguish the interface from a bare statevector:
+
+* ``snapshot`` / ``restore`` — cheap checkpointing, which is what lets the
+  incremental executor simulate a k-assertion program once instead of k
+  times (each breakpoint draws its measurement ensemble from a snapshot and
+  the walk continues from the restored state);
+* ``gates_applied`` — an instrumented gate counter, so tests and benchmarks
+  can verify the O(total_gates) work bound of the incremental engine rather
+  than trusting wall-clock noise.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Sequence
+
+import numpy as np
+
+from . import gates as _gates
+from .kernels import apply_controlled_inplace, apply_matrix_inplace
+from .statevector import Statevector
+
+__all__ = [
+    "SimulationBackend",
+    "StatevectorBackend",
+    "BACKENDS",
+    "register_backend",
+    "make_backend",
+]
+
+
+class SimulationBackend(abc.ABC):
+    """Abstract interface every simulation backend implements.
+
+    A backend owns one quantum state.  ``initialize`` (re)sets it; the
+    ``apply_*`` methods evolve it; ``probabilities``/``sample``/``measure``
+    read it out; ``snapshot``/``restore`` checkpoint it.  Gate applications
+    are counted in :attr:`gates_applied` for cost accounting.
+    """
+
+    #: Registry name of the backend (subclasses override).
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self.gates_applied = 0
+
+    # -- state lifecycle ------------------------------------------------
+
+    @abc.abstractmethod
+    def initialize(
+        self, num_qubits: int, initial_state: Statevector | None = None
+    ) -> "SimulationBackend":
+        """Reset to ``|0...0>`` on ``num_qubits`` (or to ``initial_state``)."""
+
+    @property
+    @abc.abstractmethod
+    def num_qubits(self) -> int:
+        """Number of qubits of the current state."""
+
+    @abc.abstractmethod
+    def snapshot(self) -> object:
+        """Opaque checkpoint token for the current state."""
+
+    @abc.abstractmethod
+    def restore(self, token: object) -> "SimulationBackend":
+        """Restore a state previously captured with :meth:`snapshot`.
+
+        The token stays valid and may be restored again.
+        """
+
+    # -- evolution ------------------------------------------------------
+
+    @abc.abstractmethod
+    def apply_matrix(
+        self, matrix: np.ndarray, qubits: Sequence[int]
+    ) -> "SimulationBackend":
+        """Apply a unitary matrix to the listed qubits (``qubits[0]`` = LSB)."""
+
+    @abc.abstractmethod
+    def apply_controlled(
+        self,
+        matrix: np.ndarray,
+        controls: Sequence[int],
+        targets: Sequence[int],
+    ) -> "SimulationBackend":
+        """Apply ``matrix`` on ``targets`` conditioned on all controls = 1."""
+
+    def apply_gate(
+        self, name: str, qubits: Sequence[int], *params: float
+    ) -> "SimulationBackend":
+        """Apply a named gate from the :mod:`repro.sim.gates` library."""
+        key = name.lower()
+        if key in _gates.FIXED_GATES:
+            if params:
+                raise ValueError(f"gate {name!r} takes no parameters")
+            return self.apply_matrix(_gates.FIXED_GATES[key], qubits)
+        if key in _gates.GATE_BUILDERS:
+            return self.apply_matrix(_gates.GATE_BUILDERS[key](*params), qubits)
+        raise KeyError(f"unknown gate {name!r}")
+
+    # -- readout --------------------------------------------------------
+
+    @abc.abstractmethod
+    def probabilities(self, qubits: Sequence[int] | None = None) -> np.ndarray:
+        """Marginal outcome distribution over ``qubits`` (little-endian)."""
+
+    @abc.abstractmethod
+    def sample(
+        self,
+        qubits: Sequence[int] | None = None,
+        shots: int = 1,
+        rng: np.random.Generator | int | None = None,
+    ) -> np.ndarray:
+        """Draw ``shots`` measurement outcomes from the current state.
+
+        Backends with a full state description (statevector, density matrix)
+        sample without disturbing the state; backends with destructive
+        readout may collapse it.  Callers that must keep the state — the
+        incremental executor above all — bracket sampling in
+        ``snapshot``/``restore`` rather than relying on non-destructive
+        sampling, so either behaviour is conforming.
+        """
+
+    @abc.abstractmethod
+    def measure(
+        self,
+        qubits: Sequence[int],
+        rng: np.random.Generator | int | None = None,
+    ) -> int:
+        """Projectively measure ``qubits``, collapsing the state."""
+
+    # -- conversion -----------------------------------------------------
+
+    def to_statevector(self, copy: bool = True) -> Statevector:
+        """Dense statevector view of the state, when the backend has one."""
+        raise NotImplementedError(
+            f"backend {self.name!r} cannot produce a statevector"
+        )
+
+
+class StatevectorBackend(SimulationBackend):
+    """Dense statevector backend built on the kernels in :mod:`repro.sim.kernels`.
+
+    Controlled gates go through the index-masked kernel (the base matrix is
+    applied only on the control-satisfied subspace; the dense controlled
+    unitary is never built) and 1-/2-qubit gates take vectorised fast paths.
+    """
+
+    name = "statevector"
+
+    def __init__(self, num_qubits: int | None = None):
+        super().__init__()
+        self._state: Statevector | None = None
+        if num_qubits is not None:
+            self.initialize(num_qubits)
+
+    # -- state lifecycle ------------------------------------------------
+
+    def initialize(
+        self, num_qubits: int, initial_state: Statevector | None = None
+    ) -> "StatevectorBackend":
+        if initial_state is not None:
+            if initial_state.num_qubits != num_qubits:
+                raise ValueError("initial state has the wrong number of qubits")
+            self._state = initial_state.copy()
+        else:
+            self._state = Statevector(num_qubits)
+        return self
+
+    @property
+    def num_qubits(self) -> int:
+        return self._require_state().num_qubits
+
+    def snapshot(self) -> np.ndarray:
+        return self._require_state().data.copy()
+
+    def restore(self, token: object) -> "StatevectorBackend":
+        state = self._require_state()
+        data = np.asarray(token)
+        if data.shape != state.data.shape:
+            raise ValueError("snapshot does not match the current register size")
+        state.data = data.copy()
+        return self
+
+    # -- evolution ------------------------------------------------------
+
+    def apply_matrix(
+        self, matrix: np.ndarray, qubits: Sequence[int]
+    ) -> "StatevectorBackend":
+        self._require_state().apply_matrix(matrix, qubits)
+        self.gates_applied += 1
+        return self
+
+    def apply_controlled(
+        self,
+        matrix: np.ndarray,
+        controls: Sequence[int],
+        targets: Sequence[int],
+    ) -> "StatevectorBackend":
+        self._require_state().apply_controlled(matrix, controls, targets)
+        self.gates_applied += 1
+        return self
+
+    # -- readout --------------------------------------------------------
+
+    def probabilities(self, qubits: Sequence[int] | None = None) -> np.ndarray:
+        return self._require_state().probabilities(qubits)
+
+    def sample(
+        self,
+        qubits: Sequence[int] | None = None,
+        shots: int = 1,
+        rng: np.random.Generator | int | None = None,
+    ) -> np.ndarray:
+        return self._require_state().sample(qubits, shots=shots, rng=rng)
+
+    def measure(
+        self,
+        qubits: Sequence[int],
+        rng: np.random.Generator | int | None = None,
+    ) -> int:
+        return self._require_state().measure(qubits, rng=rng)
+
+    # -- conversion -----------------------------------------------------
+
+    def to_statevector(self, copy: bool = True) -> Statevector:
+        state = self._require_state()
+        return state.copy() if copy else state
+
+    def _require_state(self) -> Statevector:
+        if self._state is None:
+            raise RuntimeError("backend not initialised; call initialize() first")
+        return self._state
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        qubits = self._state.num_qubits if self._state is not None else None
+        return f"StatevectorBackend(num_qubits={qubits})"
+
+
+#: Backend registry: name -> zero-argument factory.
+BACKENDS: dict[str, Callable[[], SimulationBackend]] = {
+    StatevectorBackend.name: StatevectorBackend,
+}
+
+
+def register_backend(name: str, factory: Callable[[], SimulationBackend]) -> None:
+    """Register a backend factory under ``name`` (overwrites existing)."""
+    BACKENDS[name] = factory
+
+
+def make_backend(
+    spec: "str | SimulationBackend | Callable[[], SimulationBackend] | None" = None,
+) -> SimulationBackend:
+    """Resolve a backend spec into a backend instance.
+
+    ``None`` means the default statevector backend; a string looks up the
+    registry; an instance is used as-is (sharing its state with the caller);
+    anything callable is treated as a factory.
+    """
+    if spec is None:
+        return StatevectorBackend()
+    if isinstance(spec, SimulationBackend):
+        return spec
+    if isinstance(spec, str):
+        try:
+            factory = BACKENDS[spec]
+        except KeyError:
+            raise KeyError(
+                f"unknown backend {spec!r}; available: {', '.join(sorted(BACKENDS))}"
+            ) from None
+        return factory()
+    if callable(spec):
+        backend = spec()
+        if not isinstance(backend, SimulationBackend):
+            raise TypeError("backend factory did not return a SimulationBackend")
+        return backend
+    raise TypeError(f"cannot interpret backend spec {spec!r}")

@@ -87,12 +87,15 @@ class MeasurementEnsemble:
             raise ValueError("empty ensemble has no empirical distribution")
         return freq / total
 
-    def extract_bits(self, bit_positions: Sequence[int]) -> "MeasurementEnsemble":
+    def extract_bits(
+        self, bit_positions: Sequence[int], label: str | None = None
+    ) -> "MeasurementEnsemble":
         """Project the ensemble onto a subset of measured bits.
 
         ``bit_positions[j]`` becomes bit ``j`` of the new outcomes.  This is
         how the checker slices a joint measurement of all qubits into the
-        per-register ensembles the assertions need.
+        per-register ensembles the assertions need.  ``label`` names the new
+        ensemble; by default it inherits this ensemble's label.
         """
         new_samples = []
         for sample in self.samples:
@@ -101,7 +104,9 @@ class MeasurementEnsemble:
                 value |= ((sample >> position) & 1) << j
             new_samples.append(value)
         return MeasurementEnsemble(
-            num_bits=len(bit_positions), samples=new_samples, label=self.label
+            num_bits=len(bit_positions),
+            samples=new_samples,
+            label=self.label if label is None else label,
         )
 
     def extend(self, other: "MeasurementEnsemble") -> "MeasurementEnsemble":

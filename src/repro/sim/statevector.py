@@ -21,6 +21,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from . import gates as _gates
+from . import kernels as _kernels
 
 __all__ = ["Statevector"]
 
@@ -158,19 +159,7 @@ class Statevector:
             raise ValueError(
                 f"matrix of shape {matrix.shape} does not act on {k} qubit(s)"
             )
-        n = self.num_qubits
-        tensor = self.data.reshape([2] * n)
-        # Axis of qubit q in the reshaped tensor is n - 1 - q.  Moving the
-        # axes of the operands (most-significant operand first) to the front
-        # makes the composite front index little-endian in ``qubit_list``.
-        source_axes = [n - 1 - q for q in reversed(qubit_list)]
-        tensor = np.moveaxis(tensor, source_axes, range(k))
-        shape_rest = tensor.shape[k:]
-        tensor = tensor.reshape(1 << k, -1)
-        tensor = matrix @ tensor
-        tensor = tensor.reshape([2] * k + list(shape_rest))
-        tensor = np.moveaxis(tensor, range(k), source_axes)
-        self.data = tensor.reshape(-1)
+        _kernels.apply_matrix_inplace(self.data, self.num_qubits, matrix, qubit_list)
         return self
 
     def apply_controlled(
@@ -179,13 +168,26 @@ class Statevector:
         controls: Sequence[int] | int,
         targets: Sequence[int] | int,
     ) -> "Statevector":
-        """Apply ``matrix`` on ``targets`` controlled by ``controls`` (all = 1)."""
+        """Apply ``matrix`` on ``targets`` controlled by ``controls`` (all = 1).
+
+        The base matrix is applied only on the control-satisfied subspace
+        (index masking); the dense controlled unitary is never materialised.
+        """
         control_list = _as_qubit_list(controls)
         target_list = _as_qubit_list(targets)
         if set(control_list) & set(target_list):
             raise ValueError("control and target qubits overlap")
-        full = _gates.controlled(matrix, num_controls=len(control_list))
-        return self.apply_matrix(full, control_list + target_list)
+        self._validate_qubits(control_list + target_list)
+        matrix = np.asarray(matrix, dtype=complex)
+        if matrix.shape != (1 << len(target_list), 1 << len(target_list)):
+            raise ValueError(
+                f"matrix of shape {matrix.shape} does not act on "
+                f"{len(target_list)} qubit(s)"
+            )
+        _kernels.apply_controlled_inplace(
+            self.data, self.num_qubits, matrix, control_list, target_list
+        )
+        return self
 
     def apply_gate(self, name: str, qubits: Sequence[int] | int, *params: float) -> "Statevector":
         """Apply a named gate from the :mod:`repro.sim.gates` library."""

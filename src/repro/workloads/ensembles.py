@@ -14,7 +14,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from ..compiler.splitter import split_at_assertions
+from ..compiler.splitter import build_execution_plan
 from ..core.checker import StatisticalAssertionChecker
 from ..lang.program import Program
 
@@ -52,6 +52,7 @@ def _repeat_checks(
     trials: int,
     significance: float,
     rng: np.random.Generator | int | None,
+    backend: str | None = None,
 ) -> DetectionResult:
     generator = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
     program = build_program() if callable(build_program) else build_program
@@ -62,6 +63,7 @@ def _repeat_checks(
             ensemble_size=ensemble_size,
             significance=significance,
             rng=generator,
+            backend=backend,
         )
         report = checker.run()
         if not report.passed:
@@ -80,9 +82,12 @@ def detection_rate(
     trials: int = 20,
     significance: float = 0.05,
     rng: np.random.Generator | int | None = None,
+    backend: str | None = None,
 ) -> float:
     """Fraction of checking runs on a *buggy* program in which some assertion fails."""
-    result = _repeat_checks(build_buggy_program, ensemble_size, trials, significance, rng)
+    result = _repeat_checks(
+        build_buggy_program, ensemble_size, trials, significance, rng, backend
+    )
     return result.failure_fraction
 
 
@@ -92,9 +97,12 @@ def false_positive_rate(
     trials: int = 20,
     significance: float = 0.05,
     rng: np.random.Generator | int | None = None,
+    backend: str | None = None,
 ) -> float:
     """Fraction of checking runs on a *correct* program in which some assertion fails."""
-    result = _repeat_checks(build_correct_program, ensemble_size, trials, significance, rng)
+    result = _repeat_checks(
+        build_correct_program, ensemble_size, trials, significance, rng, backend
+    )
     return result.failure_fraction
 
 
@@ -105,6 +113,7 @@ def ensemble_size_sweep(
     trials: int = 20,
     significance: float = 0.05,
     rng: np.random.Generator | int | None = None,
+    backend: str | None = None,
 ) -> list[dict]:
     """Detection rate and false-positive rate as functions of the ensemble size."""
     generator = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
@@ -112,11 +121,11 @@ def ensemble_size_sweep(
     for size in sizes:
         detection = detection_rate(
             build_buggy_program, ensemble_size=size, trials=trials,
-            significance=significance, rng=generator,
+            significance=significance, rng=generator, backend=backend,
         )
         false_positive = false_positive_rate(
             build_correct_program, ensemble_size=size, trials=trials,
-            significance=significance, rng=generator,
+            significance=significance, rng=generator, backend=backend,
         )
         rows.append(
             {
@@ -135,6 +144,7 @@ def significance_sweep(
     ensemble_size: int = 16,
     trials: int = 20,
     rng: np.random.Generator | int | None = None,
+    backend: str | None = None,
 ) -> list[dict]:
     """Detection/false-positive trade-off as the significance level varies."""
     generator = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
@@ -145,11 +155,11 @@ def significance_sweep(
                 "significance": significance,
                 "detection_rate": detection_rate(
                     build_buggy_program, ensemble_size=ensemble_size, trials=trials,
-                    significance=significance, rng=generator,
+                    significance=significance, rng=generator, backend=backend,
                 ),
                 "false_positive_rate": false_positive_rate(
                     build_correct_program, ensemble_size=ensemble_size, trials=trials,
-                    significance=significance, rng=generator,
+                    significance=significance, rng=generator, backend=backend,
                 ),
             }
         )
@@ -160,19 +170,25 @@ def assertion_cost(program: Program, ensemble_size: int = 16) -> dict:
     """Cost model of checking a program's assertions.
 
     The paper's methodology re-simulates the program prefix once per
-    breakpoint, so the dominant cost is the total number of simulated gates
+    breakpoint, so its dominant cost is the total number of simulated gates
     summed over breakpoints, multiplied by the ensemble size when the faithful
-    "rerun" mode is used.
+    "rerun" mode is used.  The incremental executor walks the shared-prefix
+    execution plan once, so its cost is just the gates up to the last
+    breakpoint (``incremental_sample_gates``).
     """
-    breakpoints = split_at_assertions(program)
-    gates_per_breakpoint = [bp.gates_before for bp in breakpoints]
+    plan = build_execution_plan(program)
+    gates_per_breakpoint = [segment.gates_before for segment in plan.segments]
     total_prefix_gates = int(sum(gates_per_breakpoint))
     return {
         "program": program.name,
-        "num_assertions": len(breakpoints),
+        "num_assertions": plan.num_breakpoints,
         "program_gates": program.num_gates(),
         "gates_per_breakpoint": gates_per_breakpoint,
         "total_prefix_gates": total_prefix_gates,
         "sample_mode_simulated_gates": total_prefix_gates,
+        "incremental_sample_gates": plan.total_gates,
+        "incremental_speedup": (
+            total_prefix_gates / plan.total_gates if plan.total_gates else 1.0
+        ),
         "rerun_mode_simulated_gates": total_prefix_gates * ensemble_size,
     }
