@@ -13,11 +13,10 @@ speedup is tracked across revisions.
 
 from __future__ import annotations
 
-import json
 import time
 from pathlib import Path
 
-from bench_helpers import print_table
+from bench_helpers import append_trajectory, print_table
 from repro.algorithms.grover import build_grover_program
 from repro.algorithms.shor import build_shor_program
 from repro.compiler import BreakpointExecutor, build_execution_plan
@@ -68,14 +67,6 @@ def _compare_engines(workload: str, program) -> dict:
     }
 
 
-def _append_trajectory(entry: dict) -> None:
-    entries = []
-    if TRAJECTORY_PATH.exists():
-        entries = json.loads(TRAJECTORY_PATH.read_text())
-    entries.append({"timestamp": time.time(), **entry})
-    TRAJECTORY_PATH.write_text(json.dumps(entries, indent=2) + "\n")
-
-
 def test_incremental_executor_shor(benchmark):
     """Shor breakpoint workload: one assertion per Figure 2 iteration."""
     circuit = build_shor_program(assert_each_iteration=True)
@@ -84,7 +75,7 @@ def test_incremental_executor_shor(benchmark):
         rounds=1,
         iterations=1,
     )
-    _append_trajectory(row)
+    append_trajectory(TRAJECTORY_PATH, row)
     print_table("Incremental vs legacy executor: Shor breakpoint workload", [row])
     assert row["verdicts_match"]
     assert row["all_assertions_pass"]
@@ -103,7 +94,7 @@ def test_incremental_executor_grover(benchmark):
         rounds=1,
         iterations=1,
     )
-    _append_trajectory(row)
+    append_trajectory(TRAJECTORY_PATH, row)
     print_table("Incremental vs legacy executor: Grover workload", [row])
     assert row["verdicts_match"]
     assert row["all_assertions_pass"]

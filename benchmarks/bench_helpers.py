@@ -8,7 +8,20 @@ reproduction log referenced from EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import json
+import time
+from pathlib import Path
+
 import numpy as np
+
+
+def append_trajectory(path: Path, entry: dict) -> None:
+    """Append a timestamped entry to a ``BENCH_*.json`` trajectory file."""
+    entries = []
+    if path.exists():
+        entries = json.loads(path.read_text())
+    entries.append({"timestamp": time.time(), **entry})
+    path.write_text(json.dumps(entries, indent=2) + "\n")
 
 
 def print_table(title: str, rows: list[dict]) -> None:

@@ -23,6 +23,7 @@ the work bound directly.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -63,7 +64,7 @@ class BreakpointExecutor:
         rng: np.random.Generator | int | None = None,
         mode: str = "sample",
         readout_error: ReadoutErrorModel | None = None,
-        backend: "str | SimulationBackend | None" = None,
+        backend: "str | SimulationBackend | Callable[[], SimulationBackend] | None" = None,
     ):
         if ensemble_size <= 0:
             raise ValueError("ensemble_size must be positive")
@@ -95,21 +96,24 @@ class BreakpointExecutor:
             return [self.run(bp) for bp in plan.breakpoint_programs()]
         program = plan.program
         engine = self._new_backend(program.num_qubits)
+        native, displaced = self._install_readout(engine)
         gates_before_walk = engine.gates_applied
         breakpoint_views = plan.breakpoint_programs()
         results: list[BreakpointMeasurements] = []
-        for segment, view in zip(plan.segments, breakpoint_views):
-            run_instructions(program, segment.instructions, engine, rng=self.rng)
-            indices = [program.qubit_index(q) for q in segment.assertion.qubits()]
-            # Snapshot/restore brackets the readout so the walk stays intact
-            # even on backends whose sampling is destructive.
-            token = engine.snapshot()
-            samples = [
-                int(v)
-                for v in engine.sample(indices, shots=self.ensemble_size, rng=self.rng)
-            ]
-            engine.restore(token)
-            results.append(self._package(view, indices, samples))
+        try:
+            for segment, view in zip(plan.segments, breakpoint_views):
+                run_instructions(program, segment.instructions, engine, rng=self.rng)
+                indices = [program.qubit_index(q) for q in segment.assertion.qubits()]
+                # Snapshot/restore brackets the readout so the walk stays intact
+                # even on backends whose sampling is destructive.
+                token = engine.snapshot()
+                samples = engine.sample(indices, shots=self.ensemble_size, rng=self.rng)
+                engine.restore(token)
+                results.append(
+                    self._package(view, indices, samples, native_readout=native)
+                )
+        finally:
+            self._restore_readout(engine, native, displaced)
         self.gates_applied += engine.gates_applied - gates_before_walk
         return results
 
@@ -134,11 +138,13 @@ class BreakpointExecutor:
         indices = [program.qubit_index(q) for q in qubits]
 
         if self.mode == "sample":
-            samples = self._sample_mode(program, indices)
+            samples, native = self._sample_mode(program, indices)
         else:
-            samples = self._rerun_mode(program, indices)
+            samples, native = self._rerun_mode(program, indices)
 
-        return self._package(breakpoint_program, indices, samples)
+        return self._package(
+            breakpoint_program, indices, samples, native_readout=native
+        )
 
     # ------------------------------------------------------------------
 
@@ -146,12 +152,16 @@ class BreakpointExecutor:
         self,
         breakpoint_program: BreakpointProgram,
         indices: list[int],
-        samples: list[int],
+        samples: Sequence[int],
+        native_readout: bool = False,
     ) -> BreakpointMeasurements:
-        if not self.readout_error.is_ideal:
+        # With native_readout the samples were already drawn from the exact
+        # noisy distribution inside the backend — never corrupt them twice.
+        if not self.readout_error.is_ideal and not native_readout:
             samples = self.readout_error.corrupt(samples, len(indices), rng=self.rng)
+        # MeasurementEnsemble copies and int-coerces the samples itself.
         joint = MeasurementEnsemble(
-            num_bits=len(indices), samples=list(samples), label=breakpoint_program.name
+            num_bits=len(indices), samples=samples, label=breakpoint_program.name
         )
         group_a, group_b = self._slice_groups(breakpoint_program.assertion, joint)
         return BreakpointMeasurements(
@@ -163,16 +173,56 @@ class BreakpointExecutor:
         engine.initialize(num_qubits)
         return engine
 
-    def _sample_mode(self, program: Program, indices: list[int]) -> list[int]:
-        engine = self._new_backend(program.num_qubits)
-        counted = engine.gates_applied
-        run_instructions(program, program.instructions, engine, rng=self.rng)
-        self.gates_applied += engine.gates_applied - counted
-        return [
-            int(v) for v in engine.sample(indices, shots=self.ensemble_size, rng=self.rng)
-        ]
+    def _install_readout(
+        self, engine: SimulationBackend
+    ) -> tuple[bool, ReadoutErrorModel | None]:
+        """Lift the executor's readout channel into a capable backend.
 
-    def _rerun_mode(self, program: Program, indices: list[int]) -> list[int]:
+        One density walk then yields the exact noisy distribution at every
+        breakpoint, replacing per-member corrupted re-sampling.  Returns
+        ``(native, displaced)``: ``native`` says whether the backend now owns
+        the channel (so :meth:`_package` must not corrupt a second time) and
+        ``displaced`` is the backend's own model, which
+        :meth:`_restore_readout` puts back — a caller-owned instance must not
+        keep this executor's noise after the run.
+        """
+        if engine.supports_readout_noise and not self.readout_error.is_ideal:
+            displaced = getattr(engine, "readout_error", None)
+            engine.set_readout_error(self.readout_error)
+            return True, displaced
+        return False, None
+
+    @staticmethod
+    def _restore_readout(
+        engine: SimulationBackend,
+        native: bool,
+        displaced: ReadoutErrorModel | None,
+    ) -> None:
+        if native:
+            engine.set_readout_error(displaced)
+
+    def _sample_mode(
+        self, program: Program, indices: list[int]
+    ) -> tuple[Sequence[int], bool]:
+        engine = self._new_backend(program.num_qubits)
+        native, displaced = self._install_readout(engine)
+        counted = engine.gates_applied
+        try:
+            run_instructions(program, program.instructions, engine, rng=self.rng)
+            self.gates_applied += engine.gates_applied - counted
+            samples = engine.sample(indices, shots=self.ensemble_size, rng=self.rng)
+        finally:
+            self._restore_readout(engine, native, displaced)
+        return samples, native
+
+    def _rerun_mode(
+        self, program: Program, indices: list[int]
+    ) -> tuple[list[int], bool]:
+        # Rerun mode never installs the readout model natively: ensembles
+        # come from per-member collapsing measurements, and backends keep
+        # `measure` ideal (mid-circuit resets must match across backends),
+        # so _package applies the classical corruption — exactly the
+        # statevector semantics.
         samples = []
         for _ in range(self.ensemble_size):
             engine = self._new_backend(program.num_qubits)
@@ -180,7 +230,7 @@ class BreakpointExecutor:
             run_instructions(program, program.instructions, engine, rng=self.rng)
             self.gates_applied += engine.gates_applied - counted
             samples.append(int(engine.measure(indices, rng=self.rng)))
-        return samples
+        return samples, False
 
     # ------------------------------------------------------------------
 

@@ -18,6 +18,8 @@ debugging workflow of the paper.
 
 from __future__ import annotations
 
+from typing import Callable
+
 import numpy as np
 
 from ..compiler.executor import BreakpointExecutor, BreakpointMeasurements
@@ -35,6 +37,7 @@ from ..lang.instructions import (
     SuperpositionAssertInstruction,
 )
 from ..lang.program import Program
+from ..sim.backend import SimulationBackend
 from ..sim.measurement import ReadoutErrorModel
 from .assertions import (
     DEFAULT_SIGNIFICANCE,
@@ -87,7 +90,7 @@ class StatisticalAssertionChecker:
         rng: np.random.Generator | int | None = None,
         mode: str = "sample",
         readout_error: ReadoutErrorModel | None = None,
-        backend: str | None = None,
+        backend: "str | SimulationBackend | Callable[[], SimulationBackend] | None" = None,
     ):
         self.program = program
         self.ensemble_size = int(ensemble_size)
@@ -164,7 +167,8 @@ def check_program(
     significance: float = DEFAULT_SIGNIFICANCE,
     rng: np.random.Generator | int | None = None,
     mode: str = "sample",
-    backend: str | None = None,
+    backend: "str | SimulationBackend | Callable[[], SimulationBackend] | None" = None,
+    readout_error: ReadoutErrorModel | None = None,
 ) -> DebugReport:
     """One-shot convenience wrapper around :class:`StatisticalAssertionChecker`."""
     checker = StatisticalAssertionChecker(
@@ -174,5 +178,6 @@ def check_program(
         rng=rng,
         mode=mode,
         backend=backend,
+        readout_error=readout_error,
     )
     return checker.run()

@@ -114,9 +114,14 @@ def chi_square_gof(
         Either a dense histogram of length ``len(expected_probabilities)``, a
         mapping ``outcome -> count``, or a flat list of integer samples.
     expected_probabilities:
-        Null-hypothesis probability of each outcome.  Categories with zero
-        expected probability but non-zero observed count drive the statistic
-        to infinity (p-value 0.0).
+        Null-hypothesis probability of each outcome.  The vector must sum to 1
+        up to a size-aware floating-point tolerance (a probability vector over
+        ``2**n`` categories legitimately accumulates ``O(size * eps)`` of
+        rounding error, e.g. ``Statevector.probabilities()`` over many
+        qubits); within the tolerance it is renormalised, outside it the input
+        is rejected as not a distribution.  Categories with zero expected
+        probability but non-zero observed count drive the statistic to
+        infinity (p-value 0.0).
     ddof:
         Extra reduction of the degrees of freedom (estimated parameters).
     """
@@ -126,8 +131,15 @@ def chi_square_gof(
     if np.any(expected_probabilities < 0):
         raise ValueError("expected probabilities must be non-negative")
     total_probability = expected_probabilities.sum()
-    if not math.isclose(total_probability, 1.0, rel_tol=0, abs_tol=1e-9):
-        raise ValueError("expected probabilities must sum to 1")
+    sum_tolerance = max(
+        1e-9, expected_probabilities.size * 256 * np.finfo(float).eps
+    )
+    if not math.isclose(total_probability, 1.0, rel_tol=0, abs_tol=sum_tolerance):
+        raise ValueError(
+            "expected probabilities must sum to 1 "
+            f"(got {total_probability!r}, tolerance {sum_tolerance:g})"
+        )
+    expected_probabilities = expected_probabilities / total_probability
 
     num_outcomes = expected_probabilities.size
     observed_counts = _normalise_counts(observed, num_outcomes)

@@ -16,7 +16,17 @@ from .density import (
     reduced_density_matrix,
     schmidt_coefficients,
 )
+from .density_backend import DensityMatrixBackend
 from .measurement import MeasurementEnsemble, ReadoutErrorModel
+from .noise import (
+    KrausChannel,
+    NoiseModel,
+    amplitude_damping,
+    bit_flip,
+    bit_phase_flip,
+    depolarizing,
+    phase_flip,
+)
 from .statevector import Statevector
 from .unitary import (
     adder_permutation,
@@ -32,6 +42,7 @@ __all__ = [
     "kernels",
     "SimulationBackend",
     "StatevectorBackend",
+    "DensityMatrixBackend",
     "BACKENDS",
     "register_backend",
     "make_backend",
@@ -39,6 +50,13 @@ __all__ = [
     "DensityMatrix",
     "MeasurementEnsemble",
     "ReadoutErrorModel",
+    "KrausChannel",
+    "NoiseModel",
+    "amplitude_damping",
+    "bit_flip",
+    "bit_phase_flip",
+    "depolarizing",
+    "phase_flip",
     "reduced_density_matrix",
     "purity",
     "entanglement_entropy",

@@ -3,11 +3,13 @@
 The execution stack (``lang`` programs → compiler ``ExecutionPlan`` →
 simulation → ``core`` checker) talks to the simulator exclusively through the
 :class:`SimulationBackend` interface defined here.  The interface is the
-extension point for alternative simulation strategies — a density-matrix
-backend for noisy ensembles or a stabilizer backend for Clifford-only
-programs would subclass it and register under a new name — while
-:class:`StatevectorBackend` is the production implementation backing every
-benchmark.
+extension point for alternative simulation strategies:
+:class:`StatevectorBackend` below is the production implementation backing
+every noiseless benchmark,
+:class:`repro.sim.density_backend.DensityMatrixBackend` (registry name
+``"density"``) adds Kraus-channel and readout noise, and a stabilizer
+backend for Clifford-only programs would subclass and register the same
+way.
 
 Two capabilities distinguish the interface from a bare statevector:
 
@@ -52,8 +54,23 @@ class SimulationBackend(abc.ABC):
     #: Registry name of the backend (subclasses override).
     name: str = "abstract"
 
+    #: True when the backend applies readout error natively in its own
+    #: readout path (``sample``/``measure``).  The executor then installs its
+    #: readout model via :meth:`set_readout_error` instead of stochastically
+    #: corrupting each drawn sample after the fact.
+    supports_readout_noise: bool = False
+
     def __init__(self) -> None:
         self.gates_applied = 0
+
+    def set_readout_error(self, model) -> None:
+        """Install a readout-error model into the backend's readout path.
+
+        Only meaningful when :attr:`supports_readout_noise` is true.
+        """
+        raise NotImplementedError(
+            f"backend {self.name!r} has no native readout-noise path"
+        )
 
     # -- state lifecycle ------------------------------------------------
 

@@ -29,6 +29,7 @@ import numpy as np
 __all__ = [
     "apply_matrix_inplace",
     "apply_controlled_inplace",
+    "marginal_probabilities",
 ]
 
 #: Above this many target qubits the gather loop (2**k python iterations)
@@ -131,6 +132,39 @@ def apply_matrix_inplace(
     else:
         _apply_dense_inplace(data, num_qubits, matrix, qubits)
     return data
+
+
+def marginal_probabilities(
+    probabilities: np.ndarray,
+    num_qubits: int,
+    qubits: Sequence[int],
+) -> np.ndarray:
+    """Marginal distribution over ``qubits`` of a dense probability vector.
+
+    ``probabilities[i]`` is the probability of basis state ``|i>`` (bit ``j``
+    of ``i`` = qubit ``j``).  The returned array has length
+    ``2 ** len(qubits)`` and index ``v`` holds the probability that the listed
+    qubits, read little-endian in the given order, encode ``v``.  Both the
+    statevector backend (on ``|amplitude|^2``) and the density-matrix backend
+    (on the real diagonal of rho) reduce their readout to this kernel.
+    """
+    qubit_list = [int(q) for q in qubits]
+    if len(set(qubit_list)) != len(qubit_list):
+        raise ValueError(f"duplicate qubits in {qubit_list}")
+    for q in qubit_list:
+        if not 0 <= q < num_qubits:
+            raise ValueError(f"qubit index {q} out of range for {num_qubits} qubits")
+    tensor = probabilities.reshape([2] * num_qubits)
+    keep_axes = [num_qubits - 1 - q for q in reversed(qubit_list)]
+    other_axes = tuple(a for a in range(num_qubits) if a not in keep_axes)
+    if other_axes:
+        tensor = tensor.sum(axis=other_axes)
+    # Remaining axes are in ascending original order; re-order them so the
+    # first axis is the most significant of the requested qubits.
+    remaining = [a for a in range(num_qubits) if a in keep_axes]
+    order = [remaining.index(a) for a in keep_axes]
+    tensor = np.transpose(tensor, order)
+    return tensor.reshape(-1)
 
 
 def apply_controlled_inplace(

@@ -55,12 +55,19 @@ class MeasurementEnsemble:
     label: str = ""
 
     def __post_init__(self) -> None:
+        # Copy the caller's list (later caller-side mutation must not corrupt
+        # a validated ensemble) and coerce entries to plain ints, so NumPy
+        # integer scalars never leak into counts/serialisation downstream.
         limit = 1 << self.num_bits
+        coerced = []
         for sample in self.samples:
-            if not 0 <= sample < limit:
+            value = int(sample)
+            if not 0 <= value < limit:
                 raise ValueError(
                     f"sample {sample} out of range for {self.num_bits} bits"
                 )
+            coerced.append(value)
+        self.samples = coerced
 
     @property
     def num_samples(self) -> int:
@@ -147,26 +154,66 @@ class ReadoutErrorModel:
     def is_ideal(self) -> bool:
         return self.p01 == 0.0 and self.p10 == 0.0
 
+    def confusion_matrix(self) -> np.ndarray:
+        """Per-bit column-stochastic confusion matrix ``C[observed, true]``."""
+        return np.array(
+            [[1.0 - self.p01, self.p10], [self.p01, 1.0 - self.p10]], dtype=float
+        )
+
+    def apply_to_distribution(
+        self, probabilities: np.ndarray, num_bits: int
+    ) -> np.ndarray:
+        """Exact noisy readout distribution over ``num_bits``-bit outcomes.
+
+        Applies the per-bit confusion matrix to every bit of a dense ideal
+        distribution: ``p'(observed) = sum_true prod_j C[obs_j, true_j]
+        p(true)``.  This is how the density-matrix backend turns one
+        simulation into the exact noisy breakpoint distribution, instead of
+        stochastically corrupting each ensemble member.
+        """
+        probs = np.asarray(probabilities, dtype=float)
+        if probs.shape != (1 << num_bits,):
+            raise ValueError(
+                f"distribution must have length {1 << num_bits}, got shape {probs.shape}"
+            )
+        if self.is_ideal:
+            return probs.copy()
+        confusion = self.confusion_matrix()
+        tensor = probs.reshape([2] * num_bits)
+        for axis in range(num_bits):
+            tensor = np.moveaxis(
+                np.tensordot(confusion, tensor, axes=([1], [axis])), 0, axis
+            )
+        return tensor.reshape(-1)
+
     def corrupt(
         self,
         samples: Sequence[int],
         num_bits: int,
         rng: np.random.Generator | int | None = None,
     ) -> list[int]:
-        """Apply the readout channel to a list of integer outcomes."""
+        """Apply the readout channel to a list of integer outcomes.
+
+        Vectorised as one NumPy bit-matrix flip.  The random numbers are drawn
+        in C order over ``(sample, bit)``, i.e. exactly the order the original
+        per-sample/per-bit loop consumed them, so results for a given ``rng``
+        are stable across the two implementations.
+        """
         if self.is_ideal:
             return [int(s) for s in samples]
         generator = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
-        corrupted = []
-        for sample in samples:
-            value = int(sample)
-            for bit in range(num_bits):
-                current = (value >> bit) & 1
-                flip_probability = self.p01 if current == 0 else self.p10
-                if generator.random() < flip_probability:
-                    value ^= 1 << bit
-            corrupted.append(value)
-        return corrupted
+        values = np.asarray([int(s) for s in samples], dtype=np.int64)
+        if values.size == 0 or num_bits == 0:
+            return [int(v) for v in values]
+        positions = np.arange(num_bits, dtype=np.int64)
+        bits = (values[:, None] >> positions) & 1
+        flip_probability = np.where(bits == 1, self.p10, self.p01)
+        flips = generator.random(bits.shape) < flip_probability
+        corrupted = (bits ^ flips) << positions
+        # Bits at or above num_bits are outside the channel and pass through
+        # untouched (the loop implementation XOR-flipped in place).
+        high = values & ~((1 << num_bits) - 1)
+        return [int(v) for v in high + corrupted.sum(axis=1)]
 
     def corrupt_ensemble(
         self,

@@ -1,0 +1,181 @@
+"""Kraus noise channels and the gate/readout noise model.
+
+The paper's experiments assume the ideal QX simulator; the density-matrix
+backend extends the reproduction with the standard single-qubit error
+channels so readout/gate-error sweeps become first-class.  A channel is a
+completely positive trace-preserving map given by its Kraus operators::
+
+    rho  ->  sum_k  K_k rho K_k^dagger,      sum_k K_k^dagger K_k = I
+
+The constructors below build the textbook channels (Nielsen & Chuang ch. 8);
+:class:`NoiseModel` bundles a per-gate channel list with the classical
+:class:`~repro.sim.measurement.ReadoutErrorModel` so one object describes a
+noisy machine.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
+
+from . import gates as _gates
+from .measurement import ReadoutErrorModel
+
+__all__ = [
+    "KrausChannel",
+    "NoiseModel",
+    "amplitude_damping",
+    "depolarizing",
+    "bit_flip",
+    "phase_flip",
+    "bit_phase_flip",
+]
+
+
+@dataclass(frozen=True, eq=False)
+class KrausChannel:
+    """A CPTP map described by its Kraus operators.
+
+    Operators must share one square, power-of-two dimension and satisfy the
+    completeness relation ``sum K^dagger K = I`` (trace preservation) within
+    ``1e-9`` — channels that leak probability are rejected at construction.
+    """
+
+    name: str
+    operators: tuple[np.ndarray, ...]
+
+    def __post_init__(self) -> None:
+        if not self.operators:
+            raise ValueError("a Kraus channel needs at least one operator")
+        # Copy and freeze: caller-side mutation must not invalidate the
+        # completeness check below after construction.
+        normalised = tuple(
+            np.array(op, dtype=complex) for op in self.operators
+        )
+        for op in normalised:
+            op.setflags(write=False)
+        dim = normalised[0].shape[0] if normalised[0].ndim == 2 else 0
+        for op in normalised:
+            if op.ndim != 2 or op.shape != (dim, dim):
+                raise ValueError("Kraus operators must be square and same-sized")
+        num_qubits = int(round(math.log2(dim))) if dim else 0
+        if dim == 0 or (1 << num_qubits) != dim:
+            raise ValueError("Kraus operator dimension is not a power of two")
+        completeness = sum(op.conj().T @ op for op in normalised)
+        if not np.allclose(completeness, np.eye(dim), atol=1e-9):
+            raise ValueError(
+                f"channel {self.name!r} is not trace preserving: "
+                "sum K^dagger K != I"
+            )
+        object.__setattr__(self, "operators", normalised)
+
+    @property
+    def num_qubits(self) -> int:
+        return int(round(math.log2(self.operators[0].shape[0])))
+
+    def apply_to_matrix(self, rho: np.ndarray) -> np.ndarray:
+        """Dense reference application ``sum_k K rho K^dagger`` (tests/ground truth)."""
+        return sum(op @ rho @ op.conj().T for op in self.operators)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"KrausChannel(name={self.name!r}, operators={len(self.operators)})"
+
+
+def bit_flip(p: float) -> KrausChannel:
+    """X error with probability ``p``: ``rho -> (1-p) rho + p X rho X``."""
+    _check_probability("p", p)
+    return KrausChannel(
+        name=f"bit_flip({p})",
+        operators=(math.sqrt(1.0 - p) * _gates.I, math.sqrt(p) * _gates.X),
+    )
+
+
+def phase_flip(p: float) -> KrausChannel:
+    """Z error with probability ``p``: ``rho -> (1-p) rho + p Z rho Z``."""
+    _check_probability("p", p)
+    return KrausChannel(
+        name=f"phase_flip({p})",
+        operators=(math.sqrt(1.0 - p) * _gates.I, math.sqrt(p) * _gates.Z),
+    )
+
+
+def bit_phase_flip(p: float) -> KrausChannel:
+    """Y error with probability ``p``: ``rho -> (1-p) rho + p Y rho Y``."""
+    _check_probability("p", p)
+    return KrausChannel(
+        name=f"bit_phase_flip({p})",
+        operators=(math.sqrt(1.0 - p) * _gates.I, math.sqrt(p) * _gates.Y),
+    )
+
+
+def depolarizing(p: float) -> KrausChannel:
+    """Symmetric Pauli error: each of X, Y, Z occurs with probability ``p/3``."""
+    _check_probability("p", p)
+    return KrausChannel(
+        name=f"depolarizing({p})",
+        operators=(
+            math.sqrt(1.0 - p) * _gates.I,
+            math.sqrt(p / 3.0) * _gates.X,
+            math.sqrt(p / 3.0) * _gates.Y,
+            math.sqrt(p / 3.0) * _gates.Z,
+        ),
+    )
+
+
+def amplitude_damping(gamma: float) -> KrausChannel:
+    """Energy relaxation ``|1> -> |0>`` with probability ``gamma``."""
+    _check_probability("gamma", gamma)
+    k0 = np.array([[1.0, 0.0], [0.0, math.sqrt(1.0 - gamma)]], dtype=complex)
+    k1 = np.array([[0.0, math.sqrt(gamma)], [0.0, 0.0]], dtype=complex)
+    return KrausChannel(name=f"amplitude_damping({gamma})", operators=(k0, k1))
+
+
+def _check_probability(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be a probability, got {value}")
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """Machine-level noise: per-gate Kraus channels plus readout error.
+
+    ``gate_channels`` are single-qubit channels applied, after every gate, to
+    each qubit the gate touched (controls included) — the usual locally
+    correlated gate-error model.  ``readout`` is the classical measurement
+    channel, applied analytically in the density backend's readout path.
+    """
+
+    gate_channels: tuple[KrausChannel, ...] = ()
+    readout: ReadoutErrorModel = field(default_factory=ReadoutErrorModel)
+
+    def __post_init__(self) -> None:
+        channels = tuple(self.gate_channels)
+        for channel in channels:
+            if not isinstance(channel, KrausChannel):
+                raise TypeError(f"expected a KrausChannel, got {type(channel)!r}")
+            if channel.num_qubits != 1:
+                raise ValueError(
+                    f"gate channel {channel.name!r} acts on "
+                    f"{channel.num_qubits} qubits; per-gate noise must be single-qubit"
+                )
+        object.__setattr__(self, "gate_channels", channels)
+
+    @classmethod
+    def from_channels(
+        cls,
+        channels: "KrausChannel | Iterable[KrausChannel]",
+        readout: ReadoutErrorModel | None = None,
+    ) -> "NoiseModel":
+        if isinstance(channels, KrausChannel):
+            channels = (channels,)
+        return cls(
+            gate_channels=tuple(channels),
+            readout=readout or ReadoutErrorModel(),
+        )
+
+    @property
+    def is_ideal(self) -> bool:
+        return not self.gate_channels and self.readout.is_ideal

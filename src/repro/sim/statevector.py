@@ -227,18 +227,7 @@ class Statevector:
             return probs
         qubit_list = _as_qubit_list(qubits)
         self._validate_qubits(qubit_list)
-        n = self.num_qubits
-        tensor = probs.reshape([2] * n)
-        keep_axes = [n - 1 - q for q in reversed(qubit_list)]
-        other_axes = tuple(a for a in range(n) if a not in keep_axes)
-        if other_axes:
-            tensor = tensor.sum(axis=other_axes)
-        # Remaining axes are in ascending original order; re-order them so the
-        # first axis is the most significant of the requested qubits.
-        remaining = [a for a in range(n) if a in keep_axes]
-        order = [remaining.index(a) for a in keep_axes]
-        tensor = np.transpose(tensor, order)
-        return tensor.reshape(-1)
+        return _kernels.marginal_probabilities(probs, self.num_qubits, qubit_list)
 
     def probability_of_outcome(self, qubits: Sequence[int], value: int) -> float:
         """Probability of measuring ``value`` on the listed qubits."""

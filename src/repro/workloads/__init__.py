@@ -6,6 +6,7 @@ from .ensembles import (
     detection_rate,
     ensemble_size_sweep,
     false_positive_rate,
+    readout_error_sweep,
     significance_sweep,
 )
 
@@ -15,5 +16,6 @@ __all__ = [
     "false_positive_rate",
     "ensemble_size_sweep",
     "significance_sweep",
+    "readout_error_sweep",
     "assertion_cost",
 ]

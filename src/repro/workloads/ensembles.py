@@ -17,6 +17,8 @@ import numpy as np
 from ..compiler.splitter import build_execution_plan
 from ..core.checker import StatisticalAssertionChecker
 from ..lang.program import Program
+from ..sim.backend import SimulationBackend
+from ..sim.measurement import ReadoutErrorModel
 
 __all__ = [
     "DetectionResult",
@@ -25,7 +27,12 @@ __all__ = [
     "ensemble_size_sweep",
     "assertion_cost",
     "significance_sweep",
+    "readout_error_sweep",
 ]
+
+#: Backend spec accepted everywhere a sweep takes ``backend=``: a registry
+#: name, an instance (shared state), or a zero-argument factory.
+BackendSpec = "str | SimulationBackend | Callable[[], SimulationBackend] | None"
 
 
 @dataclass(frozen=True)
@@ -52,7 +59,8 @@ def _repeat_checks(
     trials: int,
     significance: float,
     rng: np.random.Generator | int | None,
-    backend: str | None = None,
+    backend: BackendSpec = None,
+    readout_error: ReadoutErrorModel | None = None,
 ) -> DetectionResult:
     generator = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
     program = build_program() if callable(build_program) else build_program
@@ -64,6 +72,7 @@ def _repeat_checks(
             significance=significance,
             rng=generator,
             backend=backend,
+            readout_error=readout_error,
         )
         report = checker.run()
         if not report.passed:
@@ -82,11 +91,13 @@ def detection_rate(
     trials: int = 20,
     significance: float = 0.05,
     rng: np.random.Generator | int | None = None,
-    backend: str | None = None,
+    backend: BackendSpec = None,
+    readout_error: ReadoutErrorModel | None = None,
 ) -> float:
     """Fraction of checking runs on a *buggy* program in which some assertion fails."""
     result = _repeat_checks(
-        build_buggy_program, ensemble_size, trials, significance, rng, backend
+        build_buggy_program, ensemble_size, trials, significance, rng, backend,
+        readout_error,
     )
     return result.failure_fraction
 
@@ -97,11 +108,13 @@ def false_positive_rate(
     trials: int = 20,
     significance: float = 0.05,
     rng: np.random.Generator | int | None = None,
-    backend: str | None = None,
+    backend: BackendSpec = None,
+    readout_error: ReadoutErrorModel | None = None,
 ) -> float:
     """Fraction of checking runs on a *correct* program in which some assertion fails."""
     result = _repeat_checks(
-        build_correct_program, ensemble_size, trials, significance, rng, backend
+        build_correct_program, ensemble_size, trials, significance, rng, backend,
+        readout_error,
     )
     return result.failure_fraction
 
@@ -113,7 +126,7 @@ def ensemble_size_sweep(
     trials: int = 20,
     significance: float = 0.05,
     rng: np.random.Generator | int | None = None,
-    backend: str | None = None,
+    backend: BackendSpec = None,
 ) -> list[dict]:
     """Detection rate and false-positive rate as functions of the ensemble size."""
     generator = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
@@ -144,7 +157,7 @@ def significance_sweep(
     ensemble_size: int = 16,
     trials: int = 20,
     rng: np.random.Generator | int | None = None,
-    backend: str | None = None,
+    backend: BackendSpec = None,
 ) -> list[dict]:
     """Detection/false-positive trade-off as the significance level varies."""
     generator = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
@@ -160,6 +173,46 @@ def significance_sweep(
                 "false_positive_rate": false_positive_rate(
                     build_correct_program, ensemble_size=ensemble_size, trials=trials,
                     significance=significance, rng=generator, backend=backend,
+                ),
+            }
+        )
+    return rows
+
+
+def readout_error_sweep(
+    build_correct_program: Callable[[], Program] | Program,
+    build_buggy_program: Callable[[], Program] | Program,
+    error_rates: Sequence[float] = (0.0, 0.01, 0.05),
+    ensemble_size: int = 16,
+    trials: int = 20,
+    significance: float = 0.05,
+    rng: np.random.Generator | int | None = None,
+    backend: BackendSpec = "density",
+) -> list[dict]:
+    """Detection/false-positive robustness as symmetric readout error grows.
+
+    Each rate ``p`` becomes a ``ReadoutErrorModel(p01=p, p10=p)``.  With the
+    default density backend the channel rides natively in the readout path
+    (one exact noisy plan walk per checking run); any other backend falls
+    back to the executor's per-sample corruption, so the sweep doubles as a
+    cross-backend consistency experiment.
+    """
+    generator = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    rows = []
+    for rate in error_rates:
+        model = ReadoutErrorModel(p01=float(rate), p10=float(rate))
+        rows.append(
+            {
+                "readout_error": float(rate),
+                "detection_rate": detection_rate(
+                    build_buggy_program, ensemble_size=ensemble_size, trials=trials,
+                    significance=significance, rng=generator, backend=backend,
+                    readout_error=model,
+                ),
+                "false_positive_rate": false_positive_rate(
+                    build_correct_program, ensemble_size=ensemble_size, trials=trials,
+                    significance=significance, rng=generator, backend=backend,
+                    readout_error=model,
                 ),
             }
         )

@@ -69,6 +69,42 @@ class TestGoodnessOfFit:
         with pytest.raises(ValueError):
             stats.chi_square_gof([1, 1], [0.5, 0.4])
 
+    def test_long_float_distribution_is_renormalised_not_rejected(self):
+        """Regression: a >20-qubit-support probability vector with realistic
+        accumulated rounding error (~1e-8) must pass the sum-to-1 check and
+        be renormalised, not spuriously rejected by a fixed 1e-9 tolerance."""
+        size = 1 << 21
+        probabilities = np.zeros(size)
+        probabilities[:4] = 0.25
+        probabilities[0] += 3e-8  # the kind of error sum(|amp|^2) accumulates
+        result = stats.chi_square_gof({0: 4, 1: 4, 2: 4, 3: 4}, probabilities)
+        assert result.p_value == pytest.approx(1.0)
+        # The expected counts were renormalised to an exact distribution.
+        assert sum(result.details["expected"]) == pytest.approx(16.0, abs=1e-9)
+
+    def test_statevector_probabilities_accepted_at_scale(self):
+        """The documented failure mode: Statevector.probabilities() output
+        over many qubits feeds straight into the GoF test."""
+        from repro.sim import Statevector
+
+        num_qubits = 21
+        state = Statevector.uniform_superposition(num_qubits)
+        probabilities = state.probabilities()
+        observed = {outcome: 1 for outcome in range(64)}
+        result = stats.chi_square_gof(observed, probabilities)
+        assert 0.0 <= result.p_value <= 1.0
+
+    def test_genuinely_unnormalised_vector_still_rejected(self):
+        size = 1 << 21
+        probabilities = np.full(size, 1.0 / size)
+        probabilities[0] += 1e-3
+        with pytest.raises(ValueError, match="must sum to 1"):
+            stats.chi_square_gof({0: 1}, probabilities)
+
+    def test_small_vectors_keep_strict_tolerance(self):
+        with pytest.raises(ValueError):
+            stats.chi_square_gof([0, 1], [0.5, 0.5 + 1e-7])
+
     def test_empty_ensemble_rejected(self):
         with pytest.raises(ValueError):
             stats.chi_square_gof({}, [0.5, 0.5])

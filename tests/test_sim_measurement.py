@@ -48,6 +48,27 @@ class TestEnsemble:
         assert len(ensemble) == 3
         assert list(ensemble) == [1, 2, 3]
 
+    def test_samples_list_is_copied_not_aliased(self):
+        """Regression: mutating the caller's list after construction must not
+        corrupt a validated ensemble."""
+        caller_samples = [0, 1, 2]
+        ensemble = MeasurementEnsemble(num_bits=2, samples=caller_samples)
+        caller_samples.append(99)  # out of range for 2 bits
+        caller_samples[0] = 3
+        assert ensemble.samples == [0, 1, 2]
+        assert ensemble.num_samples == 3
+
+    def test_samples_coerced_to_python_int(self):
+        ensemble = MeasurementEnsemble(
+            num_bits=2, samples=[np.int64(3), np.uint8(1), 2]
+        )
+        assert ensemble.samples == [3, 1, 2]
+        assert all(type(sample) is int for sample in ensemble.samples)
+
+    def test_coercion_still_range_checks(self):
+        with pytest.raises(ValueError):
+            MeasurementEnsemble(num_bits=1, samples=[np.int64(2)])
+
     @given(samples=st.lists(st.integers(0, 7), min_size=1, max_size=50))
     @settings(max_examples=50, deadline=None)
     def test_counts_round_trip(self, samples):
@@ -93,3 +114,116 @@ class TestReadoutError:
         corrupted = model.corrupt_ensemble(ensemble, rng=rng)
         assert corrupted.samples == [3, 3]
         assert corrupted.label == "x"
+
+
+def _corrupt_reference_loop(model, samples, num_bits, generator):
+    """The original per-sample/per-bit Python loop, kept as the equivalence
+    oracle for the vectorised implementation."""
+    corrupted = []
+    for sample in samples:
+        value = int(sample)
+        for bit in range(num_bits):
+            current = (value >> bit) & 1
+            flip_probability = model.p01 if current == 0 else model.p10
+            if generator.random() < flip_probability:
+                value ^= 1 << bit
+        corrupted.append(value)
+    return corrupted
+
+
+class TestVectorisedCorrupt:
+    @pytest.mark.parametrize(
+        "p01,p10", [(0.25, 0.0), (0.0, 0.4), (0.1, 0.3), (1.0, 1.0)]
+    )
+    @pytest.mark.parametrize("num_bits", [1, 3, 7])
+    def test_matches_loop_implementation_on_fixed_seed(self, p01, p10, num_bits):
+        """The NumPy bit-matrix flip consumes the rng stream in the same
+        (sample-major, bit-minor) order as the old loop, so a fixed seed
+        yields bit-identical corrupted samples."""
+        model = ReadoutErrorModel(p01=p01, p10=p10)
+        base = np.random.default_rng(7)
+        samples = [int(v) for v in base.integers(0, 1 << num_bits, size=257)]
+        vectorised = model.corrupt(samples, num_bits, rng=np.random.default_rng(123))
+        loop = _corrupt_reference_loop(
+            model, samples, num_bits, np.random.default_rng(123)
+        )
+        assert vectorised == loop
+
+    def test_returns_plain_ints(self):
+        model = ReadoutErrorModel(p01=0.5, p10=0.5)
+        corrupted = model.corrupt([0, 1, 2, 3], num_bits=2, rng=0)
+        assert all(type(value) is int for value in corrupted)
+
+    def test_bits_above_num_bits_pass_through_untouched(self):
+        """Like the loop implementation, the channel only acts on the low
+        num_bits — high bits of a wider sample survive unchanged."""
+        model = ReadoutErrorModel(p01=1.0, p10=1.0)
+        assert model.corrupt([0b101], num_bits=1, rng=0) == [0b100]
+        vectorised = model.corrupt([21, 37], num_bits=3, rng=np.random.default_rng(5))
+        loop = _corrupt_reference_loop(
+            model, [21, 37], 3, np.random.default_rng(5)
+        )
+        assert vectorised == loop
+
+    def test_empty_inputs(self):
+        model = ReadoutErrorModel(p01=0.5)
+        assert model.corrupt([], num_bits=4, rng=0) == []
+        assert model.corrupt([0, 0], num_bits=0, rng=0) == [0, 0]
+
+
+class TestExactNoisyDistribution:
+    def test_confusion_matrix_is_column_stochastic(self):
+        model = ReadoutErrorModel(p01=0.2, p10=0.05)
+        confusion = model.confusion_matrix()
+        assert np.allclose(confusion.sum(axis=0), [1.0, 1.0])
+        assert confusion[1, 0] == pytest.approx(0.2)
+        assert confusion[0, 1] == pytest.approx(0.05)
+
+    def test_single_bit_distribution(self):
+        model = ReadoutErrorModel(p01=0.2, p10=0.1)
+        noisy = model.apply_to_distribution(np.array([1.0, 0.0]), num_bits=1)
+        assert np.allclose(noisy, [0.8, 0.2])
+        noisy = model.apply_to_distribution(np.array([0.0, 1.0]), num_bits=1)
+        assert np.allclose(noisy, [0.1, 0.9])
+
+    def test_multi_bit_matches_brute_force(self, rng):
+        model = ReadoutErrorModel(p01=0.07, p10=0.21)
+        num_bits = 3
+        ideal = rng.random(1 << num_bits)
+        ideal /= ideal.sum()
+        confusion = model.confusion_matrix()
+        brute = np.zeros_like(ideal)
+        for observed in range(1 << num_bits):
+            for true in range(1 << num_bits):
+                weight = 1.0
+                for bit in range(num_bits):
+                    weight *= confusion[(observed >> bit) & 1, (true >> bit) & 1]
+                brute[observed] += weight * ideal[true]
+        noisy = model.apply_to_distribution(ideal, num_bits)
+        assert np.allclose(noisy, brute, atol=1e-12)
+        assert noisy.sum() == pytest.approx(1.0)
+
+    def test_matches_empirical_corruption(self):
+        """The analytic distribution is the infinite-shot limit of corrupt()."""
+        model = ReadoutErrorModel(p01=0.15, p10=0.05)
+        ideal = np.array([0.5, 0.0, 0.0, 0.5])
+        analytic = model.apply_to_distribution(ideal, num_bits=2)
+        generator = np.random.default_rng(42)
+        samples = [0] * 20000 + [3] * 20000
+        corrupted = model.corrupt(samples, num_bits=2, rng=generator)
+        empirical = np.bincount(corrupted, minlength=4) / len(corrupted)
+        assert np.allclose(empirical, analytic, atol=0.01)
+
+    def test_ideal_model_is_identity(self):
+        model = ReadoutErrorModel()
+        ideal = np.array([0.25, 0.75])
+        noisy = model.apply_to_distribution(ideal, num_bits=1)
+        assert np.allclose(noisy, ideal)
+        noisy[0] = 0.0  # a copy, not an alias
+        assert ideal[0] == pytest.approx(0.25)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            ReadoutErrorModel(p01=0.1).apply_to_distribution(
+                np.array([0.5, 0.5]), num_bits=2
+            )
