@@ -16,10 +16,20 @@ import numpy as np
 
 
 def append_trajectory(path: Path, entry: dict) -> None:
-    """Append a timestamped entry to a ``BENCH_*.json`` trajectory file."""
+    """Append a timestamped entry to a ``BENCH_*.json`` trajectory file.
+
+    A missing, unreadable or corrupt existing file (truncated write, merge
+    damage, or a JSON payload that is not a list) must never take the
+    benchmark down: the recorded history is an append-only convenience, so
+    the trajectory restarts from this entry instead of raising.
+    """
     entries = []
-    if path.exists():
+    try:
         entries = json.loads(path.read_text())
+    except (OSError, ValueError):
+        entries = []
+    if not isinstance(entries, list):
+        entries = []
     entries.append({"timestamp": time.time(), **entry})
     path.write_text(json.dumps(entries, indent=2) + "\n")
 

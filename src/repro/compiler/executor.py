@@ -18,6 +18,13 @@ step on the pluggable simulation backends.  Two execution modes are offered:
 Gate applications are accounted in :attr:`BreakpointExecutor.gates_applied`
 via the backend's instrumented counter, so tests and benchmarks can verify
 the work bound directly.
+
+``backend="auto"`` adds hybrid Clifford-prefix routing on top of the
+registry spellings: the executor reads the plan's Clifford metadata and runs
+all-Clifford plans on the stabilizer tableau outright, while mixed plans run
+on :class:`~repro.sim.stabilizer_backend.HybridCliffordBackend`, which
+simulates the maximal Clifford prefix on a tableau and converts to a dense
+statevector exactly once, at the first non-Clifford gate.
 """
 
 from __future__ import annotations
@@ -34,6 +41,7 @@ from ..lang.instructions import (
     ProductAssertInstruction,
     SuperpositionAssertInstruction,
 )
+from ..lang.clifford import is_clifford_instruction
 from ..lang.program import Program, run_instructions
 from ..sim.backend import SimulationBackend, make_backend
 from ..sim.measurement import MeasurementEnsemble, ReadoutErrorModel
@@ -77,6 +85,9 @@ class BreakpointExecutor:
         self.backend = backend
         #: Cumulative gate applications across every run (cost accounting).
         self.gates_applied = 0
+        #: Subset of :attr:`gates_applied` that ran on a dense statevector
+        #: representation (0 for tableau walks; what hybrid routing saves).
+        self.statevector_gates_applied = 0
 
     # ------------------------------------------------------------------
     # Incremental plan execution (the O(total_gates) path)
@@ -95,9 +106,10 @@ class BreakpointExecutor:
         if self.mode == "rerun":
             return [self.run(bp) for bp in plan.breakpoint_programs()]
         program = plan.program
-        engine = self._new_backend(program.num_qubits)
+        engine = self._new_backend(program.num_qubits, clifford=plan.is_clifford)
         native, displaced = self._install_readout(engine)
         gates_before_walk = engine.gates_applied
+        dense_before_walk = engine.statevector_gates_applied
         breakpoint_views = plan.breakpoint_programs()
         results: list[BreakpointMeasurements] = []
         try:
@@ -115,6 +127,9 @@ class BreakpointExecutor:
         finally:
             self._restore_readout(engine, native, displaced)
         self.gates_applied += engine.gates_applied - gates_before_walk
+        self.statevector_gates_applied += (
+            engine.statevector_gates_applied - dense_before_walk
+        )
         return results
 
     def run_program(self, program: Program) -> list[BreakpointMeasurements]:
@@ -168,8 +183,24 @@ class BreakpointExecutor:
             breakpoint=breakpoint_program, joint=joint, group_a=group_a, group_b=group_b
         )
 
-    def _new_backend(self, num_qubits: int) -> SimulationBackend:
-        engine = make_backend(self.backend)
+    def _new_backend(
+        self, num_qubits: int, clifford: bool | None = None
+    ) -> SimulationBackend:
+        """Instantiate the configured backend, resolving ``"auto"`` routing.
+
+        With ``backend="auto"`` the executor consults the plan's
+        Clifford-prefix metadata: an all-Clifford plan runs on the pure
+        stabilizer tableau (never building a statevector at all, which is
+        what admits 20–50+ qubit workloads), anything else on the hybrid
+        backend, which walks the maximal Clifford prefix on a tableau and
+        converts to a dense statevector once, at the first non-Clifford
+        gate.  ``clifford=None`` (no plan in sight) defers entirely to the
+        hybrid backend's own gate-by-gate detection.
+        """
+        spec = self.backend
+        if spec == "auto" and clifford is True:
+            spec = "stabilizer"
+        engine = make_backend(spec)
         engine.initialize(num_qubits)
         return engine
 
@@ -204,12 +235,18 @@ class BreakpointExecutor:
     def _sample_mode(
         self, program: Program, indices: list[int]
     ) -> tuple[Sequence[int], bool]:
-        engine = self._new_backend(program.num_qubits)
+        engine = self._new_backend(
+            program.num_qubits, clifford=self._all_clifford(program)
+        )
         native, displaced = self._install_readout(engine)
         counted = engine.gates_applied
+        dense_counted = engine.statevector_gates_applied
         try:
             run_instructions(program, program.instructions, engine, rng=self.rng)
             self.gates_applied += engine.gates_applied - counted
+            self.statevector_gates_applied += (
+                engine.statevector_gates_applied - dense_counted
+            )
             samples = engine.sample(indices, shots=self.ensemble_size, rng=self.rng)
         finally:
             self._restore_readout(engine, native, displaced)
@@ -224,13 +261,24 @@ class BreakpointExecutor:
         # so _package applies the classical corruption — exactly the
         # statevector semantics.
         samples = []
+        clifford = self._all_clifford(program)
         for _ in range(self.ensemble_size):
-            engine = self._new_backend(program.num_qubits)
+            engine = self._new_backend(program.num_qubits, clifford=clifford)
             counted = engine.gates_applied
+            dense_counted = engine.statevector_gates_applied
             run_instructions(program, program.instructions, engine, rng=self.rng)
             self.gates_applied += engine.gates_applied - counted
+            self.statevector_gates_applied += (
+                engine.statevector_gates_applied - dense_counted
+            )
             samples.append(int(engine.measure(indices, rng=self.rng)))
         return samples, False
+
+    def _all_clifford(self, program: Program) -> bool | None:
+        """Plan-free Clifford verdict for ``"auto"`` routing (None = skip)."""
+        if self.backend != "auto":
+            return None
+        return all(is_clifford_instruction(i) for i in program.instructions)
 
     # ------------------------------------------------------------------
 

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..lang.clifford import clifford_prefix_length
 from ..lang.instructions import (
     AssertionInstruction,
     BarrierInstruction,
@@ -88,14 +89,20 @@ class PlanSegment:
     gates_before: int
     #: Unitary gates inside this segment alone.
     gate_delta: int
+    #: Leading instructions of this segment a stabilizer tableau can execute
+    #: (classified structurally by :mod:`repro.lang.clifford`).
+    clifford_prefix: int = 0
+    #: True when *every* instruction in the segment is tableau-compatible.
+    is_clifford: bool = False
 
     def measured_qubits(self) -> list[Qubit]:
         return self.assertion.qubits()
 
     def describe(self) -> str:
+        regime = "clifford" if self.is_clifford else f"clifford<={self.clifford_prefix}"
         return (
             f"segment {self.index} ({self.name}): +{self.gate_delta} gates "
-            f"(cumulative {self.gates_before}), {self.assertion.describe()}"
+            f"(cumulative {self.gates_before}, {regime}), {self.assertion.describe()}"
         )
 
 
@@ -132,6 +139,50 @@ class ExecutionPlan:
     def legacy_gates(self) -> int:
         """Gate instructions the per-prefix scheme simulates (O(total_gates x k))."""
         return sum(segment.gates_before for segment in self.segments)
+
+    # -- Clifford-prefix metadata (hybrid routing) ----------------------
+
+    @property
+    def is_clifford(self) -> bool:
+        """True when the whole plan can run on the stabilizer tableau."""
+        return all(segment.is_clifford for segment in self.segments)
+
+    @property
+    def clifford_prefix_segments(self) -> int:
+        """Number of leading segments that are entirely Clifford.
+
+        Every breakpoint inside this prefix is sampled directly off the
+        tableau by the hybrid engine; the first non-Clifford gate (in the
+        segment after this prefix) triggers the one-time tableau→statevector
+        conversion.
+        """
+        count = 0
+        for segment in self.segments:
+            if not segment.is_clifford:
+                break
+            count += 1
+        return count
+
+    @property
+    def clifford_prefix_gates(self) -> int:
+        """Gate instructions inside the maximal Clifford prefix of the plan.
+
+        This is exactly the gate work ``backend="auto"`` keeps off the dense
+        statevector: the full deltas of the leading Clifford segments plus
+        the Clifford head of the first mixed segment.
+        """
+        total = 0
+        boundary = self.clifford_prefix_segments
+        for segment in self.segments[:boundary]:
+            total += segment.gate_delta
+        if boundary < len(self.segments):
+            head = self.segments[boundary]
+            total += sum(
+                1
+                for instruction in head.instructions[: head.clifford_prefix]
+                if isinstance(instruction, GateInstruction)
+            )
+        return total
 
     def _materialize_prefix(self, index: int, instructions: list) -> Program:
         """Build a prefix program from pre-validated instructions.
@@ -199,6 +250,7 @@ def build_execution_plan(program: Program) -> ExecutionPlan:
         if isinstance(instruction, AssertionInstruction):
             cumulative_gates += pending_gates
             label = instruction.label or instruction.describe()
+            prefix = clifford_prefix_length(pending)
             plan.segments.append(
                 PlanSegment(
                     index=len(plan.segments),
@@ -207,6 +259,8 @@ def build_execution_plan(program: Program) -> ExecutionPlan:
                     assertion=instruction,
                     gates_before=cumulative_gates,
                     gate_delta=pending_gates,
+                    clifford_prefix=prefix,
+                    is_clifford=prefix == len(pending),
                 )
             )
             pending = []

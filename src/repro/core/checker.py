@@ -80,7 +80,16 @@ def build_evaluator(assertion: AssertionInstruction, significance: float):
 
 
 class StatisticalAssertionChecker:
-    """Checks every statistical assertion in a program via simulation."""
+    """Checks every statistical assertion in a program via simulation.
+
+    ``backend`` accepts every registry spelling (``"statevector"``,
+    ``"density"``, ``"stabilizer"``, an instance, a factory) and threads it
+    through to the executor unchanged.  ``backend="auto"`` selects hybrid
+    Clifford-prefix routing: Clifford-only programs are checked entirely on
+    the stabilizer tableau (reaching 20–50+ qubit workloads no statevector
+    can hold), and mixed programs run their maximal Clifford prefix on the
+    tableau before a single tableau→statevector conversion.
+    """
 
     def __init__(
         self,

@@ -1,5 +1,6 @@
 """Program IR: registers, instructions, programs, patterns and OpenQASM I/O."""
 
+from .clifford import clifford_prefix_length, is_clifford_instruction
 from .instructions import (
     AssertionInstruction,
     BarrierInstruction,
@@ -44,6 +45,8 @@ __all__ = [
     "SuperpositionAssertInstruction",
     "EntangledAssertInstruction",
     "ProductAssertInstruction",
+    "is_clifford_instruction",
+    "clifford_prefix_length",
     "compute",
     "uncompute",
     "control",

@@ -1,0 +1,72 @@
+"""Clifford classification of IR instructions.
+
+The hybrid execution engine needs to know, *before* simulating anything,
+which prefix of a program the stabilizer tableau can carry.  This module is
+that classification pass: it tags each instruction Clifford-or-not using the
+structural matrix recognition of :mod:`repro.sim.clifford` (so every
+spelling of a Clifford counts — ``h``/``s``/``cx`` by name, ``rz(pi/2)`` and
+friends by their right-angle parameters, ``c-phase(pi)`` as CZ, ...), and it
+is what :func:`repro.compiler.splitter.build_execution_plan` consults to
+stamp Clifford-prefix metadata onto plan segments.
+
+Non-gate instructions (``PrepZ``, barriers, block markers, measurements and
+assertions) are all tableau-compatible: preparation lowers to measurement +
+X, and the rest never touch the simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..sim.clifford import is_clifford_controlled, is_clifford_matrix
+from .instructions import GateInstruction, Instruction
+
+__all__ = [
+    "is_clifford_instruction",
+    "clifford_prefix_length",
+]
+
+#: Memoised verdicts keyed by the gate's structural identity.
+_CACHE: "dict[tuple, bool]" = {}
+
+
+def is_clifford_instruction(instruction: Instruction) -> bool:
+    """True when the instruction can run on a stabilizer tableau.
+
+    Gate instructions are classified through the same matrix recognition the
+    stabilizer backend applies at runtime, so the classification can never
+    disagree with what the backend accepts.  Every non-gate instruction is
+    tableau-compatible by construction.
+    """
+    if not isinstance(instruction, GateInstruction):
+        return True
+    key = (
+        instruction.name,
+        instruction.params,
+        len(instruction.controls),
+        len(instruction.targets),
+    )
+    verdict = _CACHE.get(key)
+    if verdict is None:
+        if instruction.controls:
+            verdict = is_clifford_controlled(
+                instruction.base_matrix(),
+                len(instruction.controls),
+                len(instruction.targets),
+            )
+        else:
+            verdict = is_clifford_matrix(
+                instruction.base_matrix(), len(instruction.targets)
+            )
+        _CACHE[key] = verdict
+    return verdict
+
+
+def clifford_prefix_length(instructions: Iterable[Instruction]) -> int:
+    """Number of leading instructions the stabilizer tableau can execute."""
+    length = 0
+    for instruction in instructions:
+        if not is_clifford_instruction(instruction):
+            break
+        length += 1
+    return length

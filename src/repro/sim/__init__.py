@@ -1,6 +1,6 @@
 """Quantum simulation substrate (statevector simulator replacing QX)."""
 
-from . import gates, kernels
+from . import clifford, gates, kernels
 from .backend import (
     BACKENDS,
     SimulationBackend,
@@ -8,6 +8,7 @@ from .backend import (
     make_backend,
     register_backend,
 )
+from .clifford import NotCliffordGateError
 from .density import (
     DensityMatrix,
     entanglement_entropy,
@@ -27,6 +28,7 @@ from .noise import (
     depolarizing,
     phase_flip,
 )
+from .stabilizer_backend import HybridCliffordBackend, StabilizerBackend
 from .statevector import Statevector
 from .unitary import (
     adder_permutation,
@@ -40,9 +42,13 @@ from .unitary import (
 __all__ = [
     "gates",
     "kernels",
+    "clifford",
     "SimulationBackend",
     "StatevectorBackend",
     "DensityMatrixBackend",
+    "StabilizerBackend",
+    "HybridCliffordBackend",
+    "NotCliffordGateError",
     "BACKENDS",
     "register_backend",
     "make_backend",

@@ -1,5 +1,15 @@
 """Experiment workloads: detection-rate sweeps and assertion cost accounting."""
 
+from .clifford import (
+    CLIFFORD_SCENARIOS,
+    CliffordScenario,
+    build_ghz_chain_program,
+    build_repetition_code_program,
+    build_teleportation_program,
+    clifford_detection_sweep,
+    clifford_scenario_names,
+    get_clifford_scenario,
+)
 from .ensembles import (
     DetectionResult,
     assertion_cost,
@@ -18,4 +28,12 @@ __all__ = [
     "significance_sweep",
     "readout_error_sweep",
     "assertion_cost",
+    "CliffordScenario",
+    "CLIFFORD_SCENARIOS",
+    "clifford_scenario_names",
+    "get_clifford_scenario",
+    "clifford_detection_sweep",
+    "build_ghz_chain_program",
+    "build_teleportation_program",
+    "build_repetition_code_program",
 ]

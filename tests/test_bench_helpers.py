@@ -1,0 +1,48 @@
+"""Tests for the shared benchmark harness helpers."""
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "benchmarks"))
+
+from bench_helpers import append_trajectory  # noqa: E402
+
+
+class TestAppendTrajectory:
+    def test_creates_missing_file(self, tmp_path):
+        path = tmp_path / "BENCH_test.json"
+        append_trajectory(path, {"value": 1})
+        entries = json.loads(path.read_text())
+        assert len(entries) == 1
+        assert entries[0]["value"] == 1
+        assert "timestamp" in entries[0]
+
+    def test_appends_to_existing_trajectory(self, tmp_path):
+        path = tmp_path / "BENCH_test.json"
+        append_trajectory(path, {"value": 1})
+        append_trajectory(path, {"value": 2})
+        entries = json.loads(path.read_text())
+        assert [entry["value"] for entry in entries] == [1, 2]
+
+    def test_corrupt_json_restarts_trajectory(self, tmp_path):
+        path = tmp_path / "BENCH_test.json"
+        path.write_text('[{"value": 1}, {"value"')  # truncated write
+        append_trajectory(path, {"value": 2})
+        entries = json.loads(path.read_text())
+        assert [entry["value"] for entry in entries] == [2]
+
+    def test_non_list_payload_restarts_trajectory(self, tmp_path):
+        path = tmp_path / "BENCH_test.json"
+        path.write_text('{"not": "a list"}')
+        append_trajectory(path, {"value": 3})
+        entries = json.loads(path.read_text())
+        assert isinstance(entries, list)
+        assert [entry["value"] for entry in entries] == [3]
+
+    def test_empty_file_restarts_trajectory(self, tmp_path):
+        path = tmp_path / "BENCH_test.json"
+        path.write_text("")
+        append_trajectory(path, {"value": 4})
+        entries = json.loads(path.read_text())
+        assert [entry["value"] for entry in entries] == [4]

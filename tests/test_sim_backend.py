@@ -26,7 +26,7 @@ class TestRegistry:
 
     def test_unknown_name_raises(self):
         with pytest.raises(KeyError, match="unknown backend"):
-            make_backend("stabilizer")
+            make_backend("tensor_network")
 
     def test_instance_passes_through(self):
         backend = StatevectorBackend(2)
