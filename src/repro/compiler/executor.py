@@ -25,6 +25,17 @@ all-Clifford plans on the stabilizer tableau outright, while mixed plans run
 on :class:`~repro.sim.stabilizer_backend.HybridCliffordBackend`, which
 simulates the maximal Clifford prefix on a tableau and converts to a dense
 statevector exactly once, at the first non-Clifford gate.
+
+Gate noise routes through the trajectory engine.  A ``noise`` model whose
+gate channels are all **Pauli** mixtures is unravelled into Monte-Carlo
+trajectories: in ``"sample"`` mode the executor builds one batched backend
+carrying ``ensemble_size`` trajectory members (stacked statevectors on the
+dense backends, Pauli frames on the tableau) and walks the plan **once**, so
+a whole noisy ensemble costs one walk instead of ``ensemble_size`` density
+contractions of ``4^n`` work; non-Pauli channels (amplitude damping) fall
+back to the exact density-matrix backend.  Per-trajectory rng streams are
+spawned via ``np.random.SeedSequence.spawn`` from the executor's seed — never
+shared — so seeded runs stay reproducible under any batching.
 """
 
 from __future__ import annotations
@@ -44,7 +55,14 @@ from ..lang.instructions import (
 from ..lang.clifford import is_clifford_instruction
 from ..lang.program import Program, run_instructions
 from ..sim.backend import SimulationBackend, make_backend
+from ..sim.density_backend import DensityMatrixBackend
 from ..sim.measurement import MeasurementEnsemble, ReadoutErrorModel
+from ..sim.noise import KrausChannel, NoiseModel
+from ..sim.stabilizer_backend import HybridCliffordBackend, StabilizerBackend
+from ..sim.trajectory_backend import (
+    TrajectoryNoiseBackend,
+    spawn_trajectory_streams,
+)
 from .splitter import BreakpointProgram, ExecutionPlan, build_execution_plan
 
 __all__ = ["BreakpointMeasurements", "BreakpointExecutor"]
@@ -73,6 +91,7 @@ class BreakpointExecutor:
         mode: str = "sample",
         readout_error: ReadoutErrorModel | None = None,
         backend: "str | SimulationBackend | Callable[[], SimulationBackend] | None" = None,
+        noise: "NoiseModel | KrausChannel | Sequence[KrausChannel] | None" = None,
     ):
         if ensemble_size <= 0:
             raise ValueError("ensemble_size must be positive")
@@ -81,8 +100,22 @@ class BreakpointExecutor:
         self.ensemble_size = int(ensemble_size)
         self.rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
         self.mode = mode
-        self.readout_error = readout_error or ReadoutErrorModel()
+        if noise is None or isinstance(noise, NoiseModel):
+            self.noise = noise
+        else:
+            self.noise = NoiseModel.from_channels(noise)
+        if readout_error is not None:
+            self.readout_error = readout_error
+        elif self.noise is not None and not self.noise.readout.is_ideal:
+            # A noise model bundles its readout channel; adopt it unless the
+            # caller supplied an explicit (overriding) one.
+            self.readout_error = self.noise.readout
+        else:
+            self.readout_error = ReadoutErrorModel()
         self.backend = backend
+        #: Root entropy of the per-trajectory rng streams; spawned lazily from
+        #: the executor's own stream so seeded executors stay reproducible.
+        self._noise_seed_root: np.random.SeedSequence | None = None
         #: Cumulative gate applications across every run (cost accounting).
         self.gates_applied = 0
         #: Subset of :attr:`gates_applied` that ran on a dense statevector
@@ -196,13 +229,94 @@ class BreakpointExecutor:
         converts to a dense statevector once, at the first non-Clifford
         gate.  ``clifford=None`` (no plan in sight) defers entirely to the
         hybrid backend's own gate-by-gate detection.
+
+        Gate noise overrides the registry: a Pauli model is unravelled into
+        trajectories (batched statevectors, or tableau Pauli frames on the
+        stabilizer spellings); anything else falls back to the exact
+        density-matrix backend (see :meth:`_new_noisy_backend`).
         """
-        spec = self.backend
-        if spec == "auto" and clifford is True:
-            spec = "stabilizer"
-        engine = make_backend(spec)
+        if self.noise is not None and self.noise.gate_channels:
+            engine = self._new_noisy_backend(clifford)
+        else:
+            spec = self.backend
+            if spec == "auto" and clifford is True:
+                spec = "stabilizer"
+            engine = make_backend(spec)
         engine.initialize(num_qubits)
         return engine
+
+    def _trajectory_streams(self, count: int) -> list[np.random.Generator]:
+        """Per-trajectory rng streams via ``SeedSequence.spawn``.
+
+        The root sequence is seeded from one draw of the executor's own
+        stream, so a seeded executor reproduces the same trajectory record
+        run after run, while every backend construction (each checking run,
+        each rerun member) spawns fresh, statistically independent children
+        — never a shared ``Generator``, whose interleaved draw order would
+        couple the members under re-batching.
+        """
+        if self._noise_seed_root is None:
+            entropy = int(self.rng.integers(0, np.iinfo(np.int64).max))
+            self._noise_seed_root = np.random.SeedSequence(entropy)
+        return spawn_trajectory_streams(self._noise_seed_root, count)
+
+    def _new_noisy_backend(self, clifford: bool | None) -> SimulationBackend:
+        """Build the trajectory (or fallback density) engine for gate noise.
+
+        Routing: Pauli-mixture models run as trajectories — batched
+        statevectors for the dense spellings, Pauli frames on the tableau
+        for ``"stabilizer"``, and the frame-carrying hybrid for mixed
+        ``"auto"`` plans.  Non-Pauli models run on the density backend when
+        the spelling permits a dense fallback, and raise where it does not
+        (``"trajectory"``/``"stabilizer"`` are explicitly Pauli-only).
+        """
+        spec = self.backend
+        if spec is not None and not isinstance(spec, str):
+            raise ValueError(
+                "executor-level gate noise needs a registry backend name; "
+                "backend instances/factories own their noise configuration "
+                "(e.g. DensityMatrixBackend(noise=...))"
+            )
+        name = spec or "statevector"
+        pauli = self.noise.is_pauli
+        # The executor's resolved readout model (explicit override, or the
+        # noise model's bundled channel) is installed explicitly: backends
+        # must not fall back to the noise model's own readout, or an
+        # explicit ideal `readout_error=` override would be ignored.
+        if not pauli:
+            if name in ("trajectory", "stabilizer"):
+                raise ValueError(
+                    f"backend {name!r} only unravels Pauli channels; "
+                    "non-Pauli noise (e.g. amplitude damping) needs the "
+                    "density-matrix backend"
+                )
+            return DensityMatrixBackend(
+                noise=self.noise, readout_error=self.readout_error
+            )
+        if name == "density":
+            return DensityMatrixBackend(
+                noise=self.noise, readout_error=self.readout_error
+            )
+        batch = self.ensemble_size if self.mode == "sample" else 1
+        streams = self._trajectory_streams(batch)
+        if name in ("statevector", "trajectory"):
+            return TrajectoryNoiseBackend(
+                noise=self.noise,
+                batch_size=batch,
+                rng_streams=streams,
+                readout_error=self.readout_error,
+            )
+        if name == "stabilizer" or (name in ("auto", "hybrid") and clifford is True):
+            return StabilizerBackend(
+                noise=self.noise, batch_size=batch, rng_streams=streams
+            )
+        if name in ("auto", "hybrid"):
+            return HybridCliffordBackend(
+                noise=self.noise, batch_size=batch, rng_streams=streams
+            )
+        raise KeyError(
+            f"unknown backend {name!r} for trajectory noise routing"
+        )
 
     def _install_readout(
         self, engine: SimulationBackend

@@ -13,14 +13,18 @@ from .exceptions import AssertionViolation, InsufficientEnsembleError, QuantumAs
 from .report import BreakpointRecord, DebugReport, format_table
 from .statistics import (
     ChiSquareResult,
+    ConvergenceResult,
     build_contingency_table,
+    category_standard_errors,
     chi_square_gof,
     chi_square_survival,
     classical_gof,
     contingency_chi_square,
     contingency_coefficient,
     cramers_v,
+    ensemble_convergence,
     independence_test_from_samples,
+    max_category_standard_error,
     uniform_gof,
 )
 
@@ -41,6 +45,10 @@ __all__ = [
     "QuantumAssertionError",
     "InsufficientEnsembleError",
     "ChiSquareResult",
+    "ConvergenceResult",
+    "category_standard_errors",
+    "max_category_standard_error",
+    "ensemble_convergence",
     "chi_square_survival",
     "chi_square_gof",
     "classical_gof",

@@ -18,6 +18,7 @@ debugging workflow of the paper.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Callable
 
 import numpy as np
@@ -38,7 +39,8 @@ from ..lang.instructions import (
 )
 from ..lang.program import Program
 from ..sim.backend import SimulationBackend
-from ..sim.measurement import ReadoutErrorModel
+from ..sim.measurement import MeasurementEnsemble, ReadoutErrorModel
+from ..sim.noise import KrausChannel, NoiseModel
 from .assertions import (
     DEFAULT_SIGNIFICANCE,
     AssertionOutcome,
@@ -49,6 +51,7 @@ from .assertions import (
 )
 from .exceptions import AssertionViolation
 from .report import BreakpointRecord, DebugReport
+from .statistics import ensemble_convergence, max_category_standard_error
 
 __all__ = ["StatisticalAssertionChecker", "check_program", "build_evaluator"]
 
@@ -100,6 +103,7 @@ class StatisticalAssertionChecker:
         mode: str = "sample",
         readout_error: ReadoutErrorModel | None = None,
         backend: "str | SimulationBackend | Callable[[], SimulationBackend] | None" = None,
+        noise: "NoiseModel | KrausChannel | None" = None,
     ):
         self.program = program
         self.ensemble_size = int(ensemble_size)
@@ -111,7 +115,11 @@ class StatisticalAssertionChecker:
             mode=mode,
             readout_error=readout_error,
             backend=backend,
+            noise=noise,
         )
+        #: Per-breakpoint convergence rows of the last
+        #: :meth:`run_until_converged` call (empty otherwise).
+        self.convergence: list[dict] = []
 
     # ------------------------------------------------------------------
 
@@ -169,6 +177,104 @@ class StatisticalAssertionChecker:
             raise AssertionViolation(failure.outcome)
         return report
 
+    # ------------------------------------------------------------------
+    # Trajectory-ensemble aggregation with a convergence criterion
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _merge_measurements(
+        accumulated: BreakpointMeasurements, fresh: BreakpointMeasurements
+    ) -> BreakpointMeasurements:
+        return BreakpointMeasurements(
+            breakpoint=accumulated.breakpoint,
+            joint=accumulated.joint.extend(fresh.joint),
+            group_a=accumulated.group_a.extend(fresh.group_a),
+            group_b=(
+                accumulated.group_b.extend(fresh.group_b)
+                if accumulated.group_b is not None
+                else None
+            ),
+        )
+
+    def run_until_converged(
+        self, se_cutoff: float = 0.025, max_batches: int = 8
+    ) -> DebugReport:
+        """Grow trajectory ensembles per breakpoint until they converge.
+
+        One trajectory batch is a Monte-Carlo estimate of each breakpoint
+        distribution; its per-category uncertainty shrinks as
+        ``1/sqrt(N)``.  This method walks the plan repeatedly (each walk
+        appends ``ensemble_size`` fresh members to every breakpoint's
+        ensemble) until the worst category standard error of every
+        breakpoint's joint empirical distribution drops to ``se_cutoff`` —
+        the convergence criterion on the assertion statistic's input — or
+        ``max_batches`` walks have run.  The assertions are evaluated once,
+        on the merged ensembles; :attr:`convergence` records one row per
+        breakpoint (samples, worst standard error, converged flag).
+
+        The incremental walk makes each batch cost O(total_gates) gate
+        applications regardless of the batch's ensemble width, so adaptive
+        growth costs exactly ``batches`` walks.
+        """
+        if max_batches <= 0:
+            raise ValueError("max_batches must be positive")
+        if not 0.0 < se_cutoff < 1.0:
+            raise ValueError(f"se_cutoff must be in (0, 1), got {se_cutoff}")
+        plan = self.execution_plan()
+        if not plan.segments:
+            # No assertions: nothing to converge on (run() is empty too).
+            self.convergence = []
+            return DebugReport(
+                program_name=self.program.name,
+                ensemble_size=0,
+                significance=self.significance,
+            )
+        merged: list[BreakpointMeasurements] | None = None
+        batches = 0
+        while True:
+            results = self.executor.run_plan(plan)
+            batches += 1
+            if merged is None:
+                merged = results
+            else:
+                merged = [
+                    self._merge_measurements(a, b) for a, b in zip(merged, results)
+                ]
+            worst = max(
+                max_category_standard_error(m.joint.frequencies()) for m in merged
+            )
+            if worst <= se_cutoff or batches >= max_batches:
+                break
+        self.convergence = [
+            {
+                "breakpoint": m.breakpoint.index,
+                "name": m.breakpoint.name,
+                "batches": batches,
+                **dataclasses.asdict(
+                    ensemble_convergence(m.joint.frequencies(), cutoff=se_cutoff)
+                ),
+            }
+            for m in merged
+        ]
+        report = DebugReport(
+            program_name=self.program.name,
+            ensemble_size=merged[0].joint.num_samples if merged else 0,
+            significance=self.significance,
+        )
+        for measurements in merged:
+            breakpoint_program = measurements.breakpoint
+            outcome = self._evaluate(measurements)
+            report.add(
+                BreakpointRecord(
+                    index=breakpoint_program.index,
+                    name=breakpoint_program.name,
+                    gates_before=breakpoint_program.gates_before,
+                    outcome=outcome,
+                    ensemble_size=measurements.joint.num_samples,
+                )
+            )
+        return report
+
 
 def check_program(
     program: Program,
@@ -178,6 +284,7 @@ def check_program(
     mode: str = "sample",
     backend: "str | SimulationBackend | Callable[[], SimulationBackend] | None" = None,
     readout_error: ReadoutErrorModel | None = None,
+    noise: "NoiseModel | KrausChannel | None" = None,
 ) -> DebugReport:
     """One-shot convenience wrapper around :class:`StatisticalAssertionChecker`."""
     checker = StatisticalAssertionChecker(
@@ -188,5 +295,6 @@ def check_program(
         mode=mode,
         backend=backend,
         readout_error=readout_error,
+        noise=noise,
     )
     return checker.run()

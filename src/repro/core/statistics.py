@@ -38,6 +38,10 @@ __all__ = [
     "cramers_v",
     "contingency_coefficient",
     "independence_test_from_samples",
+    "ConvergenceResult",
+    "category_standard_errors",
+    "max_category_standard_error",
+    "ensemble_convergence",
 ]
 
 
@@ -233,6 +237,91 @@ def uniform_gof(
                 raise ValueError(f"support value {value} out of range")
         probabilities[support] = 1.0 / len(support)
     return chi_square_gof(observed, probabilities)
+
+
+# ---------------------------------------------------------------------------
+# Trajectory-ensemble convergence (standard-error cutoff)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ConvergenceResult:
+    """Verdict of a standard-error convergence check on one ensemble."""
+
+    converged: bool
+    max_standard_error: float
+    num_samples: int
+    cutoff: float
+
+
+def category_standard_errors(
+    counts: Mapping[int, int] | Sequence[int] | np.ndarray,
+    num_outcomes: int | None = None,
+) -> np.ndarray:
+    """Binomial standard error of each category frequency.
+
+    For an ensemble of ``N`` samples with empirical category probability
+    ``p_j``, the standard error of ``p_j`` is ``sqrt(p_j (1 - p_j) / N)`` —
+    the per-category uncertainty of the measured breakpoint distribution.
+
+    Without ``num_outcomes``, ``counts`` **must be a dense histogram** (one
+    count per outcome, e.g. ``MeasurementEnsemble.frequencies()``).  Passing
+    ``num_outcomes`` enables the other :func:`chi_square_gof` spellings
+    (sparse mapping, flat sample list) — a flat sample list without
+    ``num_outcomes`` would be silently misread as a histogram.
+    """
+    if num_outcomes is None:
+        dense = np.asarray(counts, dtype=float)
+        if dense.ndim != 1 or dense.size == 0:
+            raise ValueError(
+                "dense counts must be a non-empty 1-D array when "
+                "num_outcomes is omitted"
+            )
+    else:
+        dense = _normalise_counts(counts, num_outcomes)
+    total = dense.sum()
+    if total <= 0:
+        raise ValueError("the observed ensemble is empty")
+    p = dense / total
+    return np.sqrt(p * (1.0 - p) / total)
+
+
+def max_category_standard_error(
+    counts: Mapping[int, int] | Sequence[int] | np.ndarray,
+    num_outcomes: int | None = None,
+) -> float:
+    """Worst per-category standard error of an empirical distribution."""
+    return float(category_standard_errors(counts, num_outcomes).max())
+
+
+def ensemble_convergence(
+    counts: Mapping[int, int] | Sequence[int] | np.ndarray,
+    cutoff: float = 0.025,
+    num_outcomes: int | None = None,
+) -> ConvergenceResult:
+    """Standard-error convergence criterion for trajectory ensembles.
+
+    A Monte-Carlo (trajectory) ensemble estimates the breakpoint
+    distribution with per-category uncertainty shrinking as ``1/sqrt(N)``;
+    the ensemble is declared converged when the worst category standard
+    error drops to ``cutoff``.  The checker's
+    :meth:`~repro.core.checker.StatisticalAssertionChecker.run_until_converged`
+    keeps appending trajectory batches until this criterion (or a batch cap)
+    is met.
+    """
+    if not 0.0 < cutoff < 1.0:
+        raise ValueError(f"cutoff must be in (0, 1), got {cutoff}")
+    if num_outcomes is None:
+        dense = np.asarray(counts, dtype=float)
+    else:
+        dense = _normalise_counts(counts, num_outcomes)
+    worst = max_category_standard_error(dense)
+    return ConvergenceResult(
+        converged=worst <= cutoff,
+        max_standard_error=worst,
+        num_samples=int(dense.sum()),
+        cutoff=float(cutoff),
+    )
 
 
 # ---------------------------------------------------------------------------

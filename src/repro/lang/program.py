@@ -65,7 +65,9 @@ def run_instructions(
             else:
                 backend.apply_matrix(instruction.base_matrix(), targets)
         elif isinstance(instruction, PrepInstruction):
-            _apply_prep(program, backend, instruction, rng)
+            backend.prep_qubit(
+                program.qubit_index(instruction.qubit), instruction.value, rng=rng
+            )
         elif isinstance(
             instruction,
             (
@@ -79,23 +81,6 @@ def run_instructions(
         else:  # pragma: no cover - defensive
             raise TypeError(f"unknown instruction type: {type(instruction)!r}")
     return backend
-
-
-def _apply_prep(
-    program: "Program",
-    backend: SimulationBackend,
-    instruction: PrepInstruction,
-    rng: np.random.Generator | int | None,
-) -> None:
-    """``PrepZ``: exact on basis-state qubits, measurement-based reset otherwise."""
-    index = program.qubit_index(instruction.qubit)
-    probability_one = float(backend.probabilities([index])[1])
-    if probability_one < 1e-12 or probability_one > 1.0 - 1e-12:
-        current = 1 if probability_one > 0.5 else 0
-    else:
-        current = backend.measure([index], rng=rng)
-    if current != instruction.value:
-        backend.apply_gate("x", [index])
 
 
 class Program:

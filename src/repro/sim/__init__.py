@@ -22,14 +22,18 @@ from .measurement import MeasurementEnsemble, ReadoutErrorModel
 from .noise import (
     KrausChannel,
     NoiseModel,
+    PauliChannelSampler,
+    PauliMixture,
     amplitude_damping,
     bit_flip,
     bit_phase_flip,
     depolarizing,
     phase_flip,
 )
+from .pauli_frame import PauliFrameSet
 from .stabilizer_backend import HybridCliffordBackend, StabilizerBackend
 from .statevector import Statevector
+from .trajectory_backend import TrajectoryNoiseBackend, spawn_trajectory_streams
 from .unitary import (
     adder_permutation,
     dft_matrix,
@@ -48,6 +52,9 @@ __all__ = [
     "DensityMatrixBackend",
     "StabilizerBackend",
     "HybridCliffordBackend",
+    "TrajectoryNoiseBackend",
+    "spawn_trajectory_streams",
+    "PauliFrameSet",
     "NotCliffordGateError",
     "BACKENDS",
     "register_backend",
@@ -58,6 +65,8 @@ __all__ = [
     "ReadoutErrorModel",
     "KrausChannel",
     "NoiseModel",
+    "PauliMixture",
+    "PauliChannelSampler",
     "amplitude_damping",
     "bit_flip",
     "bit_phase_flip",

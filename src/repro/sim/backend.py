@@ -76,6 +76,15 @@ class SimulationBackend(abc.ABC):
         """
         return self.gates_applied
 
+    @property
+    def batch_size(self) -> int:
+        """Number of simultaneously carried states (1 for single-state backends).
+
+        Trajectory backends stack ``B`` ensemble members through one plan
+        walk; everything else simulates a single state.
+        """
+        return 1
+
     def set_readout_error(self, model) -> None:
         """Install a readout-error model into the backend's readout path.
 
@@ -84,6 +93,29 @@ class SimulationBackend(abc.ABC):
         raise NotImplementedError(
             f"backend {self.name!r} has no native readout-noise path"
         )
+
+    def prep_qubit(
+        self,
+        qubit: int,
+        value: int,
+        rng: "np.random.Generator | int | None" = None,
+    ) -> "SimulationBackend":
+        """``PrepZ``: exact on basis-state qubits, measurement-based reset otherwise.
+
+        This is the lowering point of ``PrepInstruction`` (the lang
+        interpreter calls it for every prep).  The default applies to any
+        single-state backend; batched trajectory backends override it to
+        reset each ensemble member on its own measurement outcome.
+        """
+        qubit = int(qubit)
+        probability_one = float(self.probabilities([qubit])[1])
+        if probability_one < 1e-12 or probability_one > 1.0 - 1e-12:
+            current = 1 if probability_one > 0.5 else 0
+        else:
+            current = self.measure([qubit], rng=rng)
+        if current != int(value):
+            self.apply_gate("x", [qubit])
+        return self
 
     # -- state lifecycle ------------------------------------------------
 

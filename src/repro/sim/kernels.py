@@ -29,6 +29,10 @@ import numpy as np
 __all__ = [
     "apply_matrix_inplace",
     "apply_controlled_inplace",
+    "apply_matrix_batched",
+    "apply_controlled_batched",
+    "apply_pauli_batched",
+    "pauli_mask_kernel",
     "marginal_probabilities",
 ]
 
@@ -165,6 +169,123 @@ def marginal_probabilities(
     order = [remaining.index(a) for a in keep_axes]
     tensor = np.transpose(tensor, order)
     return tensor.reshape(-1)
+
+
+def _batched_base(batch_size: int, num_qubits: int, base: np.ndarray) -> np.ndarray:
+    """Tile per-state amplitude-group indices across a stacked batch.
+
+    A ``(B, 2**n)`` batch flattened to ``B * 2**n`` entries places member
+    ``m`` at offset ``m << n``; gate operands only address the low ``n``
+    bits, so OR-ing the member offsets onto the single-state base indices
+    makes every single-state gather kernel batch-aware for free.
+    """
+    offsets = np.arange(batch_size, dtype=base.dtype) << num_qubits
+    return (offsets[:, None] | base[None, :]).reshape(-1)
+
+
+def apply_matrix_batched(
+    batch: np.ndarray,
+    num_qubits: int,
+    matrix: np.ndarray,
+    qubits: Sequence[int],
+) -> np.ndarray:
+    """Apply one unitary to ``qubits`` of every member of a ``(B, 2**n)`` batch.
+
+    This is the hot path of the trajectory noise engine: one plan walk
+    carries the whole ensemble, so each gate is a single vectorised kernel
+    call over all ``B`` members instead of ``B`` separate walks.  ``batch``
+    must be C-contiguous (the trajectory backend guarantees it); it is
+    mutated in place and returned.
+    """
+    k = len(qubits)
+    flat = batch.reshape(-1)
+    if k == 1:
+        # The strided 1q view decomposes B * 2**n cleanly because 2**(q+1)
+        # divides each member's 2**n block.
+        _apply_1q_inplace(flat, matrix, qubits[0])
+    elif k <= _GATHER_MAX_TARGETS:
+        base = _subspace_indices(num_qubits, zero_bits=qubits)
+        _gather_apply(
+            flat, matrix, qubits, _batched_base(batch.shape[0], num_qubits, base)
+        )
+    else:
+        for member in batch:
+            _apply_dense_inplace(member, num_qubits, matrix, qubits)
+    return batch
+
+
+def apply_controlled_batched(
+    batch: np.ndarray,
+    num_qubits: int,
+    matrix: np.ndarray,
+    controls: Sequence[int],
+    targets: Sequence[int],
+) -> np.ndarray:
+    """Batched index-masked controlled gate over a ``(B, 2**n)`` batch."""
+    if not controls:
+        return apply_matrix_batched(batch, num_qubits, matrix, targets)
+    if len(targets) > _GATHER_MAX_TARGETS:  # pragma: no cover - unused width
+        for member in batch:
+            apply_controlled_inplace(member, num_qubits, matrix, controls, targets)
+        return batch
+    base = _subspace_indices(num_qubits, zero_bits=targets, one_bits=controls)
+    _gather_apply(
+        batch.reshape(-1),
+        matrix,
+        targets,
+        _batched_base(batch.shape[0], num_qubits, base),
+    )
+    return batch
+
+
+def apply_pauli_batched(
+    batch: np.ndarray, qubit: int, paulis: np.ndarray
+) -> np.ndarray:
+    """Apply a per-member single-qubit Pauli (0=I, 1=X, 2=Y, 3=Z) to ``qubit``.
+
+    One trajectory noise event: member ``m`` receives the sampled Pauli
+    ``paulis[m]``.  ``Y`` is applied as ``i * X * Z`` so per-member global
+    phases stay exact (they are unobservable but keep trajectory states
+    bit-comparable with reference simulations).
+    """
+    paulis = np.asarray(paulis)
+    view = batch.reshape(batch.shape[0], -1, 2, 1 << qubit)
+    z_members = (paulis == 2) | (paulis == 3)
+    if z_members.any():
+        view[z_members, :, 1, :] *= -1.0
+    x_members = (paulis == 1) | (paulis == 2)
+    if x_members.any():
+        view[x_members] = view[x_members][:, :, ::-1, :]
+    y_members = paulis == 2
+    if y_members.any():
+        batch[y_members] *= 1j
+    return batch
+
+
+def _index_parity(values: np.ndarray) -> np.ndarray:
+    """Parity of the set bits of each integer (vectorised popcount & 1)."""
+    parity = values.astype(np.int64)
+    for shift in (32, 16, 8, 4, 2, 1):
+        parity = parity ^ (parity >> shift)
+    return parity & 1
+
+
+def pauli_mask_kernel(
+    data: np.ndarray, x_mask: int, z_mask: int
+) -> np.ndarray:
+    """Apply the Pauli string with symplectic masks to a dense state.
+
+    Returns a **new** array: ``out[j ^ x_mask] = i^y (-1)^parity(z & j)
+    data[j]`` where ``y`` counts the qubits with both masks set (``Y = iXZ``
+    per qubit).  Used by the hybrid backend to materialise per-member
+    trajectory states from the tableau state plus each member's Pauli frame.
+    """
+    indices = np.arange(data.shape[0])
+    signs = 1.0 - 2.0 * _index_parity(indices & np.int64(z_mask))
+    y_count = int(bin(x_mask & z_mask).count("1"))
+    out = np.empty_like(data)
+    out[indices ^ x_mask] = (1j ** y_count) * signs * data
+    return out
 
 
 def apply_controlled_inplace(

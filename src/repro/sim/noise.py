@@ -17,22 +17,134 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Iterable, Sequence
 
 import numpy as np
 
 from . import gates as _gates
+from .kernels import _index_parity
 from .measurement import ReadoutErrorModel
 
 __all__ = [
     "KrausChannel",
     "NoiseModel",
+    "PauliMixture",
+    "PauliChannelSampler",
     "amplitude_damping",
     "depolarizing",
     "bit_flip",
     "phase_flip",
     "bit_phase_flip",
 ]
+
+#: Single-qubit Pauli labels indexed by the trajectory sampling convention
+#: (0 = I, 1 = X, 2 = Y, 3 = Z); the (x, z) bit pair of label ``i`` is
+#: ``(i in {1, 2}, i in {2, 3})``.
+PAULI_LABELS = ("I", "X", "Y", "Z")
+
+
+def _pauli_component(op: np.ndarray) -> tuple[float, int, int] | None:
+    """Recognise ``op = c * P`` for a Pauli string ``P``.
+
+    Returns ``(|c|^2, x_mask, z_mask)`` when the operator is proportional to
+    ``i^y * X^x_mask * Z^z_mask`` (any global phase), ``(0.0, 0, 0)`` for the
+    zero operator, and ``None`` otherwise.  A Pauli string is a signed
+    permutation matrix: exactly one entry per column, all of equal magnitude,
+    at row ``column ^ x_mask``, with column phases ``(-1)^parity(z & column)``
+    relative to column 0.
+    """
+    dim = op.shape[0]
+    magnitude = np.abs(op)
+    scale = float(magnitude.max())
+    if scale <= 1e-12:
+        return (0.0, 0, 0)
+    rows, cols = np.nonzero(magnitude > scale * 1e-9)
+    if rows.size != dim:
+        return None
+    order = np.argsort(cols)
+    rows, cols = rows[order], cols[order]
+    if not np.array_equal(cols, np.arange(dim)):
+        return None
+    x_mask = int(rows[0])
+    if np.any((rows ^ cols) != x_mask):
+        return None
+    entries = op[rows, cols]
+    if not np.allclose(np.abs(entries), scale, atol=scale * 1e-9):
+        return None
+    ratios = entries / entries[0]
+    signs = np.real(np.round(ratios))
+    if not np.allclose(ratios, signs, atol=1e-9) or np.any(np.abs(signs) != 1):
+        return None
+    num_qubits = dim.bit_length() - 1
+    z_mask = 0
+    for qubit in range(num_qubits):
+        if signs[1 << qubit] < 0:
+            z_mask |= 1 << qubit
+    if np.any(signs != 1.0 - 2.0 * _index_parity(cols & z_mask)):
+        return None
+    return (scale * scale, x_mask, z_mask)
+
+
+@dataclass(frozen=True)
+class PauliMixture:
+    """A Pauli-mixture view of a channel: ``rho -> sum_k p_k P_k rho P_k``.
+
+    Components are keyed by their symplectic ``(x_mask, z_mask)`` bit pair
+    (bit ``j`` acts on qubit ``j``); probabilities sum to 1.  This is the
+    sampling table of the trajectory backends: one noise event draws one
+    component per trajectory member and applies it as a plain Pauli gate —
+    O(2^n) on a statevector member, O(n) on a Pauli frame — instead of the
+    density backend's 4^n Kraus contraction.
+    """
+
+    num_qubits: int
+    probabilities: tuple[float, ...]
+    x_masks: tuple[int, ...]
+    z_masks: tuple[int, ...]
+
+    def labels(self) -> tuple[str, ...]:
+        """Pauli-string labels, most significant qubit first."""
+        table = {(0, 0): "I", (1, 0): "X", (1, 1): "Y", (0, 1): "Z"}
+        return tuple(
+            "".join(
+                table[((x >> q) & 1, (z >> q) & 1)]
+                for q in reversed(range(self.num_qubits))
+            )
+            for x, z in zip(self.x_masks, self.z_masks)
+        )
+
+    def single_qubit_indices(self) -> np.ndarray:
+        """Component Pauli indices (0=I, 1=X, 2=Y, 3=Z); 1-qubit mixtures only."""
+        if self.num_qubits != 1:
+            raise ValueError("single-qubit index table needs a 1-qubit mixture")
+        table = {(0, 0): 0, (1, 0): 1, (1, 1): 2, (0, 1): 3}
+        return np.array(
+            [table[(x, z)] for x, z in zip(self.x_masks, self.z_masks)],
+            dtype=np.int64,
+        )
+
+
+class PauliChannelSampler:
+    """Pre-computed inverse-CDF sampling table of a 1-qubit Pauli mixture.
+
+    One trajectory noise event consumes **one uniform per member** (drawn by
+    the caller from that member's own rng stream) and maps it through the
+    cumulative component probabilities — the rng-stream contract that keeps
+    seeded runs reproducible under any batching of the ensemble.
+    """
+
+    __slots__ = ("cumulative", "indices")
+
+    def __init__(self, mixture: PauliMixture):
+        self.indices = mixture.single_qubit_indices()
+        cumulative = np.cumsum(np.asarray(mixture.probabilities, dtype=float))
+        cumulative[-1] = 1.0  # guard accumulated rounding at the top end
+        self.cumulative = cumulative
+
+    def sample(self, uniforms: np.ndarray) -> np.ndarray:
+        """Pauli index (0=I, 1=X, 2=Y, 3=Z) per member for the given uniforms."""
+        positions = np.searchsorted(self.cumulative, uniforms, side="right")
+        return self.indices[np.minimum(positions, len(self.indices) - 1)]
 
 
 @dataclass(frozen=True, eq=False)
@@ -80,47 +192,109 @@ class KrausChannel:
         """Dense reference application ``sum_k K rho K^dagger`` (tests/ground truth)."""
         return sum(op @ rho @ op.conj().T for op in self.operators)
 
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"KrausChannel(name={self.name!r}, operators={len(self.operators)})"
+    def pauli_decomposition(self) -> PauliMixture:
+        """The channel as a Pauli mixture, or :class:`ValueError` if it is none.
+
+        A channel is a Pauli mixture exactly when every Kraus operator is
+        proportional to a Pauli string (``K_k = c_k P_k``); the mixture weight
+        of ``P_k`` is ``|c_k|^2`` and the weights sum to 1 by the completeness
+        relation.  Zero-weight operators (e.g. the ``sqrt(1-p) I`` term of
+        ``bit_flip(1.0)``) are dropped; duplicate Paulis are merged.  The
+        result is cached — channels are frozen.
+        """
+        cached = getattr(self, "_pauli_mixture", None)
+        if cached is not None:
+            return cached
+        components: dict[tuple[int, int], float] = {}
+        for op in self.operators:
+            component = _pauli_component(np.asarray(op))
+            if component is None:
+                raise ValueError(
+                    f"channel {self.name!r} is not a Pauli mixture: a Kraus "
+                    "operator is not proportional to a Pauli string"
+                )
+            weight, x_mask, z_mask = component
+            if weight > 0.0:
+                key = (x_mask, z_mask)
+                components[key] = components.get(key, 0.0) + weight
+        items = sorted(components.items())
+        total = sum(weight for _, weight in items)
+        mixture = PauliMixture(
+            num_qubits=self.num_qubits,
+            probabilities=tuple(weight / total for _, weight in items),
+            x_masks=tuple(x for (x, _), _ in items),
+            z_masks=tuple(z for (_, z), _ in items),
+        )
+        object.__setattr__(self, "_pauli_mixture", mixture)
+        return mixture
+
+    @property
+    def is_pauli(self) -> bool:
+        """True when the channel is a probabilistic mixture of Pauli strings."""
+        try:
+            self.pauli_decomposition()
+        except ValueError:
+            return False
+        return True
+
+    def __repr__(self) -> str:
+        return (
+            f"KrausChannel({self.name!r}, {len(self.operators)} operator(s) "
+            f"on {self.num_qubits} qubit(s))"
+        )
+
+
+def _pauli_mixture_channel(
+    name: str, terms: Sequence[tuple[float, np.ndarray]]
+) -> KrausChannel:
+    """Build a Pauli-mixture channel, dropping zero-probability terms.
+
+    Keeping the zero-weight operator out of the list is what makes the
+    boundary channels exact: ``bit_flip(1.0)`` is the single Kraus operator
+    ``X`` (not ``(0*I, X)``) and ``bit_flip(0.0)`` the identity channel, so
+    ``pauli_decomposition`` weights never carry spurious zero components.
+    """
+    operators = tuple(
+        math.sqrt(probability) * matrix for probability, matrix in terms
+        if probability > 0.0
+    )
+    return KrausChannel(name=name, operators=operators)
 
 
 def bit_flip(p: float) -> KrausChannel:
     """X error with probability ``p``: ``rho -> (1-p) rho + p X rho X``."""
     _check_probability("p", p)
-    return KrausChannel(
-        name=f"bit_flip({p})",
-        operators=(math.sqrt(1.0 - p) * _gates.I, math.sqrt(p) * _gates.X),
+    return _pauli_mixture_channel(
+        f"bit_flip({p})", ((1.0 - p, _gates.I), (p, _gates.X))
     )
 
 
 def phase_flip(p: float) -> KrausChannel:
     """Z error with probability ``p``: ``rho -> (1-p) rho + p Z rho Z``."""
     _check_probability("p", p)
-    return KrausChannel(
-        name=f"phase_flip({p})",
-        operators=(math.sqrt(1.0 - p) * _gates.I, math.sqrt(p) * _gates.Z),
+    return _pauli_mixture_channel(
+        f"phase_flip({p})", ((1.0 - p, _gates.I), (p, _gates.Z))
     )
 
 
 def bit_phase_flip(p: float) -> KrausChannel:
     """Y error with probability ``p``: ``rho -> (1-p) rho + p Y rho Y``."""
     _check_probability("p", p)
-    return KrausChannel(
-        name=f"bit_phase_flip({p})",
-        operators=(math.sqrt(1.0 - p) * _gates.I, math.sqrt(p) * _gates.Y),
+    return _pauli_mixture_channel(
+        f"bit_phase_flip({p})", ((1.0 - p, _gates.I), (p, _gates.Y))
     )
 
 
 def depolarizing(p: float) -> KrausChannel:
     """Symmetric Pauli error: each of X, Y, Z occurs with probability ``p/3``."""
     _check_probability("p", p)
-    return KrausChannel(
-        name=f"depolarizing({p})",
-        operators=(
-            math.sqrt(1.0 - p) * _gates.I,
-            math.sqrt(p / 3.0) * _gates.X,
-            math.sqrt(p / 3.0) * _gates.Y,
-            math.sqrt(p / 3.0) * _gates.Z,
+    return _pauli_mixture_channel(
+        f"depolarizing({p})",
+        (
+            (1.0 - p, _gates.I),
+            (p / 3.0, _gates.X),
+            (p / 3.0, _gates.Y),
+            (p / 3.0, _gates.Z),
         ),
     )
 
@@ -130,12 +304,19 @@ def amplitude_damping(gamma: float) -> KrausChannel:
     _check_probability("gamma", gamma)
     k0 = np.array([[1.0, 0.0], [0.0, math.sqrt(1.0 - gamma)]], dtype=complex)
     k1 = np.array([[0.0, math.sqrt(gamma)], [0.0, 0.0]], dtype=complex)
-    return KrausChannel(name=f"amplitude_damping({gamma})", operators=(k0, k1))
+    operators = (k0,) if gamma == 0.0 else (k0, k1)
+    return KrausChannel(name=f"amplitude_damping({gamma})", operators=operators)
 
 
 def _check_probability(name: str, value: float) -> None:
+    """Accept exactly the closed interval [0, 1] — the boundaries included.
+
+    ``p = 0`` (the identity channel) and ``p = 1`` (a deterministic Pauli)
+    are legitimate sweep endpoints; anything outside, including NaN, is
+    rejected.
+    """
     if not 0.0 <= value <= 1.0:
-        raise ValueError(f"{name} must be a probability, got {value}")
+        raise ValueError(f"{name} must be a probability in [0, 1], got {value}")
 
 
 @dataclass(frozen=True)
@@ -179,3 +360,13 @@ class NoiseModel:
     @property
     def is_ideal(self) -> bool:
         return not self.gate_channels and self.readout.is_ideal
+
+    @property
+    def is_pauli(self) -> bool:
+        """True when every gate channel is a Pauli mixture.
+
+        This is the routing predicate of the trajectory engine: a Pauli
+        model unravels into statevector trajectories (or tableau Pauli
+        frames); anything else needs the density-matrix backend.
+        """
+        return all(channel.is_pauli for channel in self.gate_channels)

@@ -1,0 +1,158 @@
+"""Vectorised Pauli frames: trajectory noise for the stabilizer tableau.
+
+Stabilizer states are closed under Pauli channels, so per-gate bit/phase-flip
+noise needs no density matrix — but re-walking the tableau once per trajectory
+member would still cost ``B`` tableau simulations.  A *Pauli frame* does
+better: the tableau is walked **once**, noiselessly, and each trajectory
+member carries only the Pauli ``F_m`` accumulated from its sampled noise
+events, so that member ``m``'s state is ``F_m |psi>`` with ``|psi>`` the
+shared tableau state.
+
+Two facts make the frame free to maintain:
+
+* Clifford gates conjugate Paulis to Paulis: after a gate ``U`` the member
+  state ``U F_m |psi> = (U F_m U^dagger) (U |psi>)`` is again a frame over
+  the updated tableau, and the conjugation rules are single-bit XORs on the
+  frame's ``(x, z)`` columns — O(1) per gate per member, vectorised over the
+  whole batch below;
+* frames only matter at readout through their X part: measuring qubit ``q``
+  of ``F|psi>`` in the Z basis returns the outcome of ``|psi>`` XOR-ed with
+  the frame's ``x`` bit (the Z part commutes with the measurement and the
+  frame's sign is a global phase), so sampling the noisy ensemble is
+  "sample the noiseless tableau, XOR each member's flip mask".
+
+Signs are deliberately **not** tracked: a Pauli frame's phase is global per
+member and unobservable in any Z-basis readout, which is all the assertion
+checker consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["PauliFrameSet"]
+
+
+class PauliFrameSet:
+    """A batch of Pauli frames: per-member ``(x, z)`` bit rows over ``n`` qubits.
+
+    ``x[m, q]`` / ``z[m, q]`` hold the symplectic bits of member ``m``'s
+    frame on qubit ``q``.  All updates are vectorised over the member axis.
+    """
+
+    __slots__ = ("batch_size", "num_qubits", "x", "z")
+
+    def __init__(self, batch_size: int, num_qubits: int):
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.batch_size = int(batch_size)
+        self.num_qubits = int(num_qubits)
+        self.x = np.zeros((self.batch_size, self.num_qubits), dtype=np.uint8)
+        self.z = np.zeros((self.batch_size, self.num_qubits), dtype=np.uint8)
+
+    def copy(self) -> "PauliFrameSet":
+        clone = PauliFrameSet.__new__(PauliFrameSet)
+        clone.batch_size = self.batch_size
+        clone.num_qubits = self.num_qubits
+        clone.x = self.x.copy()
+        clone.z = self.z.copy()
+        return clone
+
+    @property
+    def is_identity(self) -> bool:
+        """True when no member carries any Pauli (noiseless so far)."""
+        return not (self.x.any() or self.z.any())
+
+    # -- conjugation by Clifford gates (sign-free) ----------------------
+    #
+    # Each rule is U F U^dagger restricted to the (x, z) bits; the op names
+    # and slot convention match repro.sim.clifford decompositions so a
+    # tableau op word can drive the frames unchanged.
+
+    def h(self, q: int) -> None:
+        self.x[:, q], self.z[:, q] = self.z[:, q].copy(), self.x[:, q].copy()
+
+    def s(self, q: int) -> None:
+        self.z[:, q] ^= self.x[:, q]
+
+    def sdg(self, q: int) -> None:
+        self.s(q)  # the sign difference between S and Sdg is not tracked
+
+    def xgate(self, q: int) -> None:
+        pass  # Pauli conjugation only flips the (untracked) sign
+
+    def ygate(self, q: int) -> None:
+        pass
+
+    def zgate(self, q: int) -> None:
+        pass
+
+    def cx(self, control: int, target: int) -> None:
+        self.x[:, target] ^= self.x[:, control]
+        self.z[:, control] ^= self.z[:, target]
+
+    def cz(self, control: int, target: int) -> None:
+        self.z[:, target] ^= self.x[:, control]
+        self.z[:, control] ^= self.x[:, target]
+
+    def swap(self, a: int, b: int) -> None:
+        for array in (self.x, self.z):
+            array[:, a], array[:, b] = array[:, b].copy(), array[:, a].copy()
+
+    _OPS = {
+        "h": h,
+        "s": s,
+        "sdg": sdg,
+        "x": xgate,
+        "y": ygate,
+        "z": zgate,
+        "cx": cx,
+        "cz": cz,
+        "swap": swap,
+    }
+
+    def apply_ops(self, ops: Sequence[tuple], qubits: Sequence[int]) -> None:
+        """Conjugate every frame through a recognised tableau op word."""
+        for name, *slots in ops:
+            self._OPS[name](self, *(qubits[slot] for slot in slots))
+
+    # -- noise injection ------------------------------------------------
+
+    def inject(self, qubit: int, paulis: np.ndarray) -> None:
+        """XOR a sampled per-member Pauli (0=I, 1=X, 2=Y, 3=Z) into the frames."""
+        paulis = np.asarray(paulis)
+        self.x[:, qubit] ^= ((paulis == 1) | (paulis == 2)).astype(np.uint8)
+        self.z[:, qubit] ^= ((paulis == 2) | (paulis == 3)).astype(np.uint8)
+
+    # -- readout --------------------------------------------------------
+
+    def outcome_flips(self, qubits: Sequence[int]) -> np.ndarray:
+        """Per-member XOR mask for outcomes measured over ``qubits``.
+
+        Bit ``j`` of ``flips[m]`` is the frame's ``x`` bit on ``qubits[j]``
+        (little-endian, matching the backends' outcome encoding).
+        """
+        flips = np.zeros(self.batch_size, dtype=np.int64)
+        for position, qubit in enumerate(qubits):
+            flips |= self.x[:, qubit].astype(np.int64) << position
+        return flips
+
+    def masks(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-member symplectic integer masks ``(x_masks, z_masks)``.
+
+        Bit ``q`` of the mask is the frame bit on qubit ``q`` — the input
+        :func:`repro.sim.kernels.pauli_mask_kernel` takes when the hybrid
+        backend materialises the member states at conversion time.
+        """
+        weights = np.int64(1) << np.arange(self.num_qubits, dtype=np.int64)
+        x_masks = (self.x.astype(np.int64) * weights).sum(axis=1)
+        z_masks = (self.z.astype(np.int64) * weights).sum(axis=1)
+        return x_masks, z_masks
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PauliFrameSet(batch_size={self.batch_size}, "
+            f"num_qubits={self.num_qubits}, identity={self.is_identity})"
+        )

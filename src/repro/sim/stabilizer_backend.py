@@ -53,7 +53,18 @@ from .clifford import (
     decompose_controlled_gate,
     decompose_gate,
 )
+from .kernels import pauli_mask_kernel
+from .measurement import ReadoutErrorModel
+from .noise import KrausChannel, NoiseModel, PauliChannelSampler
+from .pauli_frame import PauliFrameSet
 from .statevector import Statevector, _as_rng
+from .trajectory_backend import (
+    StreamPool,
+    TrajectoryNoiseBackend,
+    as_member_streams,
+    iter_noise_events,
+    spawn_trajectory_streams,
+)
 
 __all__ = ["StabilizerBackend", "HybridCliffordBackend", "NotCliffordGateError"]
 
@@ -232,13 +243,58 @@ class _Tableau:
         self.r[p] = np.uint8(outcome)
 
 class StabilizerBackend(SimulationBackend):
-    """Clifford-only tableau backend (registry name ``"stabilizer"``)."""
+    """Clifford-only tableau backend (registry name ``"stabilizer"``).
+
+    With a Pauli ``noise`` model the backend becomes a trajectory engine:
+    the tableau itself is walked **once**, noiselessly, while every
+    trajectory member carries a :class:`~repro.sim.pauli_frame.PauliFrameSet`
+    row accumulating its sampled noise Paulis — O(1) per gate per member,
+    so per-gate bit/phase-flip sweeps on 24–48 qubit Clifford workloads cost
+    barely more than the noiseless walk.  Readout XORs each member's frame
+    flips onto outcomes drawn from the shared tableau distribution.
+    """
 
     name = "stabilizer"
 
-    def __init__(self, num_qubits: int | None = None):
+    def __init__(
+        self,
+        num_qubits: int | None = None,
+        noise: "NoiseModel | KrausChannel | Sequence[KrausChannel] | None" = None,
+        batch_size: int = 1,
+        rng_streams: "Sequence[np.random.Generator] | None" = None,
+        seed: "int | np.random.SeedSequence | None" = None,
+    ):
         super().__init__()
         self._tableau: _Tableau | None = None
+        if noise is None or isinstance(noise, NoiseModel):
+            self.noise = noise
+        else:
+            self.noise = NoiseModel.from_channels(noise)
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self._batch_size = int(batch_size)
+        channels = self.noise.gate_channels if self.noise is not None else ()
+        try:
+            self._samplers = tuple(
+                PauliChannelSampler(channel.pauli_decomposition())
+                for channel in channels
+            )
+        except ValueError as exc:
+            raise ValueError(
+                "the stabilizer tableau only carries Pauli noise (frames); "
+                f"{exc}"
+            ) from None
+        self._carries_frames = bool(self._samplers) or self._batch_size > 1
+        if self._carries_frames:
+            if rng_streams is not None:
+                self._pool = as_member_streams(rng_streams, self._batch_size)
+            else:
+                self._pool = StreamPool(
+                    spawn_trajectory_streams(seed, self._batch_size)
+                )
+        else:
+            self._pool = None
+        self._frames: PauliFrameSet | None = None
         if num_qubits is not None:
             self.initialize(num_qubits)
 
@@ -247,12 +303,23 @@ class StabilizerBackend(SimulationBackend):
         """The tableau never touches a dense representation."""
         return 0
 
+    @property
+    def batch_size(self) -> int:
+        return self._batch_size
+
+    @property
+    def frames(self) -> PauliFrameSet | None:
+        """The per-member Pauli frames (None on a noiseless single walk)."""
+        return self._frames
+
     # -- state lifecycle ------------------------------------------------
 
     def initialize(
         self, num_qubits: int, initial_state: Statevector | None = None
     ) -> "StabilizerBackend":
         self._tableau = _Tableau(num_qubits)
+        if self._carries_frames:
+            self._frames = PauliFrameSet(self._batch_size, num_qubits)
         if initial_state is not None:
             if initial_state.num_qubits != num_qubits:
                 raise ValueError("initial state has the wrong number of qubits")
@@ -272,25 +339,43 @@ class StabilizerBackend(SimulationBackend):
     def num_qubits(self) -> int:
         return self._require_tableau().n
 
-    def snapshot(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    def snapshot(self) -> tuple:
         tableau = self._require_tableau()
-        return (tableau.x.copy(), tableau.z.copy(), tableau.r.copy())
+        token = (tableau.x.copy(), tableau.z.copy(), tableau.r.copy())
+        if self._frames is not None:
+            token += (self._frames.x.copy(), self._frames.z.copy())
+        return token
 
     def restore(self, token: object) -> "StabilizerBackend":
         tableau = self._require_tableau()
         try:
-            x, z, r = token
-        except (TypeError, ValueError):
+            parts = tuple(token)
+        except TypeError:
             raise ValueError("not a StabilizerBackend snapshot token") from None
-        x = np.asarray(x, dtype=np.uint8)
-        z = np.asarray(z, dtype=np.uint8)
-        r = np.asarray(r, dtype=np.uint8)
+        if len(parts) not in (3, 5):
+            raise ValueError("not a StabilizerBackend snapshot token")
+        if (len(parts) == 5) != (self._frames is not None):
+            raise ValueError(
+                "snapshot frame payload does not match the backend's noise "
+                "configuration"
+            )
+        x, z, r = (np.asarray(part, dtype=np.uint8) for part in parts[:3])
         n = tableau.n
         if x.shape != (2 * n, n) or z.shape != (2 * n, n) or r.shape != (2 * n,):
             raise ValueError("snapshot does not match the current register size")
         tableau.x = x.copy()
         tableau.z = z.copy()
         tableau.r = r.copy()
+        if self._frames is not None:
+            frame_x, frame_z = (
+                np.asarray(part, dtype=np.uint8) for part in parts[3:]
+            )
+            if frame_x.shape != self._frames.x.shape or (
+                frame_z.shape != self._frames.z.shape
+            ):
+                raise ValueError("snapshot does not match the frame batch shape")
+            self._frames.x = frame_x.copy()
+            self._frames.z = frame_z.copy()
         return self
 
     # -- evolution ------------------------------------------------------
@@ -308,7 +393,10 @@ class StabilizerBackend(SimulationBackend):
             )
         ops = decompose_gate(matrix, k)
         tableau.apply_ops(ops, qubit_list)
+        if self._frames is not None:
+            self._frames.apply_ops(ops, qubit_list)
         self.gates_applied += 1
+        self._apply_gate_noise(qubit_list)
         return self
 
     def apply_controlled(
@@ -330,8 +418,25 @@ class StabilizerBackend(SimulationBackend):
             )
         ops = decompose_controlled_gate(matrix, len(control_list), len(target_list))
         tableau.apply_ops(ops, control_list + target_list)
+        if self._frames is not None:
+            self._frames.apply_ops(ops, control_list + target_list)
         self.gates_applied += 1
+        self._apply_gate_noise(control_list + target_list)
         return self
+
+    def _apply_gate_noise(
+        self, touched: Sequence[int], members: np.ndarray | None = None
+    ) -> None:
+        """Sample one Pauli per member per channel per touched qubit into frames.
+
+        Shares :func:`repro.sim.trajectory_backend.iter_noise_events` — one
+        sampling-contract implementation for statevector trajectories and
+        tableau frames alike.
+        """
+        for qubit, paulis in iter_noise_events(
+            self._samplers, touched, self._pool, self._batch_size, members
+        ):
+            self._frames.inject(qubit, paulis)
 
     # -- readout --------------------------------------------------------
 
@@ -369,10 +474,8 @@ class StabilizerBackend(SimulationBackend):
             distribution[value] = distribution.get(value, 0.0) + probability
         return distribution
 
-    def probabilities(self, qubits: Sequence[int] | None = None) -> np.ndarray:
-        if qubits is None:
-            qubits = list(range(self.num_qubits))
-        qubit_list = self._validated_qubits(qubits)
+    def _tableau_probabilities(self, qubit_list: list[int]) -> np.ndarray:
+        """Dense marginal of the noiseless tableau state (frames excluded)."""
         if len(qubit_list) > _DENSE_LIMIT:
             raise ValueError(
                 f"dense distribution over {len(qubit_list)} qubits exceeds the "
@@ -384,14 +487,52 @@ class StabilizerBackend(SimulationBackend):
             probs[value] = probability
         return probs
 
+    def probabilities(self, qubits: Sequence[int] | None = None) -> np.ndarray:
+        """Marginal outcome distribution; frame-averaged when noise is live.
+
+        With frames the member distributions are the tableau distribution
+        XOR-shifted by each member's flip mask, so the ensemble-averaged
+        marginal is a cheap convolution of the tableau marginal with the
+        frame-flip histogram.
+        """
+        if qubits is None:
+            qubits = list(range(self.num_qubits))
+        qubit_list = self._validated_qubits(qubits)
+        base = self._tableau_probabilities(qubit_list)
+        if self._frames is None or self._frames.is_identity:
+            return base
+        flips = self._frames.outcome_flips(qubit_list)
+        unique, counts = np.unique(flips, return_counts=True)
+        averaged = np.zeros_like(base)
+        indices = np.arange(base.size)
+        for flip, count in zip(unique, counts):
+            averaged[indices ^ int(flip)] += (count / self._batch_size) * base
+        return averaged
+
     def sample(
         self,
         qubits: Sequence[int] | None = None,
         shots: int = 1,
         rng: np.random.Generator | int | None = None,
     ) -> np.ndarray:
+        """Draw outcomes; with frames, one per member when ``shots == batch_size``.
+
+        The trajectory readout draws base outcomes from the **shared**
+        noiseless tableau marginal (one ``rng.choice`` with the statevector
+        backend's call shape) and XORs each member's frame flips on top —
+        member ``m``'s sample is one noisy execution.  Other shot counts draw
+        i.i.d. from the frame-averaged mixture.
+        """
         rng = _as_rng(rng)
-        probs = self.probabilities(qubits)
+        if qubits is None:
+            qubits = list(range(self.num_qubits))
+        qubit_list = self._validated_qubits(qubits)
+        if self._frames is not None and shots == self._batch_size:
+            base = self._tableau_probabilities(qubit_list)
+            base = base / base.sum()
+            draws = rng.choice(len(base), size=shots, p=base)
+            return draws ^ self._frames.outcome_flips(qubit_list)
+        probs = self.probabilities(qubit_list)
         probs = probs / probs.sum()
         return rng.choice(len(probs), size=shots, p=probs)
 
@@ -404,16 +545,29 @@ class StabilizerBackend(SimulationBackend):
 
         The outcome is drawn with one ``rng.choice`` over the dense marginal
         (exactly the statevector backend's consumption pattern) and the
-        tableau is then collapsed onto it qubit by qubit.
+        tableau is then collapsed onto it qubit by qubit.  With frames the
+        collapse is only defined per member, so noisy batches are restricted
+        to ``batch_size == 1`` (the executor's ``"rerun"`` mode): the drawn
+        outcome is reported frame-adjusted and the tableau collapses onto
+        the corresponding base outcome.
         """
         tableau = self._require_tableau()
         qubit_list = self._validated_qubits(qubits)
         rng = _as_rng(rng)
+        flip = 0
+        if self._frames is not None:
+            if self._batch_size != 1:
+                raise RuntimeError(
+                    "collapsing measurement of a frame batch is per-member; "
+                    "use batch_size=1 (the executor's 'rerun' mode does)"
+                )
+            flip = int(self._frames.outcome_flips(qubit_list)[0])
         probs = self.probabilities(qubit_list)
         probs = probs / probs.sum()
         outcome = int(rng.choice(len(probs), p=probs))
+        base_outcome = outcome ^ flip
         for position, q in enumerate(qubit_list):
-            bit = (outcome >> position) & 1
+            bit = (base_outcome >> position) & 1
             deterministic = tableau.deterministic_outcome(q)
             if deterministic is None:
                 tableau.collapse(q, bit)
@@ -422,6 +576,41 @@ class StabilizerBackend(SimulationBackend):
                     f"outcome {outcome} on qubits {qubit_list} has zero probability"
                 )
         return outcome
+
+    def prep_qubit(
+        self,
+        qubit: int,
+        value: int,
+        rng: np.random.Generator | int | None = None,
+    ) -> "StabilizerBackend":
+        """``PrepZ`` on the tableau; per-member frame corrections when noisy.
+
+        The shared tableau is reset exactly once (collapsing a 50/50 qubit
+        with one rng draw, like the dense backends' measurement-based
+        reset); each member's correcting X then lives **in its frame**, so
+        members whose noise record left the qubit flipped are fixed without
+        touching the shared tableau.  Any needed correction counts as one
+        gate and triggers gate noise, mirroring the single-state backends.
+        """
+        if self._frames is None:
+            return super().prep_qubit(qubit, value, rng=rng)
+        tableau = self._require_tableau()
+        (qubit,) = self._validated_qubits([qubit])
+        value = int(value)
+        deterministic = tableau.deterministic_outcome(qubit)
+        if deterministic is None:
+            base = int(_as_rng(rng).choice(2, p=[0.5, 0.5]))
+            tableau.collapse(qubit, base)
+        else:
+            base = deterministic
+        member_bits = base ^ self._frames.x[:, qubit].astype(np.int64)
+        flips = member_bits != value
+        if np.any(flips):
+            self._frames.x[:, qubit] ^= flips.astype(np.uint8)
+            self.gates_applied += 1
+            # Only corrected members ran an X; only they pick up its noise.
+            self._apply_gate_noise([qubit], members=flips)
+        return self
 
     # -- conversion -----------------------------------------------------
 
@@ -433,6 +622,11 @@ class StabilizerBackend(SimulationBackend):
         stabilizer formalism never tracks one), which no probability or
         downstream hybrid continuation can observe.
         """
+        if self._frames is not None and not self._frames.is_identity:
+            raise ValueError(
+                "the tableau carries diverged Pauli frames (one state per "
+                "trajectory member); use member_statevectors()"
+            )
         tableau = self._require_tableau()
         n = tableau.n
         if n > _CONVERSION_LIMIT:
@@ -458,6 +652,37 @@ class StabilizerBackend(SimulationBackend):
         if norm < 1e-12:  # pragma: no cover - support search guarantees overlap
             raise RuntimeError("stabilizer projection annihilated the probe state")
         return Statevector(n, amplitudes / norm)
+
+    def member_statevectors(self) -> np.ndarray:
+        """Dense ``(batch_size, 2**n)`` member states: tableau state + frames.
+
+        This is the hybrid backend's conversion payload: the shared tableau
+        is densified **once**, then each member's Pauli frame is applied as
+        a signed amplitude permutation — O(2^n) per member on top of the
+        single reconstruction, never one reconstruction per member.
+        """
+        tableau = self._require_tableau()
+        frames = self._frames
+        if frames is None:
+            frames = PauliFrameSet(self._batch_size, tableau.n)
+        base = self.to_statevector_unchecked().data
+        x_masks, z_masks = frames.masks()
+        members = np.empty((self._batch_size, base.shape[0]), dtype=complex)
+        for member in range(self._batch_size):
+            x_mask, z_mask = int(x_masks[member]), int(z_masks[member])
+            if x_mask == 0 and z_mask == 0:
+                members[member] = base
+            else:
+                members[member] = pauli_mask_kernel(base, x_mask, z_mask)
+        return members
+
+    def to_statevector_unchecked(self) -> Statevector:
+        """The shared tableau state, ignoring any Pauli frames."""
+        frames, self._frames = self._frames, None
+        try:
+            return self.to_statevector(copy=False)
+        finally:
+            self._frames = frames
 
     @staticmethod
     def _apply_pauli_row(
@@ -521,14 +746,49 @@ class HybridCliffordBackend(SimulationBackend):
     applications, so benchmarks can show the hybrid applying strictly fewer
     statevector operations than a pure statevector walk while remaining
     verdict- and ensemble-identical under a fixed seed.
+
+    With a Pauli ``noise`` model the hybrid becomes the trajectory engine's
+    routing target for mixed plans: the Clifford prefix runs as **one**
+    noiseless tableau walk with per-member Pauli frames, and the conversion
+    at the first non-Clifford gate materialises every member's dense state
+    (tableau state + frame) into a :class:`TrajectoryNoiseBackend` batch —
+    the frames are carried across the boundary, and the same per-member rng
+    streams keep sampling the dense-stage noise.
     """
 
     name = "auto"
 
-    def __init__(self, num_qubits: int | None = None):
+    def __init__(
+        self,
+        num_qubits: int | None = None,
+        noise: "NoiseModel | KrausChannel | Sequence[KrausChannel] | None" = None,
+        batch_size: int = 1,
+        rng_streams: "Sequence[np.random.Generator] | None" = None,
+        seed: "int | np.random.SeedSequence | None" = None,
+    ):
         super().__init__()
         self._engine: SimulationBackend | None = None
         self._num_qubits: int | None = None
+        if noise is None or isinstance(noise, NoiseModel):
+            self.noise = noise
+        else:
+            self.noise = NoiseModel.from_channels(noise)
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self._batch_size = int(batch_size)
+        self._noisy = self.noise is not None and bool(self.noise.gate_channels)
+        if self._noisy or self._batch_size > 1:
+            # One pool shared by both stages: a member's uniform sequence is
+            # then identical to a pure trajectory walk of the same streams,
+            # regardless of where the conversion lands.
+            if rng_streams is not None:
+                self._pool = as_member_streams(rng_streams, self._batch_size)
+            else:
+                self._pool = StreamPool(
+                    spawn_trajectory_streams(seed, self._batch_size)
+                )
+        else:
+            self._pool = None
         #: Number of tableau->statevector conversions performed (0 or 1 per walk).
         self.conversions = 0
         self._dense_gates = 0
@@ -540,6 +800,34 @@ class HybridCliffordBackend(SimulationBackend):
         """Gate applications executed on the dense statevector stage."""
         return self._dense_gates
 
+    @property
+    def batch_size(self) -> int:
+        return self._batch_size
+
+    def _new_tableau_stage(self) -> StabilizerBackend:
+        if self._pool is None:
+            return StabilizerBackend()
+        return StabilizerBackend(
+            noise=self.noise,
+            batch_size=self._batch_size,
+            rng_streams=self._pool,
+        )
+
+    def _new_dense_stage(self) -> SimulationBackend:
+        if self._pool is None:
+            return StatevectorBackend()
+        # The dense stage's native readout path is stripped: the hybrid
+        # itself has no native readout (the tableau stage cannot apply one),
+        # so readout corruption is the caller's job across *both* stages —
+        # leaving the noise model's bundled channel live here would corrupt
+        # post-conversion breakpoints twice.
+        return TrajectoryNoiseBackend(
+            noise=self.noise,
+            batch_size=self._batch_size,
+            rng_streams=self._pool,
+            readout_error=ReadoutErrorModel(),
+        )
+
     # -- state lifecycle ------------------------------------------------
 
     def initialize(
@@ -547,12 +835,12 @@ class HybridCliffordBackend(SimulationBackend):
     ) -> "HybridCliffordBackend":
         self._num_qubits = int(num_qubits)
         try:
-            self._engine = StabilizerBackend().initialize(
+            self._engine = self._new_tableau_stage().initialize(
                 num_qubits, initial_state=initial_state
             )
         except ValueError:
             # Non-basis initial state: start dense straight away.
-            self._engine = StatevectorBackend().initialize(
+            self._engine = self._new_dense_stage().initialize(
                 num_qubits, initial_state=initial_state
             )
         return self
@@ -567,12 +855,22 @@ class HybridCliffordBackend(SimulationBackend):
         engine = self._require_engine()
         return "tableau" if isinstance(engine, StabilizerBackend) else "statevector"
 
-    def _densify(self) -> StatevectorBackend:
+    def _densify(self) -> SimulationBackend:
         engine = self._require_engine()
-        if isinstance(engine, StatevectorBackend):
+        if not isinstance(engine, StabilizerBackend):
             return engine
         try:
-            state = engine.to_statevector(copy=False)
+            if self._pool is None:
+                state = engine.to_statevector(copy=False)
+                dense = StatevectorBackend().initialize(
+                    engine.num_qubits, initial_state=state
+                )
+            else:
+                # Carry the Pauli frames across the boundary: one tableau
+                # densification, then each member's frame applied on top.
+                members = engine.member_statevectors()
+                dense = self._new_dense_stage()
+                dense.initialize_from_members(members)
         except ValueError as exc:
             raise ValueError(
                 f"backend='auto' hit a non-Clifford gate on a "
@@ -581,7 +879,6 @@ class HybridCliffordBackend(SimulationBackend):
                 "limit; mixed programs this wide need an explicit dense "
                 "backend (backend='statevector') from the start"
             ) from exc
-        dense = StatevectorBackend().initialize(engine.num_qubits, initial_state=state)
         self._engine = dense
         self.conversions += 1
         return dense
@@ -601,11 +898,12 @@ class HybridCliffordBackend(SimulationBackend):
         if stage == self.stage:
             self._engine.restore(inner)
             return self
-        # Cross-stage restore: rebuild the stage the token was taken in.
+        # Cross-stage restore: rebuild the stage the token was taken in
+        # (with the same noise configuration and shared member streams).
         if stage == "tableau":
-            engine = StabilizerBackend().initialize(self._num_qubits)
+            engine = self._new_tableau_stage().initialize(self._num_qubits)
         else:
-            engine = StatevectorBackend().initialize(self._num_qubits)
+            engine = self._new_dense_stage().initialize(self._num_qubits)
         engine.restore(inner)
         self._engine = engine
         return self
@@ -666,6 +964,28 @@ class HybridCliffordBackend(SimulationBackend):
         rng: np.random.Generator | int | None = None,
     ) -> int:
         return self._require_engine().measure(qubits, rng=rng)
+
+    def prep_qubit(
+        self,
+        qubit: int,
+        value: int,
+        rng: np.random.Generator | int | None = None,
+    ) -> "HybridCliffordBackend":
+        """Delegate ``PrepZ`` to the live stage, keeping the gate accounting.
+
+        The correcting X (when one is applied) is counted by the stage
+        engine; mirroring it into the hybrid's own counters keeps
+        ``gates_applied`` / ``statevector_gates_applied`` comparable with a
+        pure statevector walk of the same program.
+        """
+        engine = self._require_engine()
+        before = engine.gates_applied
+        engine.prep_qubit(qubit, value, rng=rng)
+        delta = engine.gates_applied - before
+        self.gates_applied += delta
+        if not isinstance(engine, StabilizerBackend):
+            self._dense_gates += delta
+        return self
 
     # -- conversion -----------------------------------------------------
 

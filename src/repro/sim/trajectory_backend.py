@@ -1,0 +1,568 @@
+"""Quantum-trajectory noise backend: batched Pauli sampling on statevectors.
+
+The density-matrix backend densifies on the first Kraus application, which
+puts per-gate noise on the 11–13 qubit Shor workloads out of reach (``4^n``
+memory and work).  :class:`TrajectoryNoiseBackend` unravels **Pauli** noise
+channels into Monte-Carlo trajectories instead: every channel application
+samples one Pauli per trajectory member and applies it as a plain gate, so a
+noisy ensemble costs ``B`` statevectors of ``2^n`` amplitudes — never a
+density matrix.
+
+Batching
+--------
+The backend carries all ``B`` trajectory members as one stacked ``(B, 2^n)``
+C-contiguous array pushed through the batched kernels of
+:mod:`repro.sim.kernels`; a single walk of an execution plan therefore
+produces the whole noisy ensemble (the incremental executor sets
+``batch_size = ensemble_size`` and draws one readout sample per member at
+each breakpoint).  Unitary gates are identical across members — only the
+sampled Pauli insertions differ — which is what makes the stacked layout
+profitable: one vectorised kernel call per gate instead of ``B`` walks.
+
+RNG-stream contract
+-------------------
+Each trajectory member owns an independent rng stream (spawned via
+``np.random.SeedSequence.spawn``); one noise event consumes exactly one
+uniform per member from that member's stream.  Trajectories are therefore
+reproducible under any batch split: member ``m`` sees the same Pauli record
+whether it runs in a batch of 1 or of 256, as long as it is handed the same
+child stream.  Readout sampling draws from the *caller's* rng (the executor
+stream), exactly like every other backend.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .backend import SimulationBackend, register_backend
+from .kernels import (
+    apply_controlled_batched,
+    apply_matrix_batched,
+    apply_pauli_batched,
+    marginal_probabilities,
+)
+from .measurement import ReadoutErrorModel
+from .noise import KrausChannel, NoiseModel, PauliChannelSampler
+from .statevector import Statevector, _as_rng
+
+__all__ = ["TrajectoryNoiseBackend", "spawn_trajectory_streams"]
+
+
+def spawn_trajectory_streams(
+    seed: "int | np.random.SeedSequence | None", count: int
+) -> list[np.random.Generator]:
+    """Independent per-trajectory rng streams via ``SeedSequence.spawn``.
+
+    This is the one sanctioned way to build trajectory streams: spawned
+    children are statistically independent *and* reproducible from the root
+    entropy, unlike handing every member the same shared ``Generator``
+    (whose draw order would silently couple members under re-batching).
+    """
+    if count <= 0:
+        raise ValueError("stream count must be positive")
+    root = (
+        seed
+        if isinstance(seed, np.random.SeedSequence)
+        else np.random.SeedSequence(seed)
+    )
+    return [np.random.default_rng(child) for child in root.spawn(count)]
+
+
+class StreamPool:
+    """Block-buffered per-member uniform draws from per-trajectory streams.
+
+    ``Generator.random(block)`` yields the identical double sequence as
+    repeated scalar ``random()`` calls, so buffering preserves the
+    one-uniform-per-member-per-event contract exactly while collapsing the
+    per-event cost from one Python call per member to a vectorised gather
+    (refills touch a member only once per ``block`` of its own events).
+    The hybrid backend shares one pool across its tableau and dense stages,
+    which is what keeps a member's uniform sequence identical to a pure
+    trajectory walk of the same streams.
+    """
+
+    _BLOCK = 256
+
+    def __init__(self, streams: Sequence[np.random.Generator]):
+        self.streams = list(streams)
+        count = len(self.streams)
+        self._buffer = np.empty((count, self._BLOCK), dtype=float)
+        # All positions start exhausted: members fill lazily on first draw.
+        self._positions = np.full(count, self._BLOCK, dtype=np.int64)
+
+    def __len__(self) -> int:
+        return len(self.streams)
+
+    def draw(self, members: np.ndarray | None = None) -> np.ndarray:
+        """One uniform per (selected) member, each from its own stream."""
+        if members is None:
+            members = np.arange(len(self.streams))
+        exhausted = members[self._positions[members] >= self._BLOCK]
+        for member in exhausted:
+            self._buffer[member] = self.streams[member].random(self._BLOCK)
+            self._positions[member] = 0
+        values = self._buffer[members, self._positions[members]]
+        self._positions[members] += 1
+        return values
+
+
+def as_member_streams(
+    streams: "Sequence[np.random.Generator] | StreamPool", count: int
+) -> StreamPool:
+    """Validate per-member noise streams and wrap them in a shared pool.
+
+    Accepts an existing :class:`StreamPool` (the hybrid backend threads one
+    pool through both of its stages) or a sequence of exactly ``count``
+    ``numpy.random.Generator`` instances.
+    """
+    if isinstance(streams, StreamPool):
+        if len(streams) != count:
+            raise ValueError(
+                f"need {count} rng streams, got {len(streams)}"
+            )
+        return streams
+    streams = list(streams)
+    if len(streams) != count:
+        raise ValueError(f"need {count} rng streams, got {len(streams)}")
+    for stream in streams:
+        if not isinstance(stream, np.random.Generator):
+            raise TypeError("rng streams must be numpy Generators")
+    return StreamPool(streams)
+
+
+def iter_noise_events(
+    samplers: Sequence[PauliChannelSampler],
+    touched: Sequence[int],
+    pool: StreamPool,
+    batch_size: int,
+    members: np.ndarray | None = None,
+):
+    """Yield ``(qubit, paulis)`` for one gate's noise events.
+
+    This is the single implementation of the trajectory sampling contract,
+    shared by the statevector batch and the tableau Pauli frames: one event
+    per (touched qubit, channel), consuming exactly one uniform per member
+    from that member's own stream.  ``members`` optionally restricts the
+    event to a boolean mask (per-member prep corrections): only masked
+    members draw and receive a Pauli, so a member's stream consumption
+    depends solely on its own history — the batch-split reproducibility
+    invariant.
+    """
+    if not samplers:
+        return
+    active = None
+    if members is not None:
+        active = np.flatnonzero(members)
+        if not active.size:
+            return
+    seen: list[int] = []
+    for qubit in touched:
+        if qubit not in seen:
+            seen.append(qubit)
+    for qubit in seen:
+        for sampler in samplers:
+            uniforms = pool.draw(active)
+            if active is None:
+                paulis = sampler.sample(uniforms)
+            else:
+                paulis = np.zeros(batch_size, dtype=np.int64)
+                paulis[active] = sampler.sample(uniforms)
+            yield qubit, paulis
+
+
+class TrajectoryNoiseBackend(SimulationBackend):
+    """Batched Pauli-trajectory backend (registry name ``"trajectory"``).
+
+    Parameters
+    ----------
+    num_qubits:
+        Optional register size to initialise immediately.
+    noise:
+        A :class:`~repro.sim.noise.NoiseModel` (or channel/iterable wrapped
+        into one) whose gate channels must all be Pauli mixtures — verified
+        at construction via :meth:`KrausChannel.pauli_decomposition`.
+    batch_size:
+        Number of trajectory members carried in the stacked state.
+    rng_streams:
+        Per-member noise streams (one :class:`numpy.random.Generator` per
+        member).  The executor passes children spawned from its seed; when
+        omitted, fresh streams are spawned from ``seed``.
+    readout_error:
+        Native readout channel (applied to each member's outcome
+        distribution before sampling); overrides the noise model's.
+    """
+
+    name = "trajectory"
+    supports_readout_noise = True
+
+    def __init__(
+        self,
+        num_qubits: int | None = None,
+        noise: "NoiseModel | KrausChannel | Sequence[KrausChannel] | None" = None,
+        batch_size: int = 1,
+        rng_streams: Sequence[np.random.Generator] | None = None,
+        seed: "int | np.random.SeedSequence | None" = None,
+        readout_error: ReadoutErrorModel | None = None,
+    ):
+        super().__init__()
+        if noise is None or isinstance(noise, NoiseModel):
+            self.noise = noise
+        else:
+            self.noise = NoiseModel.from_channels(noise)
+        if readout_error is not None:
+            self.readout_error = readout_error
+        elif self.noise is not None:
+            self.readout_error = self.noise.readout
+        else:
+            self.readout_error = ReadoutErrorModel()
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self._batch_size = int(batch_size)
+        channels = self.noise.gate_channels if self.noise is not None else ()
+        try:
+            self._samplers = tuple(
+                PauliChannelSampler(channel.pauli_decomposition())
+                for channel in channels
+            )
+        except ValueError as exc:
+            raise ValueError(
+                "trajectory unraveling needs Pauli-mixture gate channels; "
+                f"{exc}.  Non-Pauli channels (e.g. amplitude damping) need "
+                "the density-matrix backend."
+            ) from None
+        if rng_streams is not None:
+            self._pool = as_member_streams(rng_streams, self._batch_size)
+        else:
+            self._pool = StreamPool(
+                spawn_trajectory_streams(seed, self._batch_size)
+            )
+        self._batch: np.ndarray | None = None
+        self._num_qubits: int | None = None
+        if num_qubits is not None:
+            self.initialize(num_qubits)
+
+    # -- state lifecycle ------------------------------------------------
+
+    def initialize(
+        self, num_qubits: int, initial_state: Statevector | None = None
+    ) -> "TrajectoryNoiseBackend":
+        dim = 1 << int(num_qubits)
+        batch = np.zeros((self._batch_size, dim), dtype=complex)
+        if initial_state is not None:
+            if initial_state.num_qubits != num_qubits:
+                raise ValueError("initial state has the wrong number of qubits")
+            batch[:] = initial_state.data
+        else:
+            batch[:, 0] = 1.0
+        self._batch = batch
+        self._num_qubits = int(num_qubits)
+        return self
+
+    def initialize_from_members(
+        self, members: np.ndarray
+    ) -> "TrajectoryNoiseBackend":
+        """Adopt explicit per-member states (the hybrid conversion path).
+
+        ``members`` must be ``(batch_size, 2**n)``; the rows are the already
+        diverged trajectory states (tableau state with each member's Pauli
+        frame applied).
+        """
+        members = np.ascontiguousarray(np.asarray(members, dtype=complex))
+        if members.ndim != 2 or members.shape[0] != self._batch_size:
+            raise ValueError(
+                f"expected a ({self._batch_size}, 2**n) member stack, "
+                f"got shape {members.shape}"
+            )
+        num_qubits = members.shape[1].bit_length() - 1
+        if (1 << num_qubits) != members.shape[1]:
+            raise ValueError("member dimension is not a power of two")
+        self._batch = members
+        self._num_qubits = num_qubits
+        return self
+
+    @property
+    def num_qubits(self) -> int:
+        self._require_batch()
+        return int(self._num_qubits)
+
+    @property
+    def batch_size(self) -> int:
+        return self._batch_size
+
+    def set_rng_streams(
+        self, streams: "Sequence[np.random.Generator] | StreamPool"
+    ) -> None:
+        """Install per-member noise streams (one Generator per member)."""
+        self._pool = as_member_streams(streams, self._batch_size)
+
+    def set_readout_error(self, model: ReadoutErrorModel | None) -> None:
+        self.readout_error = model or ReadoutErrorModel()
+
+    def snapshot(self) -> np.ndarray:
+        return self._require_batch().copy()
+
+    def restore(self, token: object) -> "TrajectoryNoiseBackend":
+        batch = self._require_batch()
+        data = np.asarray(token)
+        if data.shape != batch.shape:
+            raise ValueError("snapshot does not match the current batch shape")
+        batch[:] = data
+        return self
+
+    # -- evolution ------------------------------------------------------
+
+    def apply_matrix(
+        self, matrix: np.ndarray, qubits: Sequence[int]
+    ) -> "TrajectoryNoiseBackend":
+        batch = self._require_batch()
+        qubit_list = self._validated_qubits(qubits)
+        matrix = self._validated_matrix(matrix, len(qubit_list))
+        apply_matrix_batched(batch, self._num_qubits, matrix, qubit_list)
+        self.gates_applied += 1
+        self._apply_gate_noise(qubit_list)
+        return self
+
+    def apply_controlled(
+        self,
+        matrix: np.ndarray,
+        controls: Sequence[int],
+        targets: Sequence[int],
+    ) -> "TrajectoryNoiseBackend":
+        batch = self._require_batch()
+        control_list = self._validated_qubits(controls)
+        target_list = self._validated_qubits(targets)
+        if set(control_list) & set(target_list):
+            raise ValueError("control and target qubits overlap")
+        matrix = self._validated_matrix(matrix, len(target_list))
+        apply_controlled_batched(
+            batch, self._num_qubits, matrix, control_list, target_list
+        )
+        self.gates_applied += 1
+        self._apply_gate_noise(control_list + target_list)
+        return self
+
+    def _apply_gate_noise(
+        self, touched: Sequence[int], members: np.ndarray | None = None
+    ) -> None:
+        """Sample and apply one Pauli per member per channel per touched qubit."""
+        for qubit, paulis in iter_noise_events(
+            self._samplers, touched, self._pool, self._batch_size, members
+        ):
+            if np.any(paulis):
+                apply_pauli_batched(self._batch, qubit, paulis)
+
+    # -- readout --------------------------------------------------------
+
+    def member_probabilities(
+        self, qubits: Sequence[int] | None = None, readout: bool = False
+    ) -> np.ndarray:
+        """Per-member marginal distributions, shape ``(B, 2**k)``.
+
+        With ``readout=True`` each member's ideal marginal is pushed through
+        the readout confusion matrix, giving the exact noisy distribution of
+        that trajectory.
+        """
+        batch = self._require_batch()
+        weights = np.abs(batch) ** 2
+        weights /= weights.sum(axis=1, keepdims=True)
+        if qubits is None:
+            rows = weights
+        else:
+            qubit_list = self._validated_qubits(qubits)
+            rows = np.stack(
+                [
+                    marginal_probabilities(row, self._num_qubits, qubit_list)
+                    for row in weights
+                ]
+            )
+        if readout and not self.readout_error.is_ideal:
+            num_bits = rows.shape[1].bit_length() - 1
+            rows = np.stack(
+                [
+                    self.readout_error.apply_to_distribution(row, num_bits)
+                    for row in rows
+                ]
+            )
+        return rows
+
+    def probabilities(self, qubits: Sequence[int] | None = None) -> np.ndarray:
+        """Trajectory-averaged ideal marginal (the density-matrix estimate)."""
+        return self.member_probabilities(qubits).mean(axis=0)
+
+    def readout_probabilities(
+        self, qubits: Sequence[int] | None = None
+    ) -> np.ndarray:
+        """Trajectory-averaged noisy-readout marginal."""
+        return self.member_probabilities(qubits, readout=True).mean(axis=0)
+
+    def sample(
+        self,
+        qubits: Sequence[int] | None = None,
+        shots: int = 1,
+        rng: np.random.Generator | int | None = None,
+    ) -> np.ndarray:
+        """Draw measurement outcomes from the trajectory ensemble.
+
+        With ``shots == batch_size`` (the executor's breakpoint readout) one
+        outcome is drawn from **each member's own distribution** — the
+        trajectory-ensemble semantics, in which member ``m``'s sample is one
+        noisy execution.  Any other shot count draws i.i.d. from the
+        batch-averaged mixture distribution instead.
+        """
+        rng = _as_rng(rng)
+        member_probs = self.member_probabilities(qubits, readout=True)
+        if shots == self._batch_size:
+            cumulative = np.cumsum(member_probs, axis=1)
+            cumulative[:, -1] = 1.0
+            uniforms = rng.random(self._batch_size)
+            outcomes = (cumulative < uniforms[:, None]).sum(axis=1)
+            return np.minimum(outcomes, member_probs.shape[1] - 1)
+        averaged = member_probs.mean(axis=0)
+        averaged = averaged / averaged.sum()
+        return rng.choice(len(averaged), size=shots, p=averaged)
+
+    def measure(
+        self,
+        qubits: Sequence[int],
+        rng: np.random.Generator | int | None = None,
+    ) -> int:
+        """Ideal projective measurement; single-member batches only.
+
+        A collapsing joint measurement of a whole trajectory batch is
+        ill-defined (each member would collapse onto its own outcome yet one
+        integer must be returned), so ``measure`` is restricted to
+        ``batch_size == 1`` — which is exactly how the executor's faithful
+        ``"rerun"`` mode instantiates the backend.
+        """
+        if self._batch_size != 1:
+            raise RuntimeError(
+                "collapsing measurement of a trajectory batch is per-member; "
+                "use batch_size=1 (the executor's 'rerun' mode does)"
+            )
+        self._require_batch()
+        qubit_list = self._validated_qubits(qubits)
+        rng = _as_rng(rng)
+        probs = self.member_probabilities(qubit_list)[0]
+        probs = probs / probs.sum()
+        outcome = int(rng.choice(len(probs), p=probs))
+        self._project_member(0, qubit_list, outcome)
+        return outcome
+
+    def prep_qubit(
+        self,
+        qubit: int,
+        value: int,
+        rng: np.random.Generator | int | None = None,
+    ) -> "TrajectoryNoiseBackend":
+        """Per-member measurement-based reset of one qubit.
+
+        Members whose qubit is already in a basis state are corrected
+        exactly; members in superposition collapse on their own outcome
+        (consuming draws from the caller's rng in member order).  The
+        correcting X — when any member needs one — counts as one gate and
+        triggers gate noise on the prepped qubit, mirroring the single-state
+        backends, where the prep correction is an ordinary gate application.
+        """
+        batch = self._require_batch()
+        (qubit,) = self._validated_qubits([qubit])
+        value = int(value)
+        view = (np.abs(batch) ** 2).reshape(
+            self._batch_size, -1, 2, 1 << qubit
+        )
+        totals = view.sum(axis=(1, 2, 3))
+        probability_one = view[:, :, 1, :].sum(axis=(1, 2)) / totals
+        current = (probability_one > 0.5).astype(np.int64)
+        uncertain = (probability_one > 1e-12) & (probability_one < 1.0 - 1e-12)
+        if np.any(uncertain):
+            rng = _as_rng(rng)
+            for member in np.flatnonzero(uncertain):
+                p1 = float(probability_one[member])
+                outcome = int(rng.choice(2, p=[1.0 - p1, p1]))
+                self._project_member(int(member), [qubit], outcome)
+                current[member] = outcome
+        flips = current != value
+        if np.any(flips):
+            apply_pauli_batched(batch, qubit, flips.astype(np.int64))
+            self.gates_applied += 1
+            # Only the corrected members ran an X, so only they pick up the
+            # correction's gate noise (and consume a stream draw).
+            self._apply_gate_noise([qubit], members=flips)
+        return self
+
+    def _project_member(
+        self, member: int, qubits: Sequence[int], outcome: int
+    ) -> None:
+        dim = 1 << self._num_qubits
+        indices = np.arange(dim)
+        keep = np.ones(dim, dtype=bool)
+        for position, qubit in enumerate(qubits):
+            bit = (outcome >> position) & 1
+            keep &= ((indices >> qubit) & 1) == bit
+        projected = np.where(keep, self._batch[member], 0.0)
+        norm = np.linalg.norm(projected)
+        if norm < 1e-15:
+            raise ValueError(
+                f"outcome {outcome} on qubits {list(qubits)} has zero "
+                f"probability in trajectory member {member}"
+            )
+        self._batch[member] = projected / norm
+
+    # -- conversion -----------------------------------------------------
+
+    def member_statevector(self, member: int) -> Statevector:
+        """Dense state of one trajectory member (always a copy — the member
+        row stays owned by the batch)."""
+        batch = self._require_batch()
+        if not 0 <= member < self._batch_size:
+            raise ValueError(f"member index {member} out of range")
+        return Statevector(self._num_qubits, batch[member])
+
+    def to_statevector(self, copy: bool = True) -> Statevector:
+        if self._batch_size != 1:
+            raise ValueError(
+                "a trajectory batch is an ensemble, not one state; use "
+                "member_statevector(m) for individual members"
+            )
+        return self.member_statevector(0)
+
+    # -- helpers --------------------------------------------------------
+
+    def _require_batch(self) -> np.ndarray:
+        if self._batch is None:
+            raise RuntimeError("backend not initialised; call initialize() first")
+        return self._batch
+
+    def _validated_qubits(self, qubits: Sequence[int]) -> list[int]:
+        if isinstance(qubits, (int, np.integer)):
+            qubits = [int(qubits)]
+        qubit_list = [int(q) for q in qubits]
+        if len(set(qubit_list)) != len(qubit_list):
+            raise ValueError(f"duplicate qubits in {qubit_list}")
+        for q in qubit_list:
+            if not 0 <= q < self._num_qubits:
+                raise ValueError(
+                    f"qubit index {q} out of range for {self._num_qubits} qubits"
+                )
+        return qubit_list
+
+    @staticmethod
+    def _validated_matrix(matrix: np.ndarray, num_targets: int) -> np.ndarray:
+        matrix = np.asarray(matrix, dtype=complex)
+        if matrix.shape != (1 << num_targets, 1 << num_targets):
+            raise ValueError(
+                f"matrix of shape {matrix.shape} does not act on "
+                f"{num_targets} qubit(s)"
+            )
+        return matrix
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TrajectoryNoiseBackend(num_qubits={self._num_qubits}, "
+            f"batch_size={self._batch_size}, "
+            f"channels={len(self._samplers)})"
+        )
+
+
+register_backend(TrajectoryNoiseBackend.name, TrajectoryNoiseBackend)

@@ -16,8 +16,14 @@ from .ensembles import (
     detection_rate,
     ensemble_size_sweep,
     false_positive_rate,
+    gate_noise_sweep,
     readout_error_sweep,
     significance_sweep,
+)
+from .noise import (
+    build_shor_noise_workload,
+    clifford_gate_noise_sweep,
+    shor_gate_noise_sweep,
 )
 
 __all__ = [
@@ -27,6 +33,10 @@ __all__ = [
     "ensemble_size_sweep",
     "significance_sweep",
     "readout_error_sweep",
+    "gate_noise_sweep",
+    "build_shor_noise_workload",
+    "shor_gate_noise_sweep",
+    "clifford_gate_noise_sweep",
     "assertion_cost",
     "CliffordScenario",
     "CLIFFORD_SCENARIOS",

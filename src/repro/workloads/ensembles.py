@@ -19,6 +19,7 @@ from ..core.checker import StatisticalAssertionChecker
 from ..lang.program import Program
 from ..sim.backend import SimulationBackend
 from ..sim.measurement import ReadoutErrorModel
+from ..sim.noise import KrausChannel, NoiseModel, depolarizing
 
 __all__ = [
     "DetectionResult",
@@ -28,6 +29,7 @@ __all__ = [
     "assertion_cost",
     "significance_sweep",
     "readout_error_sweep",
+    "gate_noise_sweep",
 ]
 
 #: Backend spec accepted everywhere a sweep takes ``backend=``: a registry
@@ -61,6 +63,7 @@ def _repeat_checks(
     rng: np.random.Generator | int | None,
     backend: BackendSpec = None,
     readout_error: ReadoutErrorModel | None = None,
+    noise: "NoiseModel | KrausChannel | None" = None,
 ) -> DetectionResult:
     generator = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
     program = build_program() if callable(build_program) else build_program
@@ -73,6 +76,7 @@ def _repeat_checks(
             rng=generator,
             backend=backend,
             readout_error=readout_error,
+            noise=noise,
         )
         report = checker.run()
         if not report.passed:
@@ -93,11 +97,12 @@ def detection_rate(
     rng: np.random.Generator | int | None = None,
     backend: BackendSpec = None,
     readout_error: ReadoutErrorModel | None = None,
+    noise: "NoiseModel | KrausChannel | None" = None,
 ) -> float:
     """Fraction of checking runs on a *buggy* program in which some assertion fails."""
     result = _repeat_checks(
         build_buggy_program, ensemble_size, trials, significance, rng, backend,
-        readout_error,
+        readout_error, noise,
     )
     return result.failure_fraction
 
@@ -110,11 +115,12 @@ def false_positive_rate(
     rng: np.random.Generator | int | None = None,
     backend: BackendSpec = None,
     readout_error: ReadoutErrorModel | None = None,
+    noise: "NoiseModel | KrausChannel | None" = None,
 ) -> float:
     """Fraction of checking runs on a *correct* program in which some assertion fails."""
     result = _repeat_checks(
         build_correct_program, ensemble_size, trials, significance, rng, backend,
-        readout_error,
+        readout_error, noise,
     )
     return result.failure_fraction
 
@@ -213,6 +219,61 @@ def readout_error_sweep(
                     build_correct_program, ensemble_size=ensemble_size, trials=trials,
                     significance=significance, rng=generator, backend=backend,
                     readout_error=model,
+                ),
+            }
+        )
+    return rows
+
+
+def noise_model_for_rate(
+    channel: Callable[[float], "KrausChannel"], rate: float
+) -> NoiseModel | None:
+    """Per-gate noise model for one sweep point (``None`` at rate 0).
+
+    Shared by every gate-noise sweep: a zero rate runs the noiseless
+    executor path outright instead of threading an identity channel through
+    the trajectory machinery.
+    """
+    return NoiseModel.from_channels(channel(float(rate))) if rate > 0.0 else None
+
+
+def gate_noise_sweep(
+    build_correct_program: Callable[[], Program] | Program,
+    build_buggy_program: Callable[[], Program] | Program,
+    error_rates: Sequence[float] = (0.0, 0.002, 0.01),
+    channel: Callable[[float], "KrausChannel"] = depolarizing,
+    ensemble_size: int = 16,
+    trials: int = 20,
+    significance: float = 0.05,
+    rng: np.random.Generator | int | None = None,
+    backend: BackendSpec = "trajectory",
+) -> list[dict]:
+    """Detection/false-positive robustness as per-gate Pauli noise grows.
+
+    Each rate ``p`` becomes ``NoiseModel.from_channels(channel(p))`` applied
+    after every gate to every touched qubit.  With the default trajectory
+    backend the executor unravels the Pauli channel into a batched
+    Monte-Carlo ensemble — one plan walk per checking run at any register
+    width the statevector itself can hold — where the density backend would
+    need ``4^n`` memory.  ``p = 0`` runs noiseless for a clean baseline.
+    """
+    generator = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    rows = []
+    for rate in error_rates:
+        model = noise_model_for_rate(channel, rate)
+        rows.append(
+            {
+                "gate_error": float(rate),
+                "channel": channel(float(rate)).name,
+                "detection_rate": detection_rate(
+                    build_buggy_program, ensemble_size=ensemble_size, trials=trials,
+                    significance=significance, rng=generator, backend=backend,
+                    noise=model,
+                ),
+                "false_positive_rate": false_positive_rate(
+                    build_correct_program, ensemble_size=ensemble_size, trials=trials,
+                    significance=significance, rng=generator, backend=backend,
+                    noise=model,
                 ),
             }
         )

@@ -46,3 +46,41 @@ class TestAppendTrajectory:
         append_trajectory(path, {"value": 4})
         entries = json.loads(path.read_text())
         assert [entry["value"] for entry in entries] == [4]
+
+    def test_trajectory_bench_entry_round_trips(self, tmp_path):
+        # The bench_trajectory.py payload: nested row lists with mixed
+        # bool/float/int cells must survive the JSON round trip intact.
+        path = tmp_path / "BENCH_trajectory.json"
+        entry = {
+            "ensemble_size": 16,
+            "agreement": [
+                {"workload": "wrong_initial_value", "chi2_p_value": 0.87,
+                 "agree": True},
+            ],
+            "scale": [
+                {"workload": "shor_13q_breakpoints", "num_qubits": 13,
+                 "gate_error": 1e-3, "memory_advantage": 1024.0,
+                 "buggy_detected": True},
+            ],
+            "deep_clifford": [
+                {"scenario": "ghz_broken_link", "num_qubits": 24,
+                 "detection_rate": 1.0},
+            ],
+        }
+        append_trajectory(path, entry)
+        append_trajectory(path, entry)
+        entries = json.loads(path.read_text())
+        assert len(entries) == 2
+        for stored in entries:
+            assert stored["scale"][0]["memory_advantage"] == 1024.0
+            assert stored["agreement"][0]["agree"] is True
+            assert stored["deep_clifford"][0]["num_qubits"] == 24
+            assert "timestamp" in stored
+
+    def test_trajectory_bench_file_corruption_recovers(self, tmp_path):
+        path = tmp_path / "BENCH_trajectory.json"
+        path.write_text('[{"scale": [')  # truncated mid-write
+        append_trajectory(path, {"ensemble_size": 8, "scale": []})
+        entries = json.loads(path.read_text())
+        assert len(entries) == 1
+        assert entries[0]["ensemble_size"] == 8
