@@ -8,6 +8,7 @@ choosing how many simulated executions to spend per breakpoint.
 """
 
 from bench_helpers import print_table
+from repro import RunConfig
 from repro.bugs import BUG_SCENARIOS
 from repro.workloads import detection_rate, false_positive_rate
 
@@ -28,10 +29,12 @@ def test_ablation_detection_vs_ensemble_size(benchmark):
                         "caught_by": scenario.catching_assertion,
                         "ensemble_size": size,
                         "detection_rate": detection_rate(
-                            scenario.build_buggy, ensemble_size=size, trials=6, rng=1
+                            scenario.build_buggy, trials=6,
+                            config=RunConfig(ensemble_size=size, seed=1),
                         ),
                         "false_positive_rate": false_positive_rate(
-                            scenario.build_correct, ensemble_size=size, trials=6, rng=2
+                            scenario.build_correct, trials=6,
+                            config=RunConfig(ensemble_size=size, seed=2),
                         ),
                     }
                 )
@@ -57,9 +60,8 @@ def test_ablation_significance_level(benchmark):
             scenario.build_correct,
             scenario.build_buggy,
             significances=(0.01, 0.05, 0.10),
-            ensemble_size=16,
             trials=6,
-            rng=3,
+            config=RunConfig(ensemble_size=16, seed=3),
         ),
         rounds=1,
         iterations=1,

@@ -9,6 +9,7 @@ Two follow-up questions to the paper's methodology:
 """
 
 from bench_helpers import print_table
+from repro import RunConfig
 from repro.algorithms.arithmetic import build_cadd_test_harness
 from repro.algorithms.modular import build_cmodmul_test_harness
 from repro.algorithms.qft import build_qft_test_harness
@@ -44,7 +45,7 @@ def test_ablation_checking_wall_clock(benchmark):
     program = build_cmodmul_test_harness()
 
     def check():
-        checker = StatisticalAssertionChecker(program, ensemble_size=16, rng=0)
+        checker = StatisticalAssertionChecker(program, RunConfig(ensemble_size=16, seed=0))
         return checker.run()
 
     report = benchmark(check)
@@ -58,9 +59,11 @@ def test_ablation_readout_noise_robustness(benchmark):
     def run_with_noise(probability):
         checker = StatisticalAssertionChecker(
             program,
-            ensemble_size=32,
-            rng=5,
-            readout_error=ReadoutErrorModel(p01=probability, p10=probability),
+            RunConfig(
+                ensemble_size=32,
+                seed=5,
+                readout_error=ReadoutErrorModel(p01=probability, p10=probability),
+            ),
         )
         report = checker.run()
         return {

@@ -32,6 +32,7 @@ from bench_helpers import append_trajectory, print_table
 from repro.bugs import BUG_SCENARIOS
 from repro.compiler import BreakpointExecutor, build_execution_plan
 from repro.core import DEFAULT_SIGNIFICANCE, build_evaluator, check_program
+from repro import RunConfig
 from repro.lang import Program
 from repro.sim import DensityMatrixBackend, NoiseModel, ReadoutErrorModel, depolarizing
 from repro.workloads import readout_error_sweep
@@ -110,10 +111,8 @@ def _detection_rows(ensemble_size: int, trials: int) -> list[dict]:
         scenario.build_correct,
         scenario.build_buggy,
         error_rates=READOUT_RATES,
-        ensemble_size=ensemble_size,
         trials=trials,
-        rng=SEED,
-        backend="density",
+        config=RunConfig(ensemble_size=ensemble_size, seed=SEED, backend="density"),
     )
     return [{"workload": "adder_table1", **row} for row in rows]
 
@@ -128,7 +127,8 @@ def _gate_noise_rows(ensemble_size: int) -> list[dict]:
         else:
             backend = "density"
         report = check_program(
-            _bell_program(), ensemble_size=ensemble_size, rng=SEED, backend=backend
+            _bell_program(),
+            RunConfig(ensemble_size=ensemble_size, seed=SEED, backend=backend),
         )
         record = report.records[0]
         rows.append(
@@ -149,12 +149,8 @@ def _noiseless_verdicts_match() -> bool:
         for build in (scenario.build_correct, scenario.build_buggy):
             program = build()
             size = scenario.ensemble_size or 16
-            statevector = check_program(
-                program, ensemble_size=size, rng=SEED, backend="statevector"
-            )
-            density = check_program(
-                program, ensemble_size=size, rng=SEED, backend="density"
-            )
+            statevector = check_program(program, RunConfig(ensemble_size=size, seed=SEED, backend="statevector"))
+            density = check_program(program, RunConfig(ensemble_size=size, seed=SEED, backend="density"))
             if [r.outcome.passed for r in statevector.records] != [
                 r.outcome.passed for r in density.records
             ]:

@@ -11,13 +11,14 @@ import numpy as np
 from bench_helpers import print_matrix, print_table
 from repro.algorithms.bell import bell_contingency_probabilities, build_bell_program
 from repro.core import check_program
+from repro import RunConfig
 
 
 def test_fig1_bell_state_assertion(benchmark):
     program = build_bell_program()
 
     report = benchmark(
-        lambda: check_program(program, ensemble_size=16, rng=1)
+        lambda: check_program(program, RunConfig(ensemble_size=16, seed=1))
     )
 
     # Measured contingency table of the simulated Bell pair.
@@ -50,7 +51,7 @@ def test_fig1_ghz_generalisation(benchmark):
     from repro.algorithms.bell import build_ghz_program
 
     program = build_ghz_program(4)
-    report = benchmark(lambda: check_program(program, ensemble_size=32, rng=2))
+    report = benchmark(lambda: check_program(program, RunConfig(ensemble_size=32, seed=2)))
     print_table(
         "Figure 1 extension: GHZ(4) pairwise entanglement assertions",
         [

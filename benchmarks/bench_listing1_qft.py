@@ -10,13 +10,14 @@ import numpy as np
 from bench_helpers import print_table
 from repro.algorithms.qft import build_qft_test_harness
 from repro.core import check_program
+from repro import RunConfig
 from repro.sim import dft_matrix
 
 
 def test_listing1_qft_harness(benchmark):
     program = build_qft_test_harness(width=4, value=5)
 
-    report = benchmark(lambda: check_program(program, ensemble_size=64, rng=3))
+    report = benchmark(lambda: check_program(program, RunConfig(ensemble_size=64, seed=3)))
 
     print_table(
         "Listing 1: QFT test harness assertions",

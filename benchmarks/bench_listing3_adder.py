@@ -8,11 +8,12 @@ the postcondition assertion with p-value exactly 0.0.
 from bench_helpers import print_table
 from repro.algorithms.arithmetic import build_cadd_test_harness
 from repro.core import check_program
+from repro import RunConfig
 
 
 def test_listing3_correct_adder(benchmark):
     program = build_cadd_test_harness(width=5, b_value=12, constant=13)
-    report = benchmark(lambda: check_program(program, ensemble_size=16, rng=5))
+    report = benchmark(lambda: check_program(program, RunConfig(ensemble_size=16, seed=5)))
     print_table(
         "Listing 3: controlled adder harness (correct implementation)",
         [
@@ -31,7 +32,7 @@ def test_listing3_correct_adder(benchmark):
 def test_listing3_buggy_adder_detected(benchmark):
     """Section 4.3: 'the output assertion returns p-value = 0.0'."""
     program = build_cadd_test_harness(angle_sign=-1.0)
-    report = benchmark(lambda: check_program(program, ensemble_size=16, rng=5))
+    report = benchmark(lambda: check_program(program, RunConfig(ensemble_size=16, seed=5)))
     print_table(
         "Listing 3: controlled adder harness with the Table 1 angle bug",
         [

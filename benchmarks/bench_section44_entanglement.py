@@ -11,6 +11,7 @@ bug inside the multiplier.
 from bench_helpers import print_table
 from repro.algorithms.modular import build_cmodmul_test_harness
 from repro.core import check_program
+from repro import RunConfig
 
 
 def _entangled_record(report):
@@ -19,7 +20,7 @@ def _entangled_record(report):
 
 def test_section44_correct_control_routing(benchmark):
     program = build_cmodmul_test_harness()
-    report = benchmark(lambda: check_program(program, ensemble_size=16, rng=0))
+    report = benchmark(lambda: check_program(program, RunConfig(ensemble_size=16, seed=0)))
     record = _entangled_record(report)
     print_table(
         "Section 4.4: entanglement assertion, correct control routing",
@@ -38,7 +39,7 @@ def test_section44_correct_control_routing(benchmark):
 
 def test_section44_misrouted_controls_detected(benchmark):
     program = build_cmodmul_test_harness(control_bug_duplicate=True)
-    report = benchmark(lambda: check_program(program, ensemble_size=16, rng=0))
+    report = benchmark(lambda: check_program(program, RunConfig(ensemble_size=16, seed=0)))
     record = _entangled_record(report)
     print_table(
         "Section 4.4: entanglement assertion, mis-routed control qubits",
@@ -65,7 +66,7 @@ def test_section44_detection_vs_ensemble_size(benchmark):
             lambda: build_cmodmul_test_harness(control_bug_duplicate=True),
             sizes=(8, 16, 32),
             trials=5,
-            rng=1,
+            config=RunConfig(seed=1),
         ),
         rounds=1,
         iterations=1,

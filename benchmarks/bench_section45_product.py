@@ -9,6 +9,7 @@ inverse 12, which leaves the registers entangled.
 from bench_helpers import print_table
 from repro.algorithms.modular import build_cmodmul_test_harness
 from repro.core import check_program
+from repro import RunConfig
 
 
 def _product_record(report):
@@ -17,7 +18,7 @@ def _product_record(report):
 
 def test_section45_correct_uncompute(benchmark):
     program = build_cmodmul_test_harness(inverse_multiplier=13)
-    report = benchmark(lambda: check_program(program, ensemble_size=16, rng=0))
+    report = benchmark(lambda: check_program(program, RunConfig(ensemble_size=16, seed=0)))
     record = _product_record(report)
     print_table(
         "Section 4.5: product-state assertion, correct modular inverse (13)",
@@ -36,7 +37,7 @@ def test_section45_correct_uncompute(benchmark):
 
 def test_section45_wrong_inverse_detected(benchmark):
     program = build_cmodmul_test_harness(inverse_multiplier=12)
-    report = benchmark(lambda: check_program(program, ensemble_size=16, rng=0))
+    report = benchmark(lambda: check_program(program, RunConfig(ensemble_size=16, seed=0)))
     record = _product_record(report)
     print_table(
         "Section 4.5: product-state assertion, wrong modular inverse (12)",
@@ -59,7 +60,7 @@ def test_section45_bad_mirroring_detected(benchmark):
 
     scenario = BUG_SCENARIOS["bad_uncompute"]
     report = benchmark(
-        lambda: check_program(scenario.build_buggy(), ensemble_size=32, rng=2)
+        lambda: check_program(scenario.build_buggy(), RunConfig(ensemble_size=32, seed=2))
     )
     print_table(
         "Section 4.5: mirroring bug (uncompute not inverted)",

@@ -13,6 +13,7 @@ import numpy as np
 from bench_helpers import print_matrix, print_table
 from repro.algorithms.shor import build_shor_program, shor_joint_distribution
 from repro.core import check_program
+from repro import RunConfig
 
 
 def test_table3_joint_distribution(benchmark):
@@ -60,7 +61,7 @@ def test_table3_assertion_catches_the_bug(benchmark):
     """The defense of Section 4.6: the ancilla postcondition fails."""
     circuit = build_shor_program(inverse_overrides={0: 12})
     report = benchmark.pedantic(
-        lambda: check_program(circuit.program, ensemble_size=32, rng=9),
+        lambda: check_program(circuit.program, RunConfig(ensemble_size=32, seed=9)),
         rounds=1,
         iterations=1,
     )

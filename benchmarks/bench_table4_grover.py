@@ -16,6 +16,7 @@ from repro.algorithms.gf2 import GF2Field
 from repro.algorithms.grover import build_grover_program, grover_success_probability, run_grover
 from repro.compiler import resource_report
 from repro.core import check_program
+from repro import RunConfig
 from repro.lang import auto_place_assertions
 
 
@@ -69,7 +70,7 @@ def test_table4_automatic_assertion_placement(benchmark):
         rounds=1,
         iterations=1,
     )
-    report = check_program(circuit.program, ensemble_size=32, rng=4)
+    report = check_program(circuit.program, RunConfig(ensemble_size=32, seed=4))
     print_table(
         "Section 5.1.1: automatically placed assertions (product kind)",
         [

@@ -34,6 +34,7 @@ import time
 from pathlib import Path
 
 from bench_helpers import append_trajectory, print_table
+from repro import RunConfig
 from repro.bugs import BUG_SCENARIOS
 from repro.compiler import BreakpointExecutor, build_execution_plan
 from repro.core import DEFAULT_SIGNIFICANCE, build_evaluator, chi_square_gof
@@ -153,8 +154,7 @@ def _deep_clifford_rows(widths, trials: int) -> tuple[list[dict], float]:
         widths=widths,
         error_rates=(0.0, 0.005),
         trials=trials,
-        rng=SEED,
-        backend="stabilizer",
+        config=RunConfig(ensemble_size=32, seed=SEED, backend="stabilizer"),
     )
     seconds = time.perf_counter() - start
     for row in rows:

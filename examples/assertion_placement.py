@@ -10,8 +10,8 @@ same artefacts the paper's ScaffCC-based flow produces.
 Run with:  python examples/assertion_placement.py
 """
 
+import repro
 from repro.compiler import lower_to_basis, resource_report, split_at_assertions
-from repro.core import StatisticalAssertionChecker
 from repro.lang import Program, auto_place_assertions, compute, control, draw, to_qasm, uncompute
 
 
@@ -60,7 +60,7 @@ def main() -> None:
     print(draw(program))
     print()
 
-    report = StatisticalAssertionChecker(program, ensemble_size=32, rng=1).run()
+    report = repro.session(repro.RunConfig(ensemble_size=32, seed=1)).check(program)
     print(report.summary())
     print()
 

@@ -8,8 +8,8 @@ check both, and report which statistical assertion fires on the bug.
 Run with:  python examples/bug_hunting.py
 """
 
+import repro
 from repro.bugs import BUG_CATALOG, BUG_SCENARIOS
-from repro.core import check_program
 
 
 def main() -> None:
@@ -25,12 +25,11 @@ def main() -> None:
     print(header)
     print("-" * len(header))
     for name, scenario in sorted(BUG_SCENARIOS.items()):
-        correct_report = check_program(
-            scenario.build_correct(), ensemble_size=scenario.ensemble_size, rng=7
+        session = repro.session(
+            repro.RunConfig(ensemble_size=scenario.ensemble_size, seed=7)
         )
-        buggy_report = check_program(
-            scenario.build_buggy(), ensemble_size=scenario.ensemble_size, rng=7
-        )
+        correct_report = session.check(scenario.build_correct())
+        buggy_report = session.replace().check(scenario.build_buggy())
         caught_by = sorted(
             {record.outcome.assertion_type for record in buggy_report.failures()}
         )

@@ -12,7 +12,7 @@ Run with:  python examples/grover_search.py
 
 from repro.algorithms.gf2 import GF2Field
 from repro.algorithms.grover import build_grover_program, run_grover
-from repro.core import StatisticalAssertionChecker
+import repro
 from repro.lang import auto_place_assertions
 
 
@@ -38,7 +38,7 @@ def main() -> None:
 
     print("--- assertions placed by hand (superposition / scratch-cleanup) ---")
     circuit = build_grover_program(degree, target, style="projectq")
-    report = StatisticalAssertionChecker(circuit.program, ensemble_size=32, rng=2).run()
+    report = repro.session(repro.RunConfig(ensemble_size=32, seed=2)).check(circuit.program)
     print(report.summary())
     print()
 
@@ -48,7 +48,7 @@ def main() -> None:
     for suggestion in suggestions:
         print(f"  suggested {suggestion.kind} assertion at instruction {suggestion.position} "
               f"(reason: {suggestion.reason})")
-    report = StatisticalAssertionChecker(bare.program, ensemble_size=32, rng=3).run()
+    report = repro.session(repro.RunConfig(ensemble_size=32, seed=3)).check(bare.program)
     print(report.summary())
 
 

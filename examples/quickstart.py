@@ -10,7 +10,8 @@ chi-square tests.
 Run with:  python examples/quickstart.py
 """
 
-from repro import Program, StatisticalAssertionChecker
+import repro
+from repro import Program, RunConfig
 
 
 def build_bell_program() -> Program:
@@ -42,8 +43,10 @@ def main() -> None:
     print(program.describe())
     print()
 
-    checker = StatisticalAssertionChecker(program, ensemble_size=16, rng=2019)
-    report = checker.run()
+    # One RunConfig pins the whole run: ensemble size, seed, backend.  It
+    # round-trips through JSON, so this exact run is reproducible anywhere.
+    session = repro.session(RunConfig(ensemble_size=16, seed=2019))
+    report = session.check(program)
     print(report.summary())
     print()
 
@@ -52,7 +55,7 @@ def main() -> None:
     qubits = buggy.qreg("q", 2)
     buggy.h(qubits[0])
     buggy.assert_entangled([qubits[0]], [qubits[1]], label="Bell pair entangled")
-    buggy_report = StatisticalAssertionChecker(buggy, ensemble_size=16, rng=2019).run()
+    buggy_report = session.replace().check(buggy)
     print("After deleting the CNOT (bug!):")
     print(buggy_report.summary())
 

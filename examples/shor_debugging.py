@@ -25,7 +25,8 @@ from repro.algorithms.shor import (
     shor_joint_distribution,
     table2_rows,
 )
-from repro.core import StatisticalAssertionChecker, check_program
+import repro
+from repro.core import check_program
 
 
 def banner(title: str) -> None:
@@ -37,37 +38,43 @@ def banner(title: str) -> None:
 
 def step1_qft_unit_test() -> None:
     banner("Step 1 — Listing 1: QFT unit test (classical -> superposition -> classical)")
-    report = check_program(build_qft_test_harness(width=4, value=5), ensemble_size=64, rng=1)
+    report = check_program(build_qft_test_harness(width=4, value=5),
+                           repro.RunConfig(ensemble_size=64, seed=1))
     print(report.summary())
 
 
 def step2_adder_unit_test() -> None:
     banner("Step 2 — Listing 3: controlled adder unit test (12 + 13 = 25)")
     print("Correct implementation:")
-    print(check_program(build_cadd_test_harness(), ensemble_size=16, rng=2).summary())
+    print(check_program(build_cadd_test_harness(),
+                        repro.RunConfig(ensemble_size=16, seed=2)).summary())
 
     print()
     print("With the Table 1 bug (rotation angles flipped) the adder subtracts:")
-    report = check_program(build_cadd_test_harness(angle_sign=-1.0), ensemble_size=16, rng=2)
+    report = check_program(build_cadd_test_harness(angle_sign=-1.0),
+                           repro.RunConfig(ensemble_size=16, seed=2))
     print(report.summary())
 
 
 def step3_multiplier_unit_test() -> None:
     banner("Step 3 — Listing 4: controlled modular multiplier unit test")
     print("Correct control routing and modular inverse (7, 13):")
-    print(check_program(build_cmodmul_test_harness(), ensemble_size=16, rng=3).summary())
+    print(check_program(build_cmodmul_test_harness(),
+                        repro.RunConfig(ensemble_size=16, seed=3)).summary())
 
     print()
     print("Bug type 4 — wrong control qubit routed into the multiplier:")
     report = check_program(
-        build_cmodmul_test_harness(control_bug_duplicate=True), ensemble_size=16, rng=3
+        build_cmodmul_test_harness(control_bug_duplicate=True),
+        repro.RunConfig(ensemble_size=16, seed=3),
     )
     print(report.summary())
 
     print()
     print("Bug type 6 — wrong modular inverse (12 instead of 13):")
     report = check_program(
-        build_cmodmul_test_harness(inverse_multiplier=12), ensemble_size=16, rng=3
+        build_cmodmul_test_harness(inverse_multiplier=12),
+        repro.RunConfig(ensemble_size=16, seed=3),
     )
     print(report.summary())
 
@@ -81,7 +88,7 @@ def step4_integration_test() -> None:
     print()
     print("Correct program — assertion report:")
     circuit = build_shor_program()
-    print(StatisticalAssertionChecker(circuit.program, ensemble_size=32, rng=4).run().summary())
+    print(repro.session(repro.RunConfig(ensemble_size=32, seed=4)).check(circuit.program).summary())
 
     print()
     result = run_shor(rng=5, shots=128)
@@ -97,7 +104,7 @@ def step4_integration_test() -> None:
         if table[ancilla_value].sum() > 1e-9:
             print(f"  ancilla={ancilla_value:2d}: {table[ancilla_value]}")
     print("Assertion report for the buggy program:")
-    print(StatisticalAssertionChecker(buggy.program, ensemble_size=32, rng=6).run().summary())
+    print(repro.session(repro.RunConfig(ensemble_size=32, seed=6)).check(buggy.program).summary())
 
 
 def main() -> None:

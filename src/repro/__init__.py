@@ -6,26 +6,42 @@ Patterns and Finding Bugs in Quantum Programs", ISCA 2019.
 The public API re-exports the most commonly used names:
 
 * :class:`repro.lang.Program` — write quantum programs with assertions;
-* :class:`repro.core.StatisticalAssertionChecker` — check them in simulation;
+* :class:`repro.RunConfig` + :func:`repro.session` — configure a checking
+  session (frozen, JSON-serializable config; the session owns backends and
+  the rng stream);
+* :class:`repro.core.StatisticalAssertionChecker` — the underlying checker;
 * :mod:`repro.algorithms` — the benchmark programs (Shor, Grover, chemistry);
-* :mod:`repro.sim` — the underlying statevector simulator.
+* :mod:`repro.sim` — the simulation backends and their registry.
+
+Quick start::
+
+    import repro
+
+    session = repro.session(repro.RunConfig(ensemble_size=16, seed=7))
+    report = session.check(program)
 """
 
 from .core import (
     AssertionViolation,
     DebugReport,
+    RunConfig,
+    Session,
     StatisticalAssertionChecker,
     check_program,
+    session,
 )
 from .lang import Program, QuantumRegister
 from .sim import Statevector
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Program",
     "QuantumRegister",
     "Statevector",
+    "RunConfig",
+    "Session",
+    "session",
     "StatisticalAssertionChecker",
     "check_program",
     "DebugReport",

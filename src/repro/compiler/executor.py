@@ -54,15 +54,11 @@ from ..lang.instructions import (
 )
 from ..lang.clifford import is_clifford_instruction
 from ..lang.program import Program, run_instructions
-from ..sim.backend import SimulationBackend, make_backend
-from ..sim.density_backend import DensityMatrixBackend
+from ..sim.backend import SimulationBackend
 from ..sim.measurement import MeasurementEnsemble, ReadoutErrorModel
 from ..sim.noise import KrausChannel, NoiseModel
-from ..sim.stabilizer_backend import HybridCliffordBackend, StabilizerBackend
-from ..sim.trajectory_backend import (
-    TrajectoryNoiseBackend,
-    spawn_trajectory_streams,
-)
+from ..sim.registry import make_backend, make_noisy_backend, resolve_backend_name
+from ..sim.trajectory_backend import spawn_trajectory_streams
 from .splitter import BreakpointProgram, ExecutionPlan, build_execution_plan
 
 __all__ = ["BreakpointMeasurements", "BreakpointExecutor"]
@@ -86,33 +82,78 @@ class BreakpointExecutor:
 
     def __init__(
         self,
-        ensemble_size: int = 16,
+        config=None,
+        *,
+        ensemble_size: int | None = None,
         rng: np.random.Generator | int | None = None,
-        mode: str = "sample",
+        mode: str | None = None,
         readout_error: ReadoutErrorModel | None = None,
         backend: "str | SimulationBackend | Callable[[], SimulationBackend] | None" = None,
         noise: "NoiseModel | KrausChannel | Sequence[KrausChannel] | None" = None,
     ):
-        if ensemble_size <= 0:
-            raise ValueError("ensemble_size must be positive")
-        if mode not in {"sample", "rerun"}:
-            raise ValueError("mode must be 'sample' or 'rerun'")
-        self.ensemble_size = int(ensemble_size)
-        self.rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
-        self.mode = mode
-        if noise is None or isinstance(noise, NoiseModel):
-            self.noise = noise
-        else:
-            self.noise = NoiseModel.from_channels(noise)
+        # The executor is the mechanism layer: it accepts a RunConfig (the
+        # blessed path — Session/checker construct it this way) and still
+        # takes the individual knobs for direct low-level use; explicit
+        # knobs override the config.  The knobs are keyword-only so a
+        # historical positional call fails loudly at the call site instead
+        # of deep inside RunConfig validation.
+        from ..core.config import RunConfig  # runtime import: core imports us
+
+        if isinstance(config, (int, np.integer)) and not isinstance(config, bool):
+            # Oldest positional spelling: first argument was ensemble_size.
+            if ensemble_size is None:
+                ensemble_size = int(config)
+            config = None
+        base = RunConfig.coerce(config, caller="BreakpointExecutor")
+        overrides = {}
+        if ensemble_size is not None:
+            overrides["ensemble_size"] = ensemble_size
+        if mode is not None:
+            overrides["mode"] = mode
         if readout_error is not None:
-            self.readout_error = readout_error
+            overrides["readout_error"] = readout_error
+        if backend is not None:
+            overrides["backend"] = backend
+        if noise is not None:
+            overrides["noise"] = noise
+        live_rng = rng if isinstance(rng, np.random.Generator) else None
+        if rng is not None and live_rng is None:
+            overrides["seed"] = rng
+        self._configure(base.replace(**overrides) if overrides else base, live_rng)
+
+    @classmethod
+    def from_config(
+        cls, config, *, rng: np.random.Generator | None = None
+    ) -> "BreakpointExecutor":
+        """Construct from a :class:`repro.RunConfig`.
+
+        ``rng`` optionally supplies a live generator (the checker/Session
+        share one stream across runs); otherwise the executor seeds its own
+        from ``config.seed``.
+        """
+        executor = cls.__new__(cls)
+        executor._configure(config, rng)
+        return executor
+
+    def _configure(self, config, rng: np.random.Generator | None) -> None:
+        self.config = config
+        self.ensemble_size = config.ensemble_size
+        self.rng = (
+            rng
+            if isinstance(rng, np.random.Generator)
+            else np.random.default_rng(config.seed)
+        )
+        self.mode = config.mode
+        self.noise = config.noise
+        if config.readout_error is not None:
+            self.readout_error = config.readout_error
         elif self.noise is not None and not self.noise.readout.is_ideal:
             # A noise model bundles its readout channel; adopt it unless the
             # caller supplied an explicit (overriding) one.
             self.readout_error = self.noise.readout
         else:
             self.readout_error = ReadoutErrorModel()
-        self.backend = backend
+        self.backend = config.backend
         #: Root entropy of the per-trajectory rng streams; spawned lazily from
         #: the executor's own stream so seeded executors stay reproducible.
         self._noise_seed_root: np.random.SeedSequence | None = None
@@ -239,8 +280,8 @@ class BreakpointExecutor:
             engine = self._new_noisy_backend(clifford)
         else:
             spec = self.backend
-            if spec == "auto" and clifford is True:
-                spec = "stabilizer"
+            if isinstance(spec, str):
+                spec = resolve_backend_name(spec, clifford=clifford)
             engine = make_backend(spec)
         engine.initialize(num_qubits)
         return engine
@@ -261,13 +302,15 @@ class BreakpointExecutor:
         return spawn_trajectory_streams(self._noise_seed_root, count)
 
     def _new_noisy_backend(self, clifford: bool | None) -> SimulationBackend:
-        """Build the trajectory (or fallback density) engine for gate noise.
+        """Build the gate-noise engine via the declarative registry routing.
 
-        Routing: Pauli-mixture models run as trajectories — batched
-        statevectors for the dense spellings, Pauli frames on the tableau
-        for ``"stabilizer"``, and the frame-carrying hybrid for mixed
-        ``"auto"`` plans.  Non-Pauli models run on the density backend when
-        the spelling permits a dense fallback, and raise where it does not
+        The capability flags and delegates registered in
+        :mod:`repro.sim.registry` reproduce the historical rules:
+        Pauli-mixture models run as trajectories — batched statevectors for
+        the dense spellings, Pauli frames on the tableau for
+        ``"stabilizer"``, and the frame-carrying hybrid for mixed ``"auto"``
+        plans — while non-Pauli models fall back to the exact density
+        backend where the spelling permits and raise where it does not
         (``"trajectory"``/``"stabilizer"`` are explicitly Pauli-only).
         """
         spec = self.backend
@@ -277,45 +320,20 @@ class BreakpointExecutor:
                 "backend instances/factories own their noise configuration "
                 "(e.g. DensityMatrixBackend(noise=...))"
             )
-        name = spec or "statevector"
-        pauli = self.noise.is_pauli
+        batch = self.ensemble_size if self.mode == "sample" else 1
         # The executor's resolved readout model (explicit override, or the
         # noise model's bundled channel) is installed explicitly: backends
         # must not fall back to the noise model's own readout, or an
-        # explicit ideal `readout_error=` override would be ignored.
-        if not pauli:
-            if name in ("trajectory", "stabilizer"):
-                raise ValueError(
-                    f"backend {name!r} only unravels Pauli channels; "
-                    "non-Pauli noise (e.g. amplitude damping) needs the "
-                    "density-matrix backend"
-                )
-            return DensityMatrixBackend(
-                noise=self.noise, readout_error=self.readout_error
-            )
-        if name == "density":
-            return DensityMatrixBackend(
-                noise=self.noise, readout_error=self.readout_error
-            )
-        batch = self.ensemble_size if self.mode == "sample" else 1
-        streams = self._trajectory_streams(batch)
-        if name in ("statevector", "trajectory"):
-            return TrajectoryNoiseBackend(
-                noise=self.noise,
-                batch_size=batch,
-                rng_streams=streams,
-                readout_error=self.readout_error,
-            )
-        if name == "stabilizer" or (name in ("auto", "hybrid") and clifford is True):
-            return StabilizerBackend(
-                noise=self.noise, batch_size=batch, rng_streams=streams
-            )
-        if name in ("auto", "hybrid"):
-            return HybridCliffordBackend(
-                noise=self.noise, batch_size=batch, rng_streams=streams
-            )
-        raise KeyError(
-            f"unknown backend {name!r} for trajectory noise routing"
+        # explicit ideal `readout_error=` override would be ignored.  The
+        # stream provider is lazy so a density fallback never burns a draw
+        # of the executor's stream on trajectory streams it will not use.
+        return make_noisy_backend(
+            spec,
+            self.noise,
+            batch_size=batch,
+            rng_streams=lambda: self._trajectory_streams(batch),
+            readout_error=self.readout_error,
+            clifford=clifford,
         )
 
     def _install_readout(

@@ -9,8 +9,10 @@ from .assertions import (
     SuperpositionAssertion,
 )
 from .checker import StatisticalAssertionChecker, build_evaluator, check_program
+from .config import RunConfig, resolve_run_config
 from .exceptions import AssertionViolation, InsufficientEnsembleError, QuantumAssertionError
 from .report import BreakpointRecord, DebugReport, format_table
+from .session import Session, session
 from .statistics import (
     ChiSquareResult,
     ConvergenceResult,
@@ -30,6 +32,10 @@ from .statistics import (
 
 __all__ = [
     "DEFAULT_SIGNIFICANCE",
+    "RunConfig",
+    "Session",
+    "session",
+    "resolve_run_config",
     "AssertionOutcome",
     "ClassicalAssertion",
     "SuperpositionAssertion",

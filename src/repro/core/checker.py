@@ -19,8 +19,7 @@ debugging workflow of the paper.
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable
-
+from collections.abc import Mapping
 import numpy as np
 
 from ..compiler.executor import BreakpointExecutor, BreakpointMeasurements
@@ -38,17 +37,14 @@ from ..lang.instructions import (
     SuperpositionAssertInstruction,
 )
 from ..lang.program import Program
-from ..sim.backend import SimulationBackend
-from ..sim.measurement import MeasurementEnsemble, ReadoutErrorModel
-from ..sim.noise import KrausChannel, NoiseModel
 from .assertions import (
-    DEFAULT_SIGNIFICANCE,
     AssertionOutcome,
     ClassicalAssertion,
     EntanglementAssertion,
     ProductStateAssertion,
     SuperpositionAssertion,
 )
+from .config import RunConfig, resolve_run_config
 from .exceptions import AssertionViolation
 from .report import BreakpointRecord, DebugReport
 from .statistics import ensemble_convergence, max_category_standard_error
@@ -85,7 +81,17 @@ def build_evaluator(assertion: AssertionInstruction, significance: float):
 class StatisticalAssertionChecker:
     """Checks every statistical assertion in a program via simulation.
 
-    ``backend`` accepts every registry spelling (``"statevector"``,
+    The blessed construction path takes a :class:`repro.RunConfig`::
+
+        checker = StatisticalAssertionChecker(program, RunConfig(seed=7))
+
+    (or :meth:`from_config`, which additionally accepts a live shared rng —
+    that is how :class:`repro.Session` advances one stream across many
+    runs).  The historical kwarg bundle (``ensemble_size``, ``significance``,
+    ``rng``, ``mode``, ``backend``, ``readout_error``, ``noise``) still
+    works for one release but emits a :class:`DeprecationWarning`.
+
+    ``config.backend`` accepts every registry spelling (``"statevector"``,
     ``"density"``, ``"stabilizer"``, an instance, a factory) and threads it
     through to the executor unchanged.  ``backend="auto"`` selects hybrid
     Clifford-prefix routing: Clifford-only programs are checked entirely on
@@ -94,29 +100,48 @@ class StatisticalAssertionChecker:
     tableau before a single tableau→statevector conversion.
     """
 
-    def __init__(
+    def __init__(self, program: Program, config=None, **legacy):
+        resolved, rng = resolve_run_config(
+            config, legacy, caller="StatisticalAssertionChecker"
+        )
+        self._configure(program, resolved, rng)
+
+    @classmethod
+    def from_config(
+        cls,
+        program: Program,
+        config: "RunConfig | Mapping | None" = None,
+        *,
+        rng: np.random.Generator | None = None,
+    ) -> "StatisticalAssertionChecker":
+        """Construct from a :class:`repro.RunConfig` without the legacy shim.
+
+        ``rng`` optionally supplies a live generator to draw from instead of
+        seeding a fresh stream from ``config.seed``.
+        """
+        config = RunConfig.coerce(
+            config, caller="StatisticalAssertionChecker.from_config"
+        )
+        checker = cls.__new__(cls)
+        checker._configure(program, config, rng)
+        return checker
+
+    def _configure(
         self,
         program: Program,
-        ensemble_size: int = 16,
-        significance: float = DEFAULT_SIGNIFICANCE,
-        rng: np.random.Generator | int | None = None,
-        mode: str = "sample",
-        readout_error: ReadoutErrorModel | None = None,
-        backend: "str | SimulationBackend | Callable[[], SimulationBackend] | None" = None,
-        noise: "NoiseModel | KrausChannel | None" = None,
-    ):
+        config: RunConfig,
+        rng: np.random.Generator | None,
+    ) -> None:
         self.program = program
-        self.ensemble_size = int(ensemble_size)
-        self.significance = float(significance)
-        self.rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
-        self.executor = BreakpointExecutor(
-            ensemble_size=self.ensemble_size,
-            rng=self.rng,
-            mode=mode,
-            readout_error=readout_error,
-            backend=backend,
-            noise=noise,
+        self.config = config
+        self.ensemble_size = config.ensemble_size
+        self.significance = config.significance
+        self.rng = (
+            rng
+            if isinstance(rng, np.random.Generator)
+            else np.random.default_rng(config.seed)
         )
+        self.executor = BreakpointExecutor.from_config(config, rng=self.rng)
         #: Per-breakpoint convergence rows of the last
         #: :meth:`run_until_converged` call (empty otherwise).
         self.convergence: list[dict] = []
@@ -197,7 +222,7 @@ class StatisticalAssertionChecker:
         )
 
     def run_until_converged(
-        self, se_cutoff: float = 0.025, max_batches: int = 8
+        self, se_cutoff: float | None = None, max_batches: int | None = None
     ) -> DebugReport:
         """Grow trajectory ensembles per breakpoint until they converge.
 
@@ -214,8 +239,16 @@ class StatisticalAssertionChecker:
 
         The incremental walk makes each batch cost O(total_gates) gate
         applications regardless of the batch's ensemble width, so adaptive
-        growth costs exactly ``batches`` walks.
+        growth costs exactly ``batches`` walks.  ``se_cutoff`` and
+        ``max_batches`` default to the checker's
+        :class:`~repro.core.config.RunConfig` policy; the convergence rows
+        are also attached to the returned report
+        (:attr:`DebugReport.convergence`).
         """
+        se_cutoff = self.config.se_cutoff if se_cutoff is None else se_cutoff
+        max_batches = (
+            self.config.max_batches if max_batches is None else max_batches
+        )
         if max_batches <= 0:
             raise ValueError("max_batches must be positive")
         if not 0.0 < se_cutoff < 1.0:
@@ -260,6 +293,7 @@ class StatisticalAssertionChecker:
             program_name=self.program.name,
             ensemble_size=merged[0].joint.num_samples if merged else 0,
             significance=self.significance,
+            convergence=[dict(row) for row in self.convergence],
         )
         for measurements in merged:
             breakpoint_program = measurements.breakpoint
@@ -278,23 +312,35 @@ class StatisticalAssertionChecker:
 
 def check_program(
     program: Program,
-    ensemble_size: int = 16,
-    significance: float = DEFAULT_SIGNIFICANCE,
-    rng: np.random.Generator | int | None = None,
-    mode: str = "sample",
-    backend: "str | SimulationBackend | Callable[[], SimulationBackend] | None" = None,
-    readout_error: ReadoutErrorModel | None = None,
-    noise: "NoiseModel | KrausChannel | None" = None,
+    config: "RunConfig | Mapping | None" = None,
+    *,
+    converge: bool | None = None,
+    se_cutoff: float | None = None,
+    max_batches: int | None = None,
+    **legacy,
 ) -> DebugReport:
-    """One-shot convenience wrapper around :class:`StatisticalAssertionChecker`."""
-    checker = StatisticalAssertionChecker(
-        program,
-        ensemble_size=ensemble_size,
-        significance=significance,
-        rng=rng,
-        mode=mode,
-        backend=backend,
-        readout_error=readout_error,
-        noise=noise,
-    )
+    """One-shot convenience wrapper around :class:`StatisticalAssertionChecker`.
+
+    ``converge=True`` (or ``config.converge``) runs the adaptive
+    :meth:`~StatisticalAssertionChecker.run_until_converged` path — growing
+    each breakpoint's trajectory ensemble until its worst per-category
+    standard error drops to ``se_cutoff`` — and attaches the per-breakpoint
+    convergence rows to the returned report.  Legacy kwargs
+    (``ensemble_size=…`` etc.) still work but emit a
+    :class:`DeprecationWarning`; pass a :class:`repro.RunConfig` instead.
+    """
+    resolved, rng = resolve_run_config(config, legacy, caller="check_program")
+    checker = StatisticalAssertionChecker.from_config(program, resolved, rng=rng)
+    if converge is None:
+        # Passing a convergence knob states convergence intent; silently
+        # running fixed-size would drop the caller's cutoff on the floor.
+        do_converge = (
+            resolved.converge or se_cutoff is not None or max_batches is not None
+        )
+    else:
+        do_converge = converge
+    if do_converge:
+        return checker.run_until_converged(
+            se_cutoff=se_cutoff, max_batches=max_batches
+        )
     return checker.run()

@@ -1,0 +1,403 @@
+"""`RunConfig`: the frozen, validated, serializable run configuration.
+
+Four PRs of backend growth left the checking pipeline configured through a
+seven-kwarg bundle (``ensemble_size``, ``significance``, ``rng``, ``mode``,
+``backend``, ``readout_error``, ``noise``) copy-threaded through every layer.
+:class:`RunConfig` replaces that bundle with one first-class value:
+
+* **frozen & validated** — every field is normalised and checked at
+  construction, so an invalid configuration fails where it is written, not
+  three layers down inside the executor;
+* **derivable** — :meth:`RunConfig.replace` returns a new validated config
+  with overrides applied (sweeps derive one config per sweep point);
+* **serializable** — :meth:`RunConfig.to_dict` / :meth:`RunConfig.from_dict`
+  (and the ``to_json``/``from_json`` wrappers) round-trip through plain JSON,
+  including noise models (Kraus operators as ``[re, im]`` matrices) and
+  readout error, so one JSON blob pins a seeded checking run exactly;
+* **seed-spelling normalisation** — ``seed`` accepts a Python int, a NumPy
+  integer, or a ``numpy.random.SeedSequence`` and stores a plain int
+  (``None`` keeps OS entropy).  Live ``numpy.random.Generator`` objects are
+  deliberately rejected: a generator is unseedable state, not configuration —
+  hold one in a :class:`repro.Session` instead.
+
+The module also hosts the deprecation shim (:func:`resolve_run_config`) that
+keeps the legacy kwarg spellings working for one release: every public entry
+point (``StatisticalAssertionChecker``, ``check_program``, the
+``repro.workloads`` sweeps) folds old-style kwargs into a ``RunConfig`` and
+emits a :class:`DeprecationWarning`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import warnings
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..sim.backend import SimulationBackend
+from ..sim.measurement import ReadoutErrorModel
+from ..sim.noise import KrausChannel, NoiseModel
+from .assertions import DEFAULT_SIGNIFICANCE
+
+__all__ = [
+    "RunConfig",
+    "LEGACY_RUN_KWARGS",
+    "resolve_run_config",
+    "UNSET",
+]
+
+#: Sentinel distinguishing "argument not passed" from an explicit ``None``
+#: in the legacy-kwarg shims (several legacy kwargs default to ``None``).
+UNSET = object()
+
+#: The legacy kwarg bundle the RunConfig replaces, in its historical order.
+LEGACY_RUN_KWARGS = (
+    "ensemble_size",
+    "significance",
+    "rng",
+    "mode",
+    "backend",
+    "readout_error",
+    "noise",
+)
+
+_MODES = ("sample", "rerun")
+
+
+def _normalise_seed(seed) -> int | None:
+    """Normalise every accepted seed spelling to a plain int (or None)."""
+    if seed is None:
+        return None
+    if isinstance(seed, np.random.SeedSequence):
+        entropy = seed.entropy
+        if entropy is None:
+            raise ValueError("SeedSequence carries no entropy to serialise")
+        return int(entropy)
+    if isinstance(seed, (bool, np.bool_)):
+        raise TypeError("seed must be an integer, SeedSequence, or None")
+    if isinstance(seed, (int, np.integer)):
+        return int(seed)
+    if isinstance(seed, np.random.Generator):
+        raise TypeError(
+            "a live numpy Generator is state, not configuration; pass an "
+            "integer seed (or hold the generator in a repro.Session)"
+        )
+    raise TypeError(
+        f"seed must be an integer, SeedSequence, or None; got {type(seed)!r}"
+    )
+
+
+def _normalise_readout(readout) -> ReadoutErrorModel | None:
+    if readout is None or isinstance(readout, ReadoutErrorModel):
+        return readout
+    if isinstance(readout, (int, float)) and not isinstance(readout, bool):
+        rate = float(readout)
+        return ReadoutErrorModel(p01=rate, p10=rate)
+    raise TypeError(
+        "readout_error must be a ReadoutErrorModel, a symmetric flip "
+        f"probability, or None; got {type(readout)!r}"
+    )
+
+
+def _normalise_noise(noise) -> NoiseModel | None:
+    if noise is None or isinstance(noise, NoiseModel):
+        return noise
+    return NoiseModel.from_channels(noise)
+
+
+# -- JSON helpers -----------------------------------------------------------
+
+
+def _matrix_to_json(matrix: np.ndarray) -> list:
+    """Complex matrix -> nested ``[re, im]`` pairs (JSON has no complex)."""
+    return [
+        [[float(entry.real), float(entry.imag)] for entry in row]
+        for row in np.asarray(matrix, dtype=complex)
+    ]
+
+
+def _matrix_from_json(data) -> np.ndarray:
+    return np.array(
+        [[complex(entry[0], entry[1]) for entry in row] for row in data],
+        dtype=complex,
+    )
+
+
+def _readout_to_dict(model: ReadoutErrorModel) -> dict:
+    return {"p01": float(model.p01), "p10": float(model.p10)}
+
+
+def _readout_from_dict(data: Mapping) -> ReadoutErrorModel:
+    return ReadoutErrorModel(
+        p01=float(data.get("p01", 0.0)), p10=float(data.get("p10", 0.0))
+    )
+
+
+def _noise_to_dict(model: NoiseModel) -> dict:
+    return {
+        "gate_channels": [
+            {
+                "name": channel.name,
+                "operators": [_matrix_to_json(op) for op in channel.operators],
+            }
+            for channel in model.gate_channels
+        ],
+        "readout": _readout_to_dict(model.readout),
+    }
+
+
+def _noise_from_dict(data: Mapping) -> NoiseModel:
+    channels = tuple(
+        KrausChannel(
+            name=channel["name"],
+            operators=tuple(
+                _matrix_from_json(op) for op in channel["operators"]
+            ),
+        )
+        for channel in data.get("gate_channels", [])
+    )
+    readout = data.get("readout")
+    return NoiseModel(
+        gate_channels=channels,
+        readout=_readout_from_dict(readout) if readout else ReadoutErrorModel(),
+    )
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Everything one assertion-checking run depends on, as one frozen value.
+
+    Fields
+    ------
+    ensemble_size:
+        Measurements drawn per breakpoint (paper default 16).
+    significance:
+        Chi-square significance level of every assertion evaluator.
+    seed:
+        Root seed of the run's rng stream (``None`` = OS entropy).  Accepts
+        int / NumPy integer / ``SeedSequence`` spellings, stored as int.
+    mode:
+        ``"sample"`` (one incremental plan walk) or ``"rerun"`` (per-member
+        prefix re-simulation).
+    backend:
+        Registry name (``"statevector"``, ``"density"``, ``"stabilizer"``,
+        ``"auto"``, ``"trajectory"``, …), a backend instance, a zero-argument
+        factory, or ``None`` for the default.  Only registry names
+        serialize.
+    readout_error:
+        Classical measurement channel, or a bare float for a symmetric
+        flip probability, or ``None``.
+    noise:
+        Per-gate :class:`~repro.sim.noise.NoiseModel` (a bare
+        :class:`~repro.sim.noise.KrausChannel` or sequence of channels is
+        wrapped), or ``None``.
+    converge / se_cutoff / max_batches:
+        Convergence policy: with ``converge=True`` the checker keeps
+        appending trajectory batches until the worst per-category standard
+        error of every breakpoint ensemble drops to ``se_cutoff`` (or
+        ``max_batches`` walks have run).
+    """
+
+    ensemble_size: int = 16
+    significance: float = DEFAULT_SIGNIFICANCE
+    seed: int | None = None
+    mode: str = "sample"
+    backend: "str | SimulationBackend | Callable[[], SimulationBackend] | None" = None
+    readout_error: ReadoutErrorModel | None = None
+    noise: NoiseModel | None = None
+    converge: bool = False
+    se_cutoff: float = 0.025
+    max_batches: int = 8
+
+    def __post_init__(self) -> None:
+        ensemble_size = int(self.ensemble_size)
+        if ensemble_size <= 0:
+            raise ValueError("ensemble_size must be positive")
+        object.__setattr__(self, "ensemble_size", ensemble_size)
+
+        significance = float(self.significance)
+        if not 0.0 < significance < 1.0:
+            raise ValueError("significance must be in (0, 1)")
+        object.__setattr__(self, "significance", significance)
+
+        object.__setattr__(self, "seed", _normalise_seed(self.seed))
+
+        if self.mode not in _MODES:
+            raise ValueError("mode must be 'sample' or 'rerun'")
+
+        backend = self.backend
+        if backend is not None and not isinstance(backend, str):
+            if not (isinstance(backend, SimulationBackend) or callable(backend)):
+                raise TypeError(
+                    "backend must be a registry name, a SimulationBackend "
+                    f"instance, a factory, or None; got {type(backend)!r}"
+                )
+
+        object.__setattr__(
+            self, "readout_error", _normalise_readout(self.readout_error)
+        )
+        object.__setattr__(self, "noise", _normalise_noise(self.noise))
+
+        object.__setattr__(self, "converge", bool(self.converge))
+
+        se_cutoff = float(self.se_cutoff)
+        if not 0.0 < se_cutoff < 1.0:
+            raise ValueError(f"se_cutoff must be in (0, 1), got {se_cutoff}")
+        object.__setattr__(self, "se_cutoff", se_cutoff)
+
+        max_batches = int(self.max_batches)
+        if max_batches <= 0:
+            raise ValueError("max_batches must be positive")
+        object.__setattr__(self, "max_batches", max_batches)
+
+    # ------------------------------------------------------------------
+
+    def replace(self, **overrides) -> "RunConfig":
+        """A new config with ``overrides`` applied (re-validated)."""
+        return dataclasses.replace(self, **overrides)
+
+    @classmethod
+    def coerce(cls, value, *, caller: str = "RunConfig") -> "RunConfig":
+        """Coerce a config spelling into a ``RunConfig``.
+
+        Accepts ``None`` (defaults), a ``RunConfig`` (as-is), or a mapping
+        (fed through :meth:`from_dict`); the one shared coercion every
+        config-accepting entry point uses.
+        """
+        if value is None:
+            return cls()
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, Mapping):
+            return cls.from_dict(value)
+        raise TypeError(
+            f"{caller}: config must be a RunConfig, mapping, or None; "
+            f"got {type(value)!r}"
+        )
+
+    def rng(self) -> np.random.Generator:
+        """A fresh generator seeded from :attr:`seed`."""
+        return np.random.default_rng(self.seed)
+
+    # -- serialization --------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-compatible dict; inverse of :meth:`from_dict`.
+
+        Only registry-name backends serialize — an instance or factory is
+        process state, exactly like a live rng, and raises ``TypeError``.
+        """
+        if self.backend is not None and not isinstance(self.backend, str):
+            raise TypeError(
+                "only registry-name backends are serializable; got "
+                f"{self.backend!r} (register it with "
+                "repro.sim.register_backend and refer to it by name)"
+            )
+        return {
+            "ensemble_size": self.ensemble_size,
+            "significance": self.significance,
+            "seed": self.seed,
+            "mode": self.mode,
+            "backend": self.backend,
+            "readout_error": (
+                _readout_to_dict(self.readout_error)
+                if self.readout_error is not None
+                else None
+            ),
+            "noise": _noise_to_dict(self.noise) if self.noise is not None else None,
+            "converge": self.converge,
+            "se_cutoff": self.se_cutoff,
+            "max_batches": self.max_batches,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "RunConfig":
+        """Rebuild a config from :meth:`to_dict` output.
+
+        Accepts the legacy ``"rng"`` key as an alias for ``"seed"`` and
+        rejects unknown keys (typos must not silently change a run).
+        """
+        payload = dict(data)
+        if "rng" in payload and "seed" not in payload:
+            payload["seed"] = payload.pop("rng")
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(
+                f"unknown RunConfig keys {sorted(unknown)}; expected a "
+                f"subset of {sorted(known)}"
+            )
+        readout = payload.get("readout_error")
+        if isinstance(readout, Mapping):
+            payload["readout_error"] = _readout_from_dict(readout)
+        noise = payload.get("noise")
+        if isinstance(noise, Mapping):
+            payload["noise"] = _noise_from_dict(noise)
+        return cls(**payload)
+
+    def to_json(self, **json_kwargs) -> str:
+        return json.dumps(self.to_dict(), **json_kwargs)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunConfig":
+        return cls.from_dict(json.loads(text))
+
+
+# -- legacy-kwarg shim ------------------------------------------------------
+
+
+def resolve_run_config(
+    config=None,
+    legacy: Mapping | None = None,
+    *,
+    caller: str,
+    stacklevel: int = 3,
+) -> "tuple[RunConfig, np.random.Generator | None]":
+    """Merge a config argument and legacy kwargs into one ``RunConfig``.
+
+    Returns ``(config, rng_override)``; ``rng_override`` is a live generator
+    when the caller passed one through the legacy ``rng=`` kwarg (shared
+    streams are how the sweeps advance one stream across many runs).  Any
+    explicitly passed legacy kwarg emits one :class:`DeprecationWarning`
+    naming the caller and the replacement.
+
+    ``config`` may be a :class:`RunConfig`, a mapping (fed through
+    :meth:`RunConfig.from_dict`), a bare int (the oldest positional
+    ``ensemble_size`` spelling), or ``None``.
+    """
+    legacy = {
+        key: value
+        for key, value in dict(legacy or {}).items()
+        if value is not UNSET
+    }
+    unknown = set(legacy) - set(LEGACY_RUN_KWARGS)
+    if unknown:
+        raise TypeError(
+            f"{caller}() got unexpected keyword argument(s) {sorted(unknown)}"
+        )
+    if isinstance(config, (int, np.integer)) and not isinstance(config, bool):
+        # Oldest positional spelling: the second argument was ensemble_size.
+        legacy.setdefault("ensemble_size", int(config))
+        config = None
+    base = RunConfig.coerce(config, caller=caller)
+    rng_override: np.random.Generator | None = None
+    if legacy:
+        warnings.warn(
+            f"{caller}: passing {', '.join(sorted(legacy))} as keyword "
+            "argument(s) is deprecated; pass config=RunConfig(...) (or use "
+            "repro.session(...)) instead",
+            DeprecationWarning,
+            stacklevel=stacklevel,
+        )
+        rng = legacy.pop("rng", None)
+        if isinstance(rng, np.random.Generator):
+            rng_override = rng
+        elif rng is not None:
+            legacy["seed"] = rng
+        if legacy:
+            base = base.replace(**legacy)
+    return base, rng_override

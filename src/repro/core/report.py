@@ -9,12 +9,41 @@ and, for contingency-table assertions, the observed joint distribution
 
 from __future__ import annotations
 
+import dataclasses
+import json
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Iterable, Mapping
+
+import numpy as np
 
 from .assertions import AssertionOutcome
 
 __all__ = ["BreakpointRecord", "DebugReport"]
+
+
+def _jsonify(value):
+    """Recursively coerce a value into plain JSON types.
+
+    Assertion outcome details carry NumPy arrays/scalars (observed
+    frequencies, contingency tables); serialised reports must be pure JSON
+    so a service can ship them over the wire.  Dict keys become strings,
+    complex numbers ``[re, im]`` pairs.
+    """
+    if isinstance(value, Mapping):
+        return {str(key): _jsonify(item) for key, item in value.items()}
+    if isinstance(value, np.ndarray):
+        return [_jsonify(item) for item in value.tolist()]
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(item) for item in value]
+    if isinstance(value, (bool, np.bool_)):
+        return bool(value)
+    if isinstance(value, (int, np.integer)):
+        return int(value)
+    if isinstance(value, (float, np.floating)):
+        return float(value)
+    if isinstance(value, (complex, np.complexfloating)):
+        return [float(value.real), float(value.imag)]
+    return value
 
 
 @dataclass
@@ -46,6 +75,33 @@ class BreakpointRecord:
             "passed": self.outcome.passed,
         }
 
+    def to_dict(self) -> dict:
+        """JSON-compatible view; inverse of :meth:`from_dict`."""
+        return _jsonify(
+            {
+                "index": self.index,
+                "name": self.name,
+                "gates_before": self.gates_before,
+                "ensemble_size": self.ensemble_size,
+                "outcome": dataclasses.asdict(self.outcome),
+            }
+        )
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "BreakpointRecord":
+        outcome_data = dict(data["outcome"])
+        known = {f.name for f in dataclasses.fields(AssertionOutcome)}
+        outcome = AssertionOutcome(
+            **{key: value for key, value in outcome_data.items() if key in known}
+        )
+        return cls(
+            index=int(data["index"]),
+            name=str(data["name"]),
+            gates_before=int(data["gates_before"]),
+            ensemble_size=int(data["ensemble_size"]),
+            outcome=outcome,
+        )
+
     def __str__(self) -> str:
         return f"breakpoint {self.index} [{self.name}] {self.outcome}"
 
@@ -58,6 +114,10 @@ class DebugReport:
     records: list[BreakpointRecord] = field(default_factory=list)
     ensemble_size: int = 0
     significance: float = 0.05
+    #: Per-breakpoint convergence rows of an adaptive
+    #: (``run_until_converged``) run: samples, worst category standard
+    #: error, converged flag, batches walked.  Empty for fixed-size runs.
+    convergence: list[dict] = field(default_factory=list)
 
     def add(self, record: BreakpointRecord) -> None:
         self.records.append(record)
@@ -85,6 +145,45 @@ class DebugReport:
 
     def rows(self) -> list[dict]:
         return [record.as_row() for record in self.records]
+
+    # ------------------------------------------------------------------
+    # Serialization (wire format, consistent with RunConfig.to_dict)
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-compatible dict: outcome rows, verdicts, convergence.
+
+        ``passed`` is included for convenience but derived on load; the
+        round-trip invariant is ``DebugReport.from_dict(r.to_dict()).to_dict()
+        == r.to_dict()``.
+        """
+        return {
+            "program_name": self.program_name,
+            "ensemble_size": int(self.ensemble_size),
+            "significance": float(self.significance),
+            "passed": self.passed,
+            "records": [record.to_dict() for record in self.records],
+            "convergence": _jsonify(self.convergence),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "DebugReport":
+        report = cls(
+            program_name=str(data["program_name"]),
+            ensemble_size=int(data.get("ensemble_size", 0)),
+            significance=float(data.get("significance", 0.05)),
+            convergence=[dict(row) for row in data.get("convergence", [])],
+        )
+        for record in data.get("records", []):
+            report.add(BreakpointRecord.from_dict(record))
+        return report
+
+    def to_json(self, **json_kwargs) -> str:
+        return json.dumps(self.to_dict(), **json_kwargs)
+
+    @classmethod
+    def from_json(cls, text: str) -> "DebugReport":
+        return cls.from_dict(json.loads(text))
 
     # ------------------------------------------------------------------
     # Rendering

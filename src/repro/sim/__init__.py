@@ -1,12 +1,19 @@
 """Quantum simulation substrate (statevector simulator replacing QX)."""
 
-from . import clifford, gates, kernels
-from .backend import (
+from . import clifford, gates, kernels, registry
+from .backend import SimulationBackend, StatevectorBackend
+from .registry import (
     BACKENDS,
-    SimulationBackend,
-    StatevectorBackend,
+    BackendCapabilities,
+    BackendEntry,
+    backend_capabilities,
+    clifford_backend_name,
+    list_backends,
     make_backend,
+    make_noisy_backend,
     register_backend,
+    resolve_backend_name,
+    unregister_backend,
 )
 from .clifford import NotCliffordGateError
 from .density import (
@@ -47,6 +54,7 @@ __all__ = [
     "gates",
     "kernels",
     "clifford",
+    "registry",
     "SimulationBackend",
     "StatevectorBackend",
     "DensityMatrixBackend",
@@ -57,6 +65,14 @@ __all__ = [
     "PauliFrameSet",
     "NotCliffordGateError",
     "BACKENDS",
+    "BackendCapabilities",
+    "BackendEntry",
+    "backend_capabilities",
+    "clifford_backend_name",
+    "list_backends",
+    "make_noisy_backend",
+    "resolve_backend_name",
+    "unregister_backend",
     "register_backend",
     "make_backend",
     "Statevector",

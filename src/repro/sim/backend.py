@@ -41,6 +41,19 @@ __all__ = [
     "make_backend",
 ]
 
+#: Names whose implementation moved to :mod:`repro.sim.registry`; re-exported
+#: lazily (PEP 562) so ``from repro.sim.backend import make_backend`` keeps
+#: working without a circular import at module load.
+_REGISTRY_EXPORTS = ("BACKENDS", "register_backend", "make_backend")
+
+
+def __getattr__(name: str):
+    if name in _REGISTRY_EXPORTS:
+        from . import registry
+
+        return getattr(registry, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 class SimulationBackend(abc.ABC):
     """Abstract interface every simulation backend implements.
@@ -310,41 +323,7 @@ class StatevectorBackend(SimulationBackend):
         return f"StatevectorBackend(num_qubits={qubits})"
 
 
-#: Backend registry: name -> zero-argument factory.
-BACKENDS: dict[str, Callable[[], SimulationBackend]] = {
-    StatevectorBackend.name: StatevectorBackend,
-}
-
-
-def register_backend(name: str, factory: Callable[[], SimulationBackend]) -> None:
-    """Register a backend factory under ``name`` (overwrites existing)."""
-    BACKENDS[name] = factory
-
-
-def make_backend(
-    spec: "str | SimulationBackend | Callable[[], SimulationBackend] | None" = None,
-) -> SimulationBackend:
-    """Resolve a backend spec into a backend instance.
-
-    ``None`` means the default statevector backend; a string looks up the
-    registry; an instance is used as-is (sharing its state with the caller);
-    anything callable is treated as a factory.
-    """
-    if spec is None:
-        return StatevectorBackend()
-    if isinstance(spec, SimulationBackend):
-        return spec
-    if isinstance(spec, str):
-        try:
-            factory = BACKENDS[spec]
-        except KeyError:
-            raise KeyError(
-                f"unknown backend {spec!r}; available: {', '.join(sorted(BACKENDS))}"
-            ) from None
-        return factory()
-    if callable(spec):
-        backend = spec()
-        if not isinstance(backend, SimulationBackend):
-            raise TypeError("backend factory did not return a SimulationBackend")
-        return backend
-    raise TypeError(f"cannot interpret backend spec {spec!r}")
+# The backend registry itself (BACKENDS / register_backend / make_backend)
+# lives in repro.sim.registry, together with the capability metadata that
+# drives declarative noise and "auto" routing; the module __getattr__ above
+# keeps the historical import spellings working.

@@ -38,7 +38,8 @@ from typing import Sequence
 
 import numpy as np
 
-from .backend import SimulationBackend, register_backend
+from .backend import SimulationBackend
+from .registry import BackendCapabilities, register_backend
 from .density import DensityMatrix
 from .density import reduced_density_matrix as _pure_reduced_density_matrix
 from .kernels import (
@@ -431,4 +432,22 @@ class DensityMatrixBackend(SimulationBackend):
         )
 
 
-register_backend(DensityMatrixBackend.name, DensityMatrixBackend)
+def _noisy_density_backend(
+    noise=None, batch_size=1, rng_streams=None, readout_error=None
+) -> "DensityMatrixBackend":
+    # Exact single-state evolution: the batch width and trajectory streams
+    # of the Monte-Carlo engines do not apply here.
+    return DensityMatrixBackend(noise=noise, readout_error=readout_error)
+
+
+register_backend(
+    DensityMatrixBackend.name,
+    DensityMatrixBackend,
+    BackendCapabilities(
+        gate_noise=frozenset({"pauli", "kraus"}),
+        native_readout=True,
+        dense=True,
+        description="exact density matrix; any CPTP channel, 4^n memory",
+    ),
+    noisy_factory=_noisy_density_backend,
+)

@@ -47,7 +47,8 @@ from typing import Sequence
 
 import numpy as np
 
-from .backend import SimulationBackend, StatevectorBackend, register_backend
+from .backend import SimulationBackend, StatevectorBackend
+from .registry import BackendCapabilities, register_backend, resolve_streams
 from .clifford import (
     NotCliffordGateError,
     decompose_controlled_gate,
@@ -1006,6 +1007,51 @@ class HybridCliffordBackend(SimulationBackend):
         )
 
 
-register_backend(StabilizerBackend.name, StabilizerBackend)
-register_backend(HybridCliffordBackend.name, HybridCliffordBackend)
-register_backend("hybrid", HybridCliffordBackend)
+def _noisy_stabilizer_backend(
+    noise=None, batch_size=1, rng_streams=None, readout_error=None
+) -> "StabilizerBackend":
+    # Readout corruption stays with the executor (classical path); the
+    # tableau only carries the gate-noise Pauli frames.
+    return StabilizerBackend(
+        noise=noise, batch_size=batch_size, rng_streams=resolve_streams(rng_streams)
+    )
+
+
+def _noisy_hybrid_backend(
+    noise=None, batch_size=1, rng_streams=None, readout_error=None
+) -> "HybridCliffordBackend":
+    return HybridCliffordBackend(
+        noise=noise, batch_size=batch_size, rng_streams=resolve_streams(rng_streams)
+    )
+
+
+register_backend(
+    StabilizerBackend.name,
+    StabilizerBackend,
+    BackendCapabilities(
+        gate_noise=frozenset({"pauli"}),
+        clifford_native=True,
+        dense=False,
+        batched=True,
+        priority=10,
+        description="Aaronson-Gottesman tableau; Clifford-only, Pauli frames",
+    ),
+    noisy_factory=_noisy_stabilizer_backend,
+)
+for _hybrid_name in (HybridCliffordBackend.name, "hybrid"):
+    register_backend(
+        _hybrid_name,
+        HybridCliffordBackend,
+        BackendCapabilities(
+            gate_noise=frozenset({"pauli"}),
+            dense=True,
+            batched=True,
+            description=(
+                "tableau until the first non-Clifford gate, then one "
+                "conversion to a dense statevector"
+            ),
+        ),
+        noisy_factory=_noisy_hybrid_backend,
+        kraus_delegate="density",
+        clifford_aware=True,
+    )

@@ -36,7 +36,8 @@ from typing import Sequence
 
 import numpy as np
 
-from .backend import SimulationBackend, register_backend
+from .backend import SimulationBackend
+from .registry import BackendCapabilities, register_backend, resolve_streams
 from .kernels import (
     apply_controlled_batched,
     apply_matrix_batched,
@@ -565,4 +566,26 @@ class TrajectoryNoiseBackend(SimulationBackend):
         )
 
 
-register_backend(TrajectoryNoiseBackend.name, TrajectoryNoiseBackend)
+def _noisy_trajectory_backend(
+    noise=None, batch_size=1, rng_streams=None, readout_error=None
+) -> "TrajectoryNoiseBackend":
+    return TrajectoryNoiseBackend(
+        noise=noise,
+        batch_size=batch_size,
+        rng_streams=resolve_streams(rng_streams),
+        readout_error=readout_error,
+    )
+
+
+register_backend(
+    TrajectoryNoiseBackend.name,
+    TrajectoryNoiseBackend,
+    BackendCapabilities(
+        gate_noise=frozenset({"pauli"}),
+        native_readout=True,
+        dense=True,
+        batched=True,
+        description="batched Monte-Carlo Pauli-trajectory statevectors",
+    ),
+    noisy_factory=_noisy_trajectory_backend,
+)

@@ -21,10 +21,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
-import numpy as np
-
+from ..core.config import RunConfig, UNSET
+from ..core.session import Session
 from ..lang.program import Program
-from .ensembles import BackendSpec, detection_rate, false_positive_rate
+from .ensembles import _session_for
 
 __all__ = [
     "build_ghz_chain_program",
@@ -256,11 +256,14 @@ def get_clifford_scenario(name: str) -> CliffordScenario:
 def clifford_detection_sweep(
     widths: Sequence[int] = (8, 16, 24, 32),
     names: Sequence[str] | None = None,
-    ensemble_size: int = 32,
+    ensemble_size=UNSET,
     trials: int = 10,
-    significance: float = 0.05,
-    rng: np.random.Generator | int | None = None,
-    backend: BackendSpec = "stabilizer",
+    significance=UNSET,
+    rng=UNSET,
+    backend=UNSET,
+    *,
+    config: RunConfig | None = None,
+    session: Session | None = None,
 ) -> list[dict]:
     """Detection/false-positive rates of the Clifford scenarios vs width.
 
@@ -269,8 +272,11 @@ def clifford_detection_sweep(
     backend, where widths beyond ~20 qubits are unreachable for any dense
     backend.  One row per (scenario, width).
     """
-    generator = (
-        rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    base = _session_for(
+        "clifford_detection_sweep", config, session,
+        default_backend="stabilizer", sweep_defaults={"ensemble_size": 32},
+        ensemble_size=ensemble_size, significance=significance, rng=rng,
+        backend=backend,
     )
     rows = []
     for name in names or clifford_scenario_names():
@@ -282,22 +288,12 @@ def clifford_detection_sweep(
                     # Builders round the requested width to their register
                     # layout; record what was actually built.
                     "num_qubits": scenario.build_correct(width).num_qubits,
-                    "ensemble_size": ensemble_size,
-                    "detection_rate": detection_rate(
-                        lambda: scenario.build_buggy(width),
-                        ensemble_size=ensemble_size,
-                        trials=trials,
-                        significance=significance,
-                        rng=generator,
-                        backend=backend,
+                    "ensemble_size": base.config.ensemble_size,
+                    "detection_rate": base.detection_rate(
+                        lambda: scenario.build_buggy(width), trials
                     ),
-                    "false_positive_rate": false_positive_rate(
-                        lambda: scenario.build_correct(width),
-                        ensemble_size=ensemble_size,
-                        trials=trials,
-                        significance=significance,
-                        rng=generator,
-                        backend=backend,
+                    "false_positive_rate": base.false_positive_rate(
+                        lambda: scenario.build_correct(width), trials
                     ),
                 }
             )

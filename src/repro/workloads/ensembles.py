@@ -5,6 +5,14 @@ The natural follow-up questions — how reliably does each assertion catch its
 bug as a function of ensemble size, and what does assertion checking cost in
 simulated gates — are answered by the sweeps in this module, which back the
 ablation benchmarks.
+
+Every sweep runs through a :class:`repro.Session`: pass ``config=RunConfig(...)``
+(or ``session=`` an existing session to share its rng stream — that is what
+``Session.sweep`` does), and the sweep derives one config per sweep point
+while all points draw from a single stream, keeping a seeded sweep one
+reproducible experiment.  The historical kwarg bundle (``ensemble_size=``,
+``rng=``, ``backend=`` …) still works for one release but emits a
+:class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
@@ -12,10 +20,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
-import numpy as np
-
 from ..compiler.splitter import build_execution_plan
-from ..core.checker import StatisticalAssertionChecker
+from ..core.config import RunConfig, UNSET, resolve_run_config
+from ..core.session import Session
 from ..lang.program import Program
 from ..sim.backend import SimulationBackend
 from ..sim.measurement import ReadoutErrorModel
@@ -32,7 +39,7 @@ __all__ = [
     "gate_noise_sweep",
 ]
 
-#: Backend spec accepted everywhere a sweep takes ``backend=``: a registry
+#: Backend spec accepted everywhere a config takes ``backend``: a registry
 #: name, an instance (shared state), or a zero-argument factory.
 BackendSpec = "str | SimulationBackend | Callable[[], SimulationBackend] | None"
 
@@ -55,130 +62,183 @@ class DetectionResult:
         return 1.0 - self.failure_fraction
 
 
+def _session_for(
+    caller: str,
+    config: "RunConfig | None",
+    session: "Session | None",
+    default_backend: "BackendSpec" = None,
+    sweep_defaults: dict | None = None,
+    **legacy,
+) -> Session:
+    """Resolve ``config``/``session``/legacy kwargs into one run session.
+
+    ``session`` wins and shares its live stream; ``config`` seeds a fresh
+    one.  Explicit legacy kwargs are folded in with a deprecation warning
+    (via :func:`repro.core.config.resolve_run_config`).  ``sweep_defaults``
+    are this sweep's historical defaults (e.g. a wider ensemble), applied
+    only when the caller supplied neither a config nor the kwarg; a sweep's
+    ``default_backend`` applies whenever the resolved backend is ``None``.
+    """
+    if session is not None and config is not None:
+        raise TypeError(f"{caller}: pass either config= or session=, not both")
+    filtered = {key: value for key, value in legacy.items() if value is not UNSET}
+    base_config = session.config if session is not None else config
+    resolved, rng_override = resolve_run_config(
+        base_config, filtered, caller=caller, stacklevel=4
+    )
+    if config is None and session is None and sweep_defaults:
+        applicable = {
+            key: value
+            for key, value in sweep_defaults.items()
+            if key not in filtered
+        }
+        if applicable:
+            resolved = resolved.replace(**applicable)
+    if default_backend is not None and resolved.backend is None:
+        resolved = resolved.replace(backend=default_backend)
+    run = Session(resolved)
+    if rng_override is not None:
+        run._rng = rng_override
+    elif session is not None and "rng" not in filtered:
+        # Share the caller's live stream — unless an explicit legacy rng
+        # seed was passed, which must win (Session already seeded from it).
+        run._rng = session.rng
+    return run
+
+
 def _repeat_checks(
-    build_program: Callable[[], Program] | Program,
-    ensemble_size: int,
+    build_program: "Callable[[], Program] | Program",
+    session: Session,
     trials: int,
-    significance: float,
-    rng: np.random.Generator | int | None,
-    backend: BackendSpec = None,
-    readout_error: ReadoutErrorModel | None = None,
-    noise: "NoiseModel | KrausChannel | None" = None,
 ) -> DetectionResult:
-    generator = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
-    program = build_program() if callable(build_program) else build_program
+    """Check the program ``trials`` times; count the failing runs.
+
+    A callable ``build_program`` is re-invoked **per trial**, so stochastic
+    program builders resample each run (a builder built once and reused
+    would silently freeze its random draws across the whole experiment).
+    """
     failing = 0
+    program: Program | None = None
     for _ in range(trials):
-        checker = StatisticalAssertionChecker(
-            program,
-            ensemble_size=ensemble_size,
-            significance=significance,
-            rng=generator,
-            backend=backend,
-            readout_error=readout_error,
-            noise=noise,
-        )
-        report = checker.run()
-        if not report.passed:
+        program = build_program() if callable(build_program) else build_program
+        if not session.check(program).passed:
             failing += 1
+    if program is None:  # trials == 0: still report the workload's name
+        program = build_program() if callable(build_program) else build_program
     return DetectionResult(
         program_name=program.name,
-        ensemble_size=ensemble_size,
+        ensemble_size=session.config.ensemble_size,
         trials=trials,
         num_failing_runs=failing,
     )
 
 
 def detection_rate(
-    build_buggy_program: Callable[[], Program] | Program,
-    ensemble_size: int = 16,
+    build_buggy_program: "Callable[[], Program] | Program",
+    ensemble_size=UNSET,
     trials: int = 20,
-    significance: float = 0.05,
-    rng: np.random.Generator | int | None = None,
-    backend: BackendSpec = None,
-    readout_error: ReadoutErrorModel | None = None,
-    noise: "NoiseModel | KrausChannel | None" = None,
+    significance=UNSET,
+    rng=UNSET,
+    backend=UNSET,
+    readout_error=UNSET,
+    noise=UNSET,
+    *,
+    config: RunConfig | None = None,
+    session: Session | None = None,
 ) -> float:
     """Fraction of checking runs on a *buggy* program in which some assertion fails."""
-    result = _repeat_checks(
-        build_buggy_program, ensemble_size, trials, significance, rng, backend,
-        readout_error, noise,
+    run = _session_for(
+        "detection_rate", config, session,
+        ensemble_size=ensemble_size, significance=significance, rng=rng,
+        backend=backend, readout_error=readout_error, noise=noise,
     )
-    return result.failure_fraction
+    return _repeat_checks(build_buggy_program, run, trials).failure_fraction
 
 
 def false_positive_rate(
-    build_correct_program: Callable[[], Program] | Program,
-    ensemble_size: int = 16,
+    build_correct_program: "Callable[[], Program] | Program",
+    ensemble_size=UNSET,
     trials: int = 20,
-    significance: float = 0.05,
-    rng: np.random.Generator | int | None = None,
-    backend: BackendSpec = None,
-    readout_error: ReadoutErrorModel | None = None,
-    noise: "NoiseModel | KrausChannel | None" = None,
+    significance=UNSET,
+    rng=UNSET,
+    backend=UNSET,
+    readout_error=UNSET,
+    noise=UNSET,
+    *,
+    config: RunConfig | None = None,
+    session: Session | None = None,
 ) -> float:
     """Fraction of checking runs on a *correct* program in which some assertion fails."""
-    result = _repeat_checks(
-        build_correct_program, ensemble_size, trials, significance, rng, backend,
-        readout_error, noise,
+    run = _session_for(
+        "false_positive_rate", config, session,
+        ensemble_size=ensemble_size, significance=significance, rng=rng,
+        backend=backend, readout_error=readout_error, noise=noise,
     )
-    return result.failure_fraction
+    return _repeat_checks(build_correct_program, run, trials).failure_fraction
 
 
 def ensemble_size_sweep(
-    build_correct_program: Callable[[], Program] | Program,
-    build_buggy_program: Callable[[], Program] | Program,
+    build_correct_program: "Callable[[], Program] | Program",
+    build_buggy_program: "Callable[[], Program] | Program",
     sizes: Sequence[int] = (4, 8, 16, 32, 64),
     trials: int = 20,
-    significance: float = 0.05,
-    rng: np.random.Generator | int | None = None,
-    backend: BackendSpec = None,
+    significance=UNSET,
+    rng=UNSET,
+    backend=UNSET,
+    *,
+    config: RunConfig | None = None,
+    session: Session | None = None,
 ) -> list[dict]:
     """Detection rate and false-positive rate as functions of the ensemble size."""
-    generator = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    base = _session_for(
+        "ensemble_size_sweep", config, session,
+        significance=significance, rng=rng, backend=backend,
+    )
     rows = []
     for size in sizes:
-        detection = detection_rate(
-            build_buggy_program, ensemble_size=size, trials=trials,
-            significance=significance, rng=generator, backend=backend,
-        )
-        false_positive = false_positive_rate(
-            build_correct_program, ensemble_size=size, trials=trials,
-            significance=significance, rng=generator, backend=backend,
-        )
+        point = base._derive(ensemble_size=size)
         rows.append(
             {
                 "ensemble_size": size,
-                "detection_rate": detection,
-                "false_positive_rate": false_positive,
+                "detection_rate": point.detection_rate(
+                    build_buggy_program, trials
+                ),
+                "false_positive_rate": point.false_positive_rate(
+                    build_correct_program, trials
+                ),
             }
         )
     return rows
 
 
 def significance_sweep(
-    build_correct_program: Callable[[], Program] | Program,
-    build_buggy_program: Callable[[], Program] | Program,
+    build_correct_program: "Callable[[], Program] | Program",
+    build_buggy_program: "Callable[[], Program] | Program",
     significances: Sequence[float] = (0.01, 0.05, 0.10),
-    ensemble_size: int = 16,
+    ensemble_size=UNSET,
     trials: int = 20,
-    rng: np.random.Generator | int | None = None,
-    backend: BackendSpec = None,
+    rng=UNSET,
+    backend=UNSET,
+    *,
+    config: RunConfig | None = None,
+    session: Session | None = None,
 ) -> list[dict]:
     """Detection/false-positive trade-off as the significance level varies."""
-    generator = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    base = _session_for(
+        "significance_sweep", config, session,
+        ensemble_size=ensemble_size, rng=rng, backend=backend,
+    )
     rows = []
-    for significance in significances:
+    for significance_level in significances:
+        point = base._derive(significance=significance_level)
         rows.append(
             {
-                "significance": significance,
-                "detection_rate": detection_rate(
-                    build_buggy_program, ensemble_size=ensemble_size, trials=trials,
-                    significance=significance, rng=generator, backend=backend,
+                "significance": significance_level,
+                "detection_rate": point.detection_rate(
+                    build_buggy_program, trials
                 ),
-                "false_positive_rate": false_positive_rate(
-                    build_correct_program, ensemble_size=ensemble_size, trials=trials,
-                    significance=significance, rng=generator, backend=backend,
+                "false_positive_rate": point.false_positive_rate(
+                    build_correct_program, trials
                 ),
             }
         )
@@ -186,14 +246,17 @@ def significance_sweep(
 
 
 def readout_error_sweep(
-    build_correct_program: Callable[[], Program] | Program,
-    build_buggy_program: Callable[[], Program] | Program,
+    build_correct_program: "Callable[[], Program] | Program",
+    build_buggy_program: "Callable[[], Program] | Program",
     error_rates: Sequence[float] = (0.0, 0.01, 0.05),
-    ensemble_size: int = 16,
+    ensemble_size=UNSET,
     trials: int = 20,
-    significance: float = 0.05,
-    rng: np.random.Generator | int | None = None,
-    backend: BackendSpec = "density",
+    significance=UNSET,
+    rng=UNSET,
+    backend=UNSET,
+    *,
+    config: RunConfig | None = None,
+    session: Session | None = None,
 ) -> list[dict]:
     """Detection/false-positive robustness as symmetric readout error grows.
 
@@ -203,22 +266,24 @@ def readout_error_sweep(
     back to the executor's per-sample corruption, so the sweep doubles as a
     cross-backend consistency experiment.
     """
-    generator = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    base = _session_for(
+        "readout_error_sweep", config, session, default_backend="density",
+        ensemble_size=ensemble_size, significance=significance, rng=rng,
+        backend=backend,
+    )
     rows = []
     for rate in error_rates:
-        model = ReadoutErrorModel(p01=float(rate), p10=float(rate))
+        point = base._derive(
+            readout_error=ReadoutErrorModel(p01=float(rate), p10=float(rate))
+        )
         rows.append(
             {
                 "readout_error": float(rate),
-                "detection_rate": detection_rate(
-                    build_buggy_program, ensemble_size=ensemble_size, trials=trials,
-                    significance=significance, rng=generator, backend=backend,
-                    readout_error=model,
+                "detection_rate": point.detection_rate(
+                    build_buggy_program, trials
                 ),
-                "false_positive_rate": false_positive_rate(
-                    build_correct_program, ensemble_size=ensemble_size, trials=trials,
-                    significance=significance, rng=generator, backend=backend,
-                    readout_error=model,
+                "false_positive_rate": point.false_positive_rate(
+                    build_correct_program, trials
                 ),
             }
         )
@@ -238,15 +303,18 @@ def noise_model_for_rate(
 
 
 def gate_noise_sweep(
-    build_correct_program: Callable[[], Program] | Program,
-    build_buggy_program: Callable[[], Program] | Program,
+    build_correct_program: "Callable[[], Program] | Program",
+    build_buggy_program: "Callable[[], Program] | Program",
     error_rates: Sequence[float] = (0.0, 0.002, 0.01),
     channel: Callable[[float], "KrausChannel"] = depolarizing,
-    ensemble_size: int = 16,
+    ensemble_size=UNSET,
     trials: int = 20,
-    significance: float = 0.05,
-    rng: np.random.Generator | int | None = None,
-    backend: BackendSpec = "trajectory",
+    significance=UNSET,
+    rng=UNSET,
+    backend=UNSET,
+    *,
+    config: RunConfig | None = None,
+    session: Session | None = None,
 ) -> list[dict]:
     """Detection/false-positive robustness as per-gate Pauli noise grows.
 
@@ -257,30 +325,35 @@ def gate_noise_sweep(
     width the statevector itself can hold — where the density backend would
     need ``4^n`` memory.  ``p = 0`` runs noiseless for a clean baseline.
     """
-    generator = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    base = _session_for(
+        "gate_noise_sweep", config, session, default_backend="trajectory",
+        ensemble_size=ensemble_size, significance=significance, rng=rng,
+        backend=backend,
+    )
     rows = []
     for rate in error_rates:
-        model = noise_model_for_rate(channel, rate)
+        point = base._derive(noise=noise_model_for_rate(channel, rate))
         rows.append(
             {
                 "gate_error": float(rate),
                 "channel": channel(float(rate)).name,
-                "detection_rate": detection_rate(
-                    build_buggy_program, ensemble_size=ensemble_size, trials=trials,
-                    significance=significance, rng=generator, backend=backend,
-                    noise=model,
+                "detection_rate": point.detection_rate(
+                    build_buggy_program, trials
                 ),
-                "false_positive_rate": false_positive_rate(
-                    build_correct_program, ensemble_size=ensemble_size, trials=trials,
-                    significance=significance, rng=generator, backend=backend,
-                    noise=model,
+                "false_positive_rate": point.false_positive_rate(
+                    build_correct_program, trials
                 ),
             }
         )
     return rows
 
 
-def assertion_cost(program: Program, ensemble_size: int = 16) -> dict:
+def assertion_cost(
+    program: Program,
+    ensemble_size: int = 16,
+    *,
+    config: RunConfig | None = None,
+) -> dict:
     """Cost model of checking a program's assertions.
 
     The paper's methodology re-simulates the program prefix once per
@@ -288,8 +361,12 @@ def assertion_cost(program: Program, ensemble_size: int = 16) -> dict:
     summed over breakpoints, multiplied by the ensemble size when the faithful
     "rerun" mode is used.  The incremental executor walks the shared-prefix
     execution plan once, so its cost is just the gates up to the last
-    breakpoint (``incremental_sample_gates``).
+    breakpoint (``incremental_sample_gates``).  A ``config`` supplies the
+    ensemble size when given (nothing is simulated here — the one knob the
+    model needs is the ensemble width).
     """
+    if config is not None:
+        ensemble_size = config.ensemble_size
     plan = build_execution_plan(program)
     gates_per_breakpoint = [segment.gates_before for segment in plan.segments]
     total_prefix_gates = int(sum(gates_per_breakpoint))

@@ -8,24 +8,22 @@ through **one** incremental plan walk.  On the 24–48 qubit Clifford
 scenarios even a statevector is out of reach; there the executor routes the
 same Pauli models onto tableau Pauli frames, where a noise event costs two
 bit-flips per member.
+
+Both sweeps accept ``config=RunConfig(...)`` / ``session=`` like every other
+workload sweep; the legacy kwarg bundle is deprecated.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Sequence
 
-import numpy as np
-
 from ..algorithms.shor import build_shor_program
+from ..core.config import RunConfig, UNSET
+from ..core.session import Session
 from ..lang.program import Program
 from ..sim.noise import KrausChannel, depolarizing
 from .clifford import get_clifford_scenario
-from .ensembles import (
-    BackendSpec,
-    detection_rate,
-    false_positive_rate,
-    noise_model_for_rate,
-)
+from .ensembles import _session_for, noise_model_for_rate
 
 __all__ = [
     "build_shor_noise_workload",
@@ -56,11 +54,14 @@ def build_shor_noise_workload(buggy: bool = False) -> Program:
 def shor_gate_noise_sweep(
     error_rates: Sequence[float] = (0.0, 1e-4, 1e-3),
     channel: Callable[[float], KrausChannel] = depolarizing,
-    ensemble_size: int = 16,
+    ensemble_size=UNSET,
     trials: int = 3,
-    significance: float = 0.05,
-    rng: np.random.Generator | int | None = None,
-    backend: BackendSpec = "trajectory",
+    significance=UNSET,
+    rng=UNSET,
+    backend=UNSET,
+    *,
+    config: RunConfig | None = None,
+    session: Session | None = None,
 ) -> list[dict]:
     """Per-gate noise sweep on the full-width Shor breakpoint workload.
 
@@ -68,29 +69,25 @@ def shor_gate_noise_sweep(
     checking run is a single batched trajectory walk of the ~2.8k-gate,
     13-qubit plan — the sweep the ROADMAP flagged as out of density reach.
     """
-    generator = (
-        rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    base = _session_for(
+        "shor_gate_noise_sweep", config, session, default_backend="trajectory",
+        ensemble_size=ensemble_size, significance=significance, rng=rng,
+        backend=backend,
     )
     rows = []
     for rate in error_rates:
-        model = noise_model_for_rate(channel, rate)
+        point = base._derive(noise=noise_model_for_rate(channel, rate))
         rows.append(
             {
                 "workload": "shor_13q_breakpoints",
                 "num_qubits": 13,
                 "gate_error": float(rate),
-                "ensemble_size": ensemble_size,
-                "detection_rate": detection_rate(
-                    lambda: build_shor_noise_workload(buggy=True),
-                    ensemble_size=ensemble_size, trials=trials,
-                    significance=significance, rng=generator, backend=backend,
-                    noise=model,
+                "ensemble_size": point.config.ensemble_size,
+                "detection_rate": point.detection_rate(
+                    lambda: build_shor_noise_workload(buggy=True), trials
                 ),
-                "false_positive_rate": false_positive_rate(
-                    lambda: build_shor_noise_workload(buggy=False),
-                    ensemble_size=ensemble_size, trials=trials,
-                    significance=significance, rng=generator, backend=backend,
-                    noise=model,
+                "false_positive_rate": point.false_positive_rate(
+                    lambda: build_shor_noise_workload(buggy=False), trials
                 ),
             }
         )
@@ -102,11 +99,14 @@ def clifford_gate_noise_sweep(
     error_rates: Sequence[float] = (0.0, 0.01),
     channel: Callable[[float], KrausChannel] = depolarizing,
     scenario: str = "ghz_broken_link",
-    ensemble_size: int = 32,
+    ensemble_size=UNSET,
     trials: int = 3,
-    significance: float = 0.05,
-    rng: np.random.Generator | int | None = None,
-    backend: BackendSpec = "stabilizer",
+    significance=UNSET,
+    rng=UNSET,
+    backend=UNSET,
+    *,
+    config: RunConfig | None = None,
+    session: Session | None = None,
 ) -> list[dict]:
     """Per-gate Pauli noise on deep (24–48 qubit) Clifford scenarios.
 
@@ -115,31 +115,28 @@ def clifford_gate_noise_sweep(
     per member, at widths no dense representation can hold.  One row per
     (width, rate).
     """
-    generator = (
-        rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    base = _session_for(
+        "clifford_gate_noise_sweep", config, session,
+        default_backend="stabilizer", sweep_defaults={"ensemble_size": 32},
+        ensemble_size=ensemble_size, significance=significance, rng=rng,
+        backend=backend,
     )
     spec = get_clifford_scenario(scenario)
     rows = []
     for width in widths:
         for rate in error_rates:
-            model = noise_model_for_rate(channel, rate)
+            point = base._derive(noise=noise_model_for_rate(channel, rate))
             rows.append(
                 {
                     "scenario": scenario,
                     "num_qubits": spec.build_correct(width).num_qubits,
                     "gate_error": float(rate),
-                    "ensemble_size": ensemble_size,
-                    "detection_rate": detection_rate(
-                        lambda: spec.build_buggy(width),
-                        ensemble_size=ensemble_size, trials=trials,
-                        significance=significance, rng=generator,
-                        backend=backend, noise=model,
+                    "ensemble_size": point.config.ensemble_size,
+                    "detection_rate": point.detection_rate(
+                        lambda: spec.build_buggy(width), trials
                     ),
-                    "false_positive_rate": false_positive_rate(
-                        lambda: spec.build_correct(width),
-                        ensemble_size=ensemble_size, trials=trials,
-                        significance=significance, rng=generator,
-                        backend=backend, noise=model,
+                    "false_positive_rate": point.false_positive_rate(
+                        lambda: spec.build_correct(width), trials
                     ),
                 }
             )
