@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Sharded 100-point noise sweep through the session facade.
+
+A noise-robustness experiment is 100 independent checking runs — one per
+gate-error rate — and the session facade makes the whole thing one pinned
+artefact: the ``RunConfig`` carries the sweep policy (``shard=True``,
+``max_workers``) next to the physics knobs, per-point seeds are spawned from
+the config's seed through one ``SeedSequence``, and the reports come back in
+point order.  Running with 1 worker or 8 produces byte-identical reports;
+worker count is pure mechanism.
+
+Inside each worker the plan cache does the other half of the work: every
+point of a sweep shares one compiled execution plan, so the program is split
+and Clifford-classified once per process, not once per point.
+
+Run with:  python examples/sharded_noise_sweep.py
+"""
+
+import time
+
+import repro
+from repro import RunConfig
+from repro.sim import NoiseModel, depolarizing
+from repro.workloads import (
+    available_workers,
+    build_shor_noise_workload,
+    sharded_sweep,
+)
+
+NUM_POINTS = 100
+MIN_RATE = 1e-7
+MAX_RATE = 2e-3
+
+
+def main() -> None:
+    # One config pins the whole experiment, sharding policy included.
+    session = repro.session(
+        RunConfig(
+            ensemble_size=8,
+            seed=20190622,
+            backend="trajectory",
+            shard=True,
+            max_workers=None,  # one worker per CPU core
+        )
+    )
+    workers = available_workers(session.config.max_workers)
+
+    # 100 log-spaced depolarizing rates spanning undetectably-rare to
+    # every-run-corrupting noise; each point becomes a self-contained
+    # (program, config) pair with its own seed.
+    ratio = MAX_RATE / MIN_RATE
+    rates = [
+        MIN_RATE * ratio ** (i / (NUM_POINTS - 1)) for i in range(NUM_POINTS)
+    ]
+    overrides = [
+        {"noise": NoiseModel.from_channels(depolarizing(rate))} for rate in rates
+    ]
+
+    print(
+        f"checking {NUM_POINTS} noise points of the 13-qubit Shor workload "
+        f"on {workers} worker(s) ..."
+    )
+    start = time.perf_counter()
+    reports = sharded_sweep(
+        lambda: build_shor_noise_workload(buggy=False),
+        session.config,
+        overrides,
+    )
+    elapsed = time.perf_counter() - start
+
+    fired = sum(1 for report in reports if not report.passed)
+    print(f"done in {elapsed:.1f}s wall clock ({elapsed / NUM_POINTS:.2f}s/point)")
+    print(f"assertions fired at {fired}/{NUM_POINTS} noise points")
+
+    # The program is *correct* — every firing is the assertions detecting
+    # noise.  Show the detection transition across the rate decades.
+    half = NUM_POINTS // 2
+    for label, chunk, lo, hi in (
+        ("low-noise half", reports[:half], rates[0], rates[half - 1]),
+        ("high-noise half", reports[half:], rates[half], rates[-1]),
+    ):
+        detected = sum(1 for report in chunk if not report.passed)
+        print(
+            f"  {label} ({lo:.1e} .. {hi:.1e}): "
+            f"noise detected at {detected}/{len(chunk)} points"
+        )
+
+
+if __name__ == "__main__":
+    main()

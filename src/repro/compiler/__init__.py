@@ -1,6 +1,12 @@
 """Compiler layer: breakpoint splitting, lowering passes and execution."""
 
 from .executor import BreakpointExecutor, BreakpointMeasurements
+from .plan_cache import (
+    PlanCache,
+    SnapshotSet,
+    default_plan_cache,
+    program_fingerprint,
+)
 from .passes import (
     ResourceReport,
     ValidationIssue,
@@ -28,6 +34,10 @@ __all__ = [
     "split_at_assertions",
     "BreakpointExecutor",
     "BreakpointMeasurements",
+    "PlanCache",
+    "SnapshotSet",
+    "default_plan_cache",
+    "program_fingerprint",
     "decompose_toffoli",
     "decompose_controlled_rotations",
     "decompose_controlled_phases",

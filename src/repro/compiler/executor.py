@@ -59,6 +59,7 @@ from ..sim.measurement import MeasurementEnsemble, ReadoutErrorModel
 from ..sim.noise import KrausChannel, NoiseModel
 from ..sim.registry import make_backend, make_noisy_backend, resolve_backend_name
 from ..sim.trajectory_backend import spawn_trajectory_streams
+from .plan_cache import PlanCache, SnapshotSet, default_plan_cache
 from .splitter import BreakpointProgram, ExecutionPlan, build_execution_plan
 
 __all__ = ["BreakpointMeasurements", "BreakpointExecutor"]
@@ -154,6 +155,9 @@ class BreakpointExecutor:
         else:
             self.readout_error = ReadoutErrorModel()
         self.backend = config.backend
+        #: Process-global plan/snapshot cache (see :mod:`.plan_cache`); every
+        #: executor shares it, so sweep points compile each program once.
+        self.plan_cache: PlanCache = default_plan_cache()
         #: Root entropy of the per-trajectory rng streams; spawned lazily from
         #: the executor's own stream so seeded executors stay reproducible.
         self._noise_seed_root: np.random.SeedSequence | None = None
@@ -162,10 +166,25 @@ class BreakpointExecutor:
         #: Subset of :attr:`gates_applied` that ran on a dense statevector
         #: representation (0 for tableau walks; what hybrid routing saves).
         self.statevector_gates_applied = 0
+        #: Gate applications this executor *skipped* because a run was served
+        #: from cached breakpoint snapshots instead of re-walking the plan.
+        self.shared_prefix_gates_saved = 0
 
     # ------------------------------------------------------------------
     # Incremental plan execution (the O(total_gates) path)
     # ------------------------------------------------------------------
+
+    def plan_for(self, program: Program) -> ExecutionPlan:
+        """The execution plan for ``program``, via the shared plan cache.
+
+        Repeated calls with equivalent programs (same fingerprint — stable
+        across gate spellings and a QASM round trip) return the one cached
+        plan, so neither :func:`build_execution_plan` nor the Clifford
+        classification pass runs more than once per unique program.
+        """
+        if self.plan_cache is None:
+            return build_execution_plan(program)
+        return self.plan_cache.plan_for(program)
 
     def run_plan(self, plan: ExecutionPlan) -> list[BreakpointMeasurements]:
         """Collect measurement ensembles for every breakpoint of a plan.
@@ -176,15 +195,32 @@ class BreakpointExecutor:
         state restored, so sampling at breakpoint *i* can never perturb
         breakpoint *i + 1*.  ``"rerun"`` mode keeps the faithful per-member
         re-simulation of every prefix.
+
+        Cache-stamped plans (built via :meth:`plan_for`) whose walk is
+        noiseless and rng-free additionally share breakpoint snapshots
+        across runs: the first run on a backend family records one snapshot
+        token per breakpoint, and later runs restore those tokens and draw
+        their ensembles directly — the same rng draws, states and verdicts
+        with zero gate applications.
         """
         if self.mode == "rerun":
             return [self.run(bp) for bp in plan.breakpoint_programs()]
+        backend_key = self._snapshot_backend_key(plan)
+        if backend_key is not None:
+            cached = self.plan_cache.snapshots_for(plan, backend_key)
+            if cached is not None:
+                return self._sample_from_snapshots(plan, cached)
         program = plan.program
         engine = self._new_backend(program.num_qubits, clifford=plan.is_clifford)
         native, displaced = self._install_readout(engine)
         gates_before_walk = engine.gates_applied
         dense_before_walk = engine.statevector_gates_applied
         breakpoint_views = plan.breakpoint_programs()
+        recorder = (
+            SnapshotSet(backend_name=backend_key, engine=engine)
+            if backend_key is not None
+            else None
+        )
         results: list[BreakpointMeasurements] = []
         try:
             for segment, view in zip(plan.segments, breakpoint_views):
@@ -195,20 +231,73 @@ class BreakpointExecutor:
                 token = engine.snapshot()
                 samples = engine.sample(indices, shots=self.ensemble_size, rng=self.rng)
                 engine.restore(token)
+                if recorder is not None:
+                    recorder.tokens.append(token)
+                    recorder.indices.append(indices)
                 results.append(
                     self._package(view, indices, samples, native_readout=native)
                 )
         finally:
             self._restore_readout(engine, native, displaced)
-        self.gates_applied += engine.gates_applied - gates_before_walk
-        self.statevector_gates_applied += (
-            engine.statevector_gates_applied - dense_before_walk
-        )
+        walk_gates = engine.gates_applied - gates_before_walk
+        walk_dense = engine.statevector_gates_applied - dense_before_walk
+        self.gates_applied += walk_gates
+        self.statevector_gates_applied += walk_dense
+        if recorder is not None:
+            recorder.walk_gates = walk_gates
+            recorder.walk_statevector_gates = walk_dense
+            self.plan_cache.record_snapshots(plan, recorder)
+        return results
+
+    def _snapshot_backend_key(self, plan: ExecutionPlan) -> str | None:
+        """Resolved backend-family name under which this run's breakpoint
+        snapshots may be shared, or ``None`` when sharing is unsound.
+
+        Sharing needs (a) a cache-stamped plan whose walk never consumes an
+        rng draw (so a snapshot-served run is stream-identical to a cold
+        one), (b) a noiseless walk — gate-noise trajectories differ per
+        point by construction — and (c) a registry-named backend; instances
+        and factories are caller-owned state the cache must not capture.
+        """
+        if self.plan_cache is None or not self.plan_cache.shareable(plan):
+            return None
+        if self.noise is not None and self.noise.gate_channels:
+            return None
+        spec = self.backend
+        if spec is not None and not isinstance(spec, str):
+            return None
+        return resolve_backend_name(spec, clifford=plan.is_clifford)
+
+    def _sample_from_snapshots(
+        self, plan: ExecutionPlan, cached: SnapshotSet
+    ) -> list[BreakpointMeasurements]:
+        """Serve a run from recorded breakpoint snapshots (no gate work).
+
+        Restores each breakpoint's token on the cache-owned engine and draws
+        the ensemble exactly as the cold walk would have — the recorded walk
+        was rng-free, so the draw sequence (sampling, readout corruption)
+        is identical and so are the verdicts.
+        """
+        engine = cached.engine
+        native, displaced = self._install_readout(engine)
+        results: list[BreakpointMeasurements] = []
+        try:
+            for view, token, indices in zip(
+                plan.breakpoint_programs(), cached.tokens, cached.indices
+            ):
+                engine.restore(token)
+                samples = engine.sample(indices, shots=self.ensemble_size, rng=self.rng)
+                results.append(
+                    self._package(view, indices, samples, native_readout=native)
+                )
+        finally:
+            self._restore_readout(engine, native, displaced)
+        self.shared_prefix_gates_saved += cached.walk_gates
         return results
 
     def run_program(self, program: Program) -> list[BreakpointMeasurements]:
-        """Convenience: compile ``program`` to a plan and run it."""
-        return self.run_plan(build_execution_plan(program))
+        """Convenience: compile ``program`` to a plan (via the cache) and run it."""
+        return self.run_plan(self.plan_for(program))
 
     # ------------------------------------------------------------------
     # Legacy per-breakpoint execution (compatibility / "rerun" fidelity)

@@ -118,6 +118,13 @@ class ExecutionPlan:
 
     program: Program
     segments: list[PlanSegment] = field(default_factory=list)
+    #: Content-address stamped by :class:`repro.compiler.plan_cache.PlanCache`
+    #: (``None`` for plans built directly via :func:`build_execution_plan`).
+    fingerprint: str | None = None
+    #: Times this compiled plan was served from the cache instead of rebuilt.
+    cache_hits: int = 0
+    #: Gate applications skipped by runs served from shared prefix snapshots.
+    shared_prefix_gates_saved: int = 0
 
     @property
     def num_breakpoints(self) -> int:
@@ -228,6 +235,11 @@ class ExecutionPlan:
             f"plan for {self.program.name}: {self.num_breakpoints} breakpoints, "
             f"{self.total_gates} gates incremental vs {self.legacy_gates} legacy"
         ]
+        if self.fingerprint is not None:
+            lines.append(
+                f"  cached as {self.fingerprint[:12]}: {self.cache_hits} plan-cache "
+                f"hits, {self.shared_prefix_gates_saved} shared-prefix gates saved"
+            )
         lines.extend(f"  {segment.describe()}" for segment in self.segments)
         return "\n".join(lines)
 

@@ -26,7 +26,6 @@ from ..compiler.executor import BreakpointExecutor, BreakpointMeasurements
 from ..compiler.splitter import (
     BreakpointProgram,
     ExecutionPlan,
-    build_execution_plan,
     split_at_assertions,
 )
 from ..lang.instructions import (
@@ -149,8 +148,13 @@ class StatisticalAssertionChecker:
     # ------------------------------------------------------------------
 
     def execution_plan(self) -> ExecutionPlan:
-        """The shared-prefix plan the incremental executor walks."""
-        return build_execution_plan(self.program)
+        """The shared-prefix plan the incremental executor walks.
+
+        Served through the executor's :class:`~repro.compiler.plan_cache.PlanCache`,
+        so repeated checks of the same program (sweep points, convergence
+        batches, detection trials) compile and Clifford-classify it once.
+        """
+        return self.executor.plan_for(self.program)
 
     def breakpoints(self) -> list[BreakpointProgram]:
         return split_at_assertions(self.program)

@@ -200,6 +200,13 @@ class RunConfig:
         appending trajectory batches until the worst per-category standard
         error of every breakpoint ensemble drops to ``se_cutoff`` (or
         ``max_batches`` walks have run).
+    shard / max_workers:
+        Sweep sharding policy: with ``shard=True`` the repeated-trial
+        workload helpers (:mod:`repro.workloads`) distribute their checking
+        runs across ``max_workers`` processes (``None`` = one per CPU core)
+        via :mod:`repro.workloads.sharding`.  Per-point seeds are spawned
+        from one ``SeedSequence`` and results merge in deterministic point
+        order, so a sharded sweep is verdict-identical to the serial run.
     """
 
     ensemble_size: int = 16
@@ -212,6 +219,8 @@ class RunConfig:
     converge: bool = False
     se_cutoff: float = 0.025
     max_batches: int = 8
+    shard: bool = False
+    max_workers: int | None = None
 
     def __post_init__(self) -> None:
         ensemble_size = int(self.ensemble_size)
@@ -253,6 +262,14 @@ class RunConfig:
         if max_batches <= 0:
             raise ValueError("max_batches must be positive")
         object.__setattr__(self, "max_batches", max_batches)
+
+        object.__setattr__(self, "shard", bool(self.shard))
+
+        if self.max_workers is not None:
+            max_workers = int(self.max_workers)
+            if max_workers <= 0:
+                raise ValueError("max_workers must be positive (or None)")
+            object.__setattr__(self, "max_workers", max_workers)
 
     # ------------------------------------------------------------------
 
@@ -312,6 +329,8 @@ class RunConfig:
             "converge": self.converge,
             "se_cutoff": self.se_cutoff,
             "max_batches": self.max_batches,
+            "shard": self.shard,
+            "max_workers": self.max_workers,
         }
 
     @classmethod

@@ -25,6 +25,13 @@ from .noise import (
     clifford_gate_noise_sweep,
     shor_gate_noise_sweep,
 )
+from .sharding import (
+    available_workers,
+    run_sharded_points,
+    sharded_sweep,
+    spawn_point_seeds,
+    sweep_point_configs,
+)
 
 __all__ = [
     "DetectionResult",
@@ -38,6 +45,11 @@ __all__ = [
     "shor_gate_noise_sweep",
     "clifford_gate_noise_sweep",
     "assertion_cost",
+    "available_workers",
+    "spawn_point_seeds",
+    "sweep_point_configs",
+    "run_sharded_points",
+    "sharded_sweep",
     "CliffordScenario",
     "CLIFFORD_SCENARIOS",
     "clifford_scenario_names",

@@ -20,7 +20,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
-from ..compiler.splitter import build_execution_plan
+import numpy as np
+
+from ..compiler.plan_cache import default_plan_cache
 from ..core.config import RunConfig, UNSET, resolve_run_config
 from ..core.session import Session
 from ..lang.program import Program
@@ -116,7 +118,31 @@ def _repeat_checks(
     A callable ``build_program`` is re-invoked **per trial**, so stochastic
     program builders resample each run (a builder built once and reused
     would silently freeze its random draws across the whole experiment).
+
+    With ``config.shard`` the trials run as self-contained points across a
+    process pool (:mod:`repro.workloads.sharding`): one root draw from the
+    session stream spawns every per-trial seed, so a seeded sharded
+    experiment is pinned end to end and identical for any worker count.
     """
+    config = session.config
+    if config.shard and trials > 1:
+        from .sharding import run_sharded_points, spawn_point_seeds
+
+        # One draw from the session stream roots every trial seed: the
+        # session stays the single entropy source, exactly as in the serial
+        # path, and the spawned children are independent of worker count.
+        root = int(session.rng.integers(0, np.iinfo(np.int64).max))
+        points = []
+        for seed in spawn_point_seeds(root, trials):
+            program = build_program() if callable(build_program) else build_program
+            points.append((program, config.replace(seed=seed, shard=False)))
+        reports = run_sharded_points(points, config.max_workers)
+        return DetectionResult(
+            program_name=points[-1][0].name,
+            ensemble_size=config.ensemble_size,
+            trials=trials,
+            num_failing_runs=sum(1 for report in reports if not report.passed),
+        )
     failing = 0
     program: Program | None = None
     for _ in range(trials):
@@ -364,10 +390,17 @@ def assertion_cost(
     breakpoint (``incremental_sample_gates``).  A ``config`` supplies the
     ensemble size when given (nothing is simulated here — the one knob the
     model needs is the ensemble width).
+
+    The plan comes from the process-global
+    :class:`~repro.compiler.plan_cache.PlanCache`, and the row carries the
+    reuse counters — how often this plan was served from cache and how much
+    gate work snapshot-served runs skipped — so sweep reuse is observable
+    from the report layer.
     """
     if config is not None:
         ensemble_size = config.ensemble_size
-    plan = build_execution_plan(program)
+    cache = default_plan_cache()
+    plan = cache.plan_for(program)
     gates_per_breakpoint = [segment.gates_before for segment in plan.segments]
     total_prefix_gates = int(sum(gates_per_breakpoint))
     return {
@@ -382,4 +415,7 @@ def assertion_cost(
             total_prefix_gates / plan.total_gates if plan.total_gates else 1.0
         ),
         "rerun_mode_simulated_gates": total_prefix_gates * ensemble_size,
+        "plan_cache_hits": plan.cache_hits,
+        "shared_prefix_gates_saved": plan.shared_prefix_gates_saved,
+        "plan_cache": cache.stats(),
     }

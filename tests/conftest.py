@@ -6,6 +6,19 @@ import numpy as np
 import pytest
 
 from repro.chemistry import build_h2_qubit_hamiltonian
+from repro.compiler.plan_cache import default_plan_cache
+
+
+@pytest.fixture(autouse=True)
+def _fresh_plan_cache():
+    """Isolate tests from the process-global plan/snapshot cache.
+
+    Snapshot reuse is verdict-preserving but changes gate *counters*, so a
+    warm cache would make work-bound assertions order-dependent across tests.
+    """
+    default_plan_cache().clear()
+    yield
+    default_plan_cache().clear()
 
 
 @pytest.fixture

@@ -17,6 +17,7 @@ from repro import Program, RunConfig, Session, check_program, session
 from repro.core import DebugReport, StatisticalAssertionChecker
 from repro.core.exceptions import AssertionViolation
 from repro.compiler.executor import BreakpointExecutor
+from repro.compiler.plan_cache import default_plan_cache
 from repro.sim import (
     BackendCapabilities,
     ReadoutErrorModel,
@@ -445,7 +446,10 @@ class TestRegistry:
             assert report.passed and ToyBackend.instances > before
 
             # Routed by capabilities: "auto" prefers the highest-priority
-            # Clifford-native backend for an all-Clifford plan.
+            # Clifford-native backend for an all-Clifford plan.  Drop the
+            # plan cache first: "auto" resolves to the same "toy" family, and
+            # a snapshot-served run would (correctly) build no new instance.
+            default_plan_cache().clear()
             assert clifford_backend_name() == "toy"
             before = ToyBackend.instances
             check_program(

@@ -1,0 +1,149 @@
+"""Sharded-sweep tests: the seeded identity matrix and seed discipline.
+
+The contract under test: a sharded sweep is *byte-identical* to the serial
+run of the same points on every backend family, because each point is a
+self-contained (program, config) pair with its own spawned seed and results
+merge in point order — worker count is pure mechanism.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Program, RunConfig
+from repro.workloads import (
+    available_workers,
+    detection_rate,
+    false_positive_rate,
+    run_sharded_points,
+    sharded_sweep,
+    spawn_point_seeds,
+    sweep_point_configs,
+)
+from repro.workloads.clifford import build_ghz_chain_program
+
+SEED = 20190622
+
+BACKENDS = ("statevector", "density", "stabilizer", "auto", "trajectory")
+
+
+def bell_program() -> Program:
+    program = Program("bell")
+    q = program.qreg("q", 2)
+    program.h(q[0])
+    program.cnot(q[0], q[1])
+    program.assert_entangled([q[0]], [q[1]], label="bell pair")
+    return program
+
+
+class TestSeedSpawning:
+    def test_seeds_are_deterministic_and_distinct(self):
+        first = spawn_point_seeds(SEED, 16)
+        second = spawn_point_seeds(SEED, 16)
+        assert first == second
+        assert len(set(first)) == 16
+
+    def test_children_do_not_inherit_root_entropy(self):
+        # The classic SeedSequence trap: every child's .entropy equals the
+        # root's, so converting via .entropy would collapse all points onto
+        # one stream.  The spawned state words must differ from the root.
+        seeds = spawn_point_seeds(SEED, 4)
+        assert SEED not in seeds
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            spawn_point_seeds(SEED, -1)
+
+
+class TestSweepPointConfigs:
+    def test_overrides_applied_and_seeds_pinned(self):
+        base = RunConfig(ensemble_size=8, seed=SEED, shard=True, max_workers=4)
+        configs = sweep_point_configs(
+            base, [{"significance": 0.01}, {"significance": 0.10}]
+        )
+        assert [c.significance for c in configs] == [0.01, 0.10]
+        assert all(c.seed is not None for c in configs)
+        assert configs[0].seed != configs[1].seed
+        # Workers must never recursively shard their own point.
+        assert not any(c.shard for c in configs)
+
+    def test_config_round_trips_shard_knobs(self):
+        config = RunConfig(shard=True, max_workers=4)
+        assert RunConfig.from_json(config.to_json()) == config
+
+    def test_max_workers_validated(self):
+        with pytest.raises(ValueError, match="max_workers"):
+            RunConfig(max_workers=0)
+
+    def test_available_workers_floor_is_one(self):
+        assert available_workers(1) == 1
+        assert available_workers(4) == 4
+        assert available_workers(None) >= 1
+
+
+class TestShardedIdentity:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_serial_vs_four_workers_byte_identical(self, backend):
+        base = RunConfig(ensemble_size=8, seed=SEED, backend=backend)
+        overrides = [
+            {"significance": 0.01},
+            {"significance": 0.05},
+            {"readout_error": 0.02},
+        ]
+        serial = sharded_sweep(bell_program, base, overrides, max_workers=1)
+        sharded = sharded_sweep(bell_program, base, overrides, max_workers=4)
+        assert [r.to_json() for r in serial] == [r.to_json() for r in sharded]
+
+    def test_reports_return_in_point_order(self):
+        points = [
+            (bell_program(), RunConfig(ensemble_size=4, seed=seed))
+            for seed in spawn_point_seeds(SEED, 5)
+        ]
+        reports = run_sharded_points(points, max_workers=3)
+        assert len(reports) == 5
+        assert all(report.program_name == "bell" for report in reports)
+
+    def test_sharded_detection_rate_matches_across_worker_counts(self):
+        def build():
+            return build_ghz_chain_program(4)
+
+        rates = [
+            detection_rate(
+                build,
+                trials=6,
+                config=RunConfig(
+                    ensemble_size=8, seed=SEED, shard=True, max_workers=workers
+                ),
+            )
+            for workers in (1, 4)
+        ]
+        assert rates[0] == rates[1]
+
+    def test_sharded_false_positive_rate_matches_serial_discipline(self):
+        # shard=True draws exactly one root from the session stream, so two
+        # seeded sharded experiments are themselves reproducible.
+        config = RunConfig(ensemble_size=8, seed=SEED, shard=True, max_workers=2)
+        first = false_positive_rate(bell_program(), trials=5, config=config)
+        second = false_positive_rate(bell_program(), trials=5, config=config)
+        assert first == second
+
+
+class TestShardedSweepMechanics:
+    def test_builder_invoked_once_per_point_in_parent(self):
+        calls = []
+
+        def build():
+            calls.append(1)
+            return bell_program()
+
+        base = RunConfig(ensemble_size=4, seed=SEED)
+        sharded_sweep(build, base, [{}, {}, {}], max_workers=1)
+        assert len(calls) == 3
+
+    def test_instance_backends_refuse_to_shard(self):
+        from repro.sim import StatevectorBackend
+
+        base = RunConfig(ensemble_size=4, seed=SEED, backend=StatevectorBackend())
+        with pytest.raises(TypeError, match="registry-name"):
+            sharded_sweep(bell_program, base, [{}], max_workers=2)
