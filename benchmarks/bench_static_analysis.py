@@ -1,0 +1,202 @@
+"""Static short-circuit benchmark: proving assertions beats sampling them.
+
+The Clifford corpus (GHZ chains, teleportation, repetition codes) is fully
+decidable in the stabilizer abstract domain, so a sweep over such programs
+never needs the sampling executor at all: one abstract walk per program
+proves or refutes every breakpoint, and each later sweep point is served
+from the fingerprint-keyed analysis cache at zero gate cost.
+
+This benchmark frames the comparison the way a sharded sweep meets it —
+each sampled point pays the cold-cache cost (workers warm their own
+caches; snapshots don't ship across processes, the tiny JSON-able
+analysis result would):
+
+* **sampled** — N sweep points per corpus program with
+  ``static_preflight=False``, plan cache cleared per point; gate work is
+  the executor's ``gates_applied`` counter.
+* **static** — the same N points with ``static_preflight=True``; the
+  abstract interpreter walks each program once (``analysis_gates``,
+  counted honestly), after which every point short-circuits with the
+  executor never invoked.
+
+Asserted: verdict identity between the two sides on every (program,
+point) cell, zero executor gates on the static side, and a >= 10x total
+gate-work reduction.  The abstract walk costs ~1.5 tableau ops per plan
+gate, so the reduction is roughly ``points / 1.5`` — 24 points clear the
+10x bar with margin.  Each run appends a trajectory entry to
+``BENCH_static.json``; ``--smoke`` is the CI-sized variant (moderate
+widths only, same assertions).
+
+Run standalone with ``python benchmarks/bench_static_analysis.py
+[--smoke]`` or under pytest-benchmark like the other benchmarks.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from bench_helpers import append_trajectory, print_table
+from repro import RunConfig, Session
+from repro.compiler import default_plan_cache
+from repro.workloads.clifford import CLIFFORD_SCENARIOS
+
+SEED = 20190622
+STATIC_PATH = Path(__file__).resolve().parent.parent / "BENCH_static.json"
+
+
+def _corpus(deep: bool) -> list[tuple[str, object]]:
+    """(label, program) pairs: every scenario x variant (x width tier)."""
+    programs = []
+    for name in sorted(CLIFFORD_SCENARIOS):
+        scenario = CLIFFORD_SCENARIOS[name]
+        widths = [("moderate", scenario.moderate_qubits)]
+        if deep:
+            widths.append(("deep", scenario.deep_qubits))
+        for tier, width in widths:
+            for buggy in (False, True):
+                label = f"{name}:{tier}:{'buggy' if buggy else 'correct'}"
+                programs.append((label, scenario.build(width, buggy)))
+    return programs
+
+
+def _significances(points: int) -> list[float]:
+    return [0.01 + 0.04 * (i / max(points - 1, 1)) for i in range(points)]
+
+
+def _sampled_side(programs, points: int, ensemble_size: int) -> tuple[int, dict]:
+    """Cold-cache sampled sweep; returns (total gates, verdicts per cell)."""
+    cache = default_plan_cache()
+    total_gates = 0
+    verdicts: dict[tuple[str, int], list[bool]] = {}
+    for point, significance in enumerate(_significances(points)):
+        for label, program in programs:
+            cache.clear()  # each point pays the cross-process cold cost
+            session = Session(
+                RunConfig(
+                    ensemble_size=ensemble_size,
+                    seed=SEED,
+                    significance=significance,
+                    backend="auto",
+                )
+            )
+            checker = session.checker(program)
+            report = checker.run()
+            total_gates += checker.executor.gates_applied
+            verdicts[(label, point)] = [r.passed for r in report.records]
+    return total_gates, verdicts
+
+
+def _static_side(programs, points: int, ensemble_size: int) -> tuple[int, int, dict]:
+    """Preflight sweep; returns (analysis gates, executor gates, verdicts)."""
+    cache = default_plan_cache()
+    cache.clear()
+    executor_gates = 0
+    verdicts: dict[tuple[str, int], list[bool]] = {}
+    for point, significance in enumerate(_significances(points)):
+        for label, program in programs:
+            session = Session(
+                RunConfig(
+                    ensemble_size=ensemble_size,
+                    seed=SEED,
+                    significance=significance,
+                    backend="auto",
+                    static_preflight=True,
+                )
+            )
+            checker = session.checker(program)
+            report = checker.run()
+            executor_gates += checker.executor.gates_applied
+            assert report.num_sampled == 0, (
+                f"{label}: Clifford corpus must short-circuit fully"
+            )
+            verdicts[(label, point)] = [r.passed for r in report.records]
+    # The honest static cost: one abstract walk per unique program.
+    analysis_gates = 0
+    for _, program in programs:
+        analysis_gates += Session(RunConfig(seed=SEED)).analyze(program).analysis_gates
+    return analysis_gates, executor_gates, verdicts
+
+
+def _run(points: int, ensemble_size: int, deep: bool) -> dict:
+    programs = _corpus(deep)
+    sampled_gates, sampled_verdicts = _sampled_side(programs, points, ensemble_size)
+    analysis_gates, executor_gates, static_verdicts = _static_side(
+        programs, points, ensemble_size
+    )
+    stats = default_plan_cache().stats()
+    static_gates = analysis_gates + executor_gates
+    agree = all(
+        static_verdicts[cell] == sampled_verdicts[cell] for cell in sampled_verdicts
+    )
+    return {
+        "row": {
+            "workload": "clifford_corpus" + ("_with_deep" if deep else "_moderate"),
+            "programs": len(programs),
+            "points": points,
+            "ensemble_size": ensemble_size,
+            "sampled_gates": sampled_gates,
+            "analysis_gates": analysis_gates,
+            "static_executor_gates": executor_gates,
+            "gate_work_reduction": (
+                sampled_gates / static_gates if static_gates else float("inf")
+            ),
+            "short_circuited_breakpoints": stats["static_short_circuits"],
+            "static_gates_saved": stats["static_gates_saved"],
+            "analysis_hits": stats["analysis_hits"],
+            "analysis_misses": stats["analysis_misses"],
+            "verdicts_agree": agree,
+        }
+    }
+
+
+def _check_and_report(entry: dict) -> None:
+    row = entry["row"]
+    print_table("Static short-circuit vs cold-cache sampling", [row])
+    append_trajectory(STATIC_PATH, entry)
+
+    assert row["verdicts_agree"], "static verdicts diverged from sampled"
+    assert row["static_executor_gates"] == 0, (
+        "the Clifford corpus must never reach the sampling executor"
+    )
+    assert row["analysis_misses"] == row["programs"], (
+        "each unique program must be analyzed exactly once"
+    )
+    assert row["analysis_hits"] >= (row["points"] - 1) * row["programs"], (
+        "later sweep points must be served from the analysis cache"
+    )
+    assert row["short_circuited_breakpoints"] > 0
+    assert row["gate_work_reduction"] >= 10.0, (
+        f"expected >= 10x gate-work reduction, got "
+        f"{row['gate_work_reduction']:.1f}x"
+    )
+
+
+def test_static_analysis(benchmark):
+    entry = benchmark.pedantic(
+        lambda: _run(points=24, ensemble_size=32, deep=True),
+        rounds=1,
+        iterations=1,
+    )
+    _check_and_report(entry)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI smoke mode: moderate widths only, same assertions",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        entry = _run(points=24, ensemble_size=32, deep=False)
+    else:
+        entry = _run(points=24, ensemble_size=32, deep=True)
+    _check_and_report(entry)
+    print("\nbench_static_analysis: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

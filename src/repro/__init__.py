@@ -21,6 +21,13 @@ Quick start::
     report = session.check(program)
 """
 
+from .analysis import (
+    AnalysisResult,
+    AssertionVerdict,
+    Diagnostic,
+    analyze_program,
+    lint_program,
+)
 from .core import (
     AssertionViolation,
     DebugReport,
@@ -33,7 +40,7 @@ from .core import (
 from .lang import Program, QuantumRegister
 from .sim import Statevector
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Program",
@@ -46,5 +53,10 @@ __all__ = [
     "check_program",
     "DebugReport",
     "AssertionViolation",
+    "AnalysisResult",
+    "AssertionVerdict",
+    "Diagnostic",
+    "analyze_program",
+    "lint_program",
     "__version__",
 ]

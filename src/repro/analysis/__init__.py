@@ -1,0 +1,43 @@
+"""Static analysis: stabilizer-domain assertion prover + program linter.
+
+Two consumers, one package:
+
+* :func:`analyze_program` / :func:`analyze_plan` — the abstract interpreter
+  (:mod:`repro.analysis.interpreter`): walks a program in the stabilizer
+  domain and emits a PROVEN / REFUTED / UNDECIDED
+  :class:`AssertionVerdict` per breakpoint, with zero sampling and zero
+  statistical flake.  ``RunConfig(static_preflight=True)`` lets the checker
+  short-circuit decided breakpoints entirely.
+* :func:`lint_program` — the dataflow linter
+  (:mod:`repro.analysis.linter`): structured ``QLINT0xx``
+  :class:`Diagnostic` objects for ill-formed program shapes, also available
+  from the command line via ``python -m repro.lint``.
+"""
+
+from .diagnostics import Diagnostic, LINT_CODES, SEVERITIES
+from .interpreter import (
+    PROVEN,
+    REFUTED,
+    SUPPORT_LIMIT,
+    UNDECIDED,
+    AnalysisResult,
+    AssertionVerdict,
+    analyze_plan,
+    analyze_program,
+)
+from .linter import lint_program
+
+__all__ = [
+    "PROVEN",
+    "REFUTED",
+    "UNDECIDED",
+    "SUPPORT_LIMIT",
+    "AnalysisResult",
+    "AssertionVerdict",
+    "Diagnostic",
+    "LINT_CODES",
+    "SEVERITIES",
+    "analyze_plan",
+    "analyze_program",
+    "lint_program",
+]

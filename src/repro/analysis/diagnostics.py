@@ -1,0 +1,93 @@
+"""Structured linter diagnostics (``QLINT0xx``).
+
+A :class:`Diagnostic` is the linter's unit of output: a stable code, a
+severity, a human message and an anchor (instruction index + qubit names)
+pointing at the offending IR.  Diagnostics are plain data — JSON-serialisable
+via :meth:`Diagnostic.to_dict` so they ride along inside
+:class:`repro.DebugReport` wire payloads — and deliberately import nothing
+from the rest of the package, so any layer (core, compiler, CLI) may consume
+them without cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+__all__ = ["Diagnostic", "LINT_CODES", "SEVERITIES"]
+
+#: Severity names in escalation order; the CLI exits non-zero on ``error``.
+SEVERITIES = ("info", "warning", "error")
+
+#: code -> (default severity, one-line title).  The codes are stable API:
+#: tests and exemption tables key on them, so retire codes rather than
+#: renumbering.
+LINT_CODES: dict[str, tuple[str, str]] = {
+    "QLINT001": (
+        "warning",
+        "gate on a never-prepped qubit in a partially-prepped register",
+    ),
+    "QLINT002": ("error", "unitary gate applied after terminal measurement"),
+    "QLINT003": (
+        "warning",
+        "double-prep: qubit re-prepared with no intervening gate or measurement",
+    ),
+    "QLINT004": ("warning", "assertion on an untouched qubit"),
+    "QLINT005": ("warning", "unreachable or duplicate breakpoint"),
+    "QLINT006": ("error", "classically-impossible assertion"),
+    "QLINT007": ("warning", "unused quantum register"),
+    "QLINT008": ("warning", "unused classical register"),
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One linter finding, anchored to an instruction and its qubits."""
+
+    code: str
+    message: str
+    severity: str = "warning"
+    #: Index into ``program.instructions`` (``None`` for whole-program
+    #: findings such as unused registers).
+    instruction_index: int | None = None
+    #: ``repr`` of the implicated qubits (``name[idx]``), for rendering.
+    qubits: tuple[str, ...] = ()
+
+    def __post_init__(self):
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"severity must be one of {SEVERITIES}, got {self.severity!r}"
+            )
+
+    @property
+    def is_error(self) -> bool:
+        return self.severity == "error"
+
+    def to_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+            "instruction_index": self.instruction_index,
+            "qubits": list(self.qubits),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "Diagnostic":
+        index = data.get("instruction_index")
+        return cls(
+            code=str(data["code"]),
+            message=str(data["message"]),
+            severity=str(data.get("severity", "warning")),
+            instruction_index=None if index is None else int(index),
+            qubits=tuple(str(q) for q in data.get("qubits", ())),
+        )
+
+    def format(self, source: str = "<program>") -> str:
+        """Compiler-style one-liner: ``source:index: CODE severity: message``."""
+        anchor = "-" if self.instruction_index is None else str(self.instruction_index)
+        where = f" [{', '.join(self.qubits)}]" if self.qubits else ""
+        return f"{source}:{anchor}: {self.code} {self.severity}: {self.message}{where}"
+
+    def __str__(self) -> str:
+        return self.format()

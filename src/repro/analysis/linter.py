@@ -1,0 +1,322 @@
+"""Dataflow linter for assertion programs (``QLINT0xx`` diagnostics).
+
+The linter is a purely syntactic single pass over ``program.instructions`` —
+no simulation, no tableau — that catches the ill-formed shapes the bug
+catalog injects and a few classic authoring mistakes:
+
+=========  ========  ===========================================================
+code       severity  smell
+=========  ========  ===========================================================
+QLINT001   warning   gate on a never-prepped qubit in a *partially*-prepped
+                     register (a wholly unprepped register is the implicit-|0>
+                     convention and stays clean)
+QLINT002   error     unitary gate applied to a qubit after its terminal
+                     measurement
+QLINT003   warning   double-prep: a qubit re-prepared while nothing observed or
+                     used the first preparation
+QLINT004   warning   assertion over a qubit that no prep or gate ever touched
+QLINT005   warning   unreachable breakpoint (all operands already measured) or
+                     an exact duplicate of the immediately preceding assertion
+QLINT006   error     classically-impossible assertion: the operands are fresh
+                     prep constants that contradict the asserted property
+QLINT007   warning   quantum register referenced by no instruction at all
+QLINT008   warning   classical register matching no measurement label
+=========  ========  ===========================================================
+
+Severities matter operationally: the ``python -m repro.lint`` CLI exits
+non-zero only on errors, and the CI self-check requires the clean workload
+corpus to produce **zero** diagnostics of any severity.
+"""
+
+from __future__ import annotations
+
+from ..lang.instructions import (
+    AssertionInstruction,
+    ClassicalAssertInstruction,
+    EntangledAssertInstruction,
+    GateInstruction,
+    MeasureInstruction,
+    PrepInstruction,
+    ProductAssertInstruction,
+    SuperpositionAssertInstruction,
+)
+from ..lang.program import Program
+from .diagnostics import LINT_CODES, Diagnostic
+
+__all__ = ["lint_program"]
+
+
+def _make(code: str, message: str, index: int | None = None, qubits=()) -> Diagnostic:
+    severity, _title = LINT_CODES[code]
+    return Diagnostic(
+        code=code,
+        message=message,
+        severity=severity,
+        instruction_index=index,
+        qubits=tuple(repr(q) for q in qubits),
+    )
+
+
+def _assertion_operands(assertion: AssertionInstruction):
+    if isinstance(assertion, (ClassicalAssertInstruction, SuperpositionAssertInstruction)):
+        return list(assertion.measured)
+    return list(assertion.group_a) + list(assertion.group_b)
+
+
+def _assertion_key(program: Program, assertion: AssertionInstruction):
+    """Structural identity of an assertion, for duplicate detection."""
+    if isinstance(assertion, ClassicalAssertInstruction):
+        return (
+            "classical",
+            tuple(program.qubit_index(q) for q in assertion.measured),
+            assertion.value,
+        )
+    if isinstance(assertion, SuperpositionAssertInstruction):
+        return (
+            "superposition",
+            tuple(program.qubit_index(q) for q in assertion.measured),
+            assertion.values,
+        )
+    kind = "entangled" if isinstance(assertion, EntangledAssertInstruction) else "product"
+    return (
+        kind,
+        tuple(program.qubit_index(q) for q in assertion.group_a),
+        tuple(program.qubit_index(q) for q in assertion.group_b),
+    )
+
+
+def lint_program(program: Program) -> list[Diagnostic]:
+    """Run every lint rule over ``program`` and return sorted diagnostics."""
+    diagnostics: list[Diagnostic] = []
+    n = program.num_qubits
+
+    # Program-wide facts gathered in a pre-pass.
+    ever_prepped: set[int] = set()
+    referenced: set[int] = set()
+    for instruction in program.instructions:
+        if isinstance(instruction, PrepInstruction):
+            ever_prepped.add(program.qubit_index(instruction.qubit))
+            referenced.add(program.qubit_index(instruction.qubit))
+        elif isinstance(instruction, GateInstruction):
+            for q in list(instruction.controls) + list(instruction.targets):
+                referenced.add(program.qubit_index(q))
+        elif isinstance(instruction, MeasureInstruction):
+            for q in instruction.measured:
+                referenced.add(program.qubit_index(q))
+        elif isinstance(instruction, AssertionInstruction):
+            for q in _assertion_operands(instruction):
+                referenced.add(program.qubit_index(q))
+
+    # Per-qubit dataflow state for the main pass.
+    touched: set[int] = set()  # prepped or gated so far
+    measured_at: dict[int, int] = {}
+    #: qubit -> value when the *last* event on the qubit was a prep (a fresh
+    #: classical constant); any gate invalidates it.
+    known: dict[int, int] = {}
+    #: qubit -> prep index while nothing has consumed that prep yet.
+    pending_prep: dict[int, int] = {}
+    flagged_unprepped: set[int] = set()
+    previous_assertion_key = None
+
+    for index, instruction in enumerate(program.instructions):
+        if isinstance(instruction, GateInstruction):
+            operands = list(instruction.controls) + list(instruction.targets)
+            for q in operands:
+                qi = program.qubit_index(q)
+                register_preps = any(
+                    program.qubit_index(other) in ever_prepped
+                    for other in q.register
+                )
+                if (
+                    qi not in ever_prepped
+                    and register_preps
+                    and qi not in flagged_unprepped
+                ):
+                    flagged_unprepped.add(qi)
+                    diagnostics.append(
+                        _make(
+                            "QLINT001",
+                            f"gate {instruction.name!r} acts on {q!r}, which is "
+                            f"never prepared although register "
+                            f"{q.register.name!r} prepares other qubits",
+                            index,
+                            [q],
+                        )
+                    )
+                if qi in measured_at:
+                    diagnostics.append(
+                        _make(
+                            "QLINT002",
+                            f"unitary gate {instruction.name!r} on {q!r} after "
+                            f"its measurement at instruction {measured_at[qi]}",
+                            index,
+                            [q],
+                        )
+                    )
+                touched.add(qi)
+                known.pop(qi, None)
+                pending_prep.pop(qi, None)
+            previous_assertion_key = None
+        elif isinstance(instruction, PrepInstruction):
+            qi = program.qubit_index(instruction.qubit)
+            if qi in pending_prep:
+                diagnostics.append(
+                    _make(
+                        "QLINT003",
+                        f"{instruction.qubit!r} re-prepared; the preparation at "
+                        f"instruction {pending_prep[qi]} was never used",
+                        index,
+                        [instruction.qubit],
+                    )
+                )
+            touched.add(qi)
+            known[qi] = instruction.value
+            pending_prep[qi] = index
+            previous_assertion_key = None
+        elif isinstance(instruction, MeasureInstruction):
+            for q in instruction.measured:
+                qi = program.qubit_index(q)
+                measured_at.setdefault(qi, index)
+                pending_prep.pop(qi, None)
+            previous_assertion_key = None
+        elif isinstance(instruction, AssertionInstruction):
+            operands = _assertion_operands(instruction)
+            indices = [program.qubit_index(q) for q in operands]
+            for q, qi in zip(operands, indices):
+                pending_prep.pop(qi, None)
+            untouched = [q for q, qi in zip(operands, indices) if qi not in touched]
+            if untouched:
+                diagnostics.append(
+                    _make(
+                        "QLINT004",
+                        f"assertion {instruction.describe()!r} reads "
+                        f"{', '.join(repr(q) for q in untouched)}, which no "
+                        "prep or gate ever touched",
+                        index,
+                        untouched,
+                    )
+                )
+            if indices and all(qi in measured_at for qi in indices):
+                diagnostics.append(
+                    _make(
+                        "QLINT005",
+                        f"breakpoint {instruction.describe()!r} is unreachable: "
+                        "every operand was already measured",
+                        index,
+                        operands,
+                    )
+                )
+            key = _assertion_key(program, instruction)
+            if key == previous_assertion_key:
+                diagnostics.append(
+                    _make(
+                        "QLINT005",
+                        f"duplicate breakpoint: {instruction.describe()!r} "
+                        "repeats the immediately preceding assertion",
+                        index,
+                        operands,
+                    )
+                )
+            previous_assertion_key = key
+            diagnostics.extend(
+                _impossible_assertion(program, instruction, index, known)
+            )
+        else:
+            # Barriers and block markers are transparent to dataflow.
+            continue
+
+    # Whole-program register hygiene.
+    for register in program.registers:
+        if not any(program.qubit_index(q) in referenced for q in register):
+            diagnostics.append(
+                _make(
+                    "QLINT007",
+                    f"quantum register {register.name!r} ({register.size} "
+                    "qubit(s)) is referenced by no instruction",
+                    None,
+                    list(register),
+                )
+            )
+    measure_labels = {
+        instruction.label
+        for instruction in program.instructions
+        if isinstance(instruction, MeasureInstruction) and instruction.label
+    }
+    for creg in program.classical_registers:
+        if creg.name not in measure_labels:
+            diagnostics.append(
+                _make(
+                    "QLINT008",
+                    f"classical register {creg.name!r} matches no measurement "
+                    "label",
+                    None,
+                )
+            )
+
+    diagnostics.sort(
+        key=lambda d: (
+            d.instruction_index is None,
+            d.instruction_index if d.instruction_index is not None else 0,
+            d.code,
+        )
+    )
+    return diagnostics
+
+
+def _impossible_assertion(
+    program: Program,
+    assertion: AssertionInstruction,
+    index: int,
+    known: dict[int, int],
+) -> list[Diagnostic]:
+    """QLINT006: assertions contradicted by fresh prep constants.
+
+    Only fires when *every* relevant operand's last event was a prep — a
+    register of fresh classical constants — so the contradiction is exact,
+    never heuristic.  (The stabilizer interpreter subsumes these verdicts,
+    but the linter catches them without any plan or tableau.)
+    """
+    if isinstance(assertion, ClassicalAssertInstruction):
+        indices = [program.qubit_index(q) for q in assertion.measured]
+        if all(qi in known for qi in indices):
+            observed = sum(known[qi] << pos for pos, qi in enumerate(indices))
+            if observed != assertion.value:
+                return [
+                    _make(
+                        "QLINT006",
+                        f"operands are freshly prepared to {observed}, but the "
+                        f"assertion expects {assertion.value}",
+                        index,
+                        assertion.measured,
+                    )
+                ]
+        return []
+    if isinstance(assertion, SuperpositionAssertInstruction):
+        indices = [program.qubit_index(q) for q in assertion.measured]
+        if indices and all(qi in known for qi in indices):
+            observed = sum(known[qi] << pos for pos, qi in enumerate(indices))
+            return [
+                _make(
+                    "QLINT006",
+                    "superposition asserted over freshly prepared classical "
+                    f"constants (register is exactly {observed})",
+                    index,
+                    assertion.measured,
+                )
+            ]
+        return []
+    if isinstance(assertion, EntangledAssertInstruction):
+        for group in (assertion.group_a, assertion.group_b):
+            indices = [program.qubit_index(q) for q in group]
+            if indices and all(qi in known for qi in indices):
+                return [
+                    _make(
+                        "QLINT006",
+                        "entanglement asserted against freshly prepared "
+                        f"classical constants ({', '.join(repr(q) for q in group)})",
+                        index,
+                        group,
+                    )
+                ]
+        return []
+    return []  # product state over constants is trivially true, not impossible

@@ -18,7 +18,15 @@ from ..algorithms.shor import build_shor_program
 from ..lang.program import Program
 from .catalog import BugType
 
-__all__ = ["BugScenario", "BUG_SCENARIOS", "scenario_names", "get_scenario"]
+__all__ = [
+    "BugScenario",
+    "BUG_SCENARIOS",
+    "scenario_names",
+    "get_scenario",
+    "LintScenario",
+    "LINT_SCENARIOS",
+    "STATIC_SIGNALS",
+]
 
 
 @dataclass(frozen=True)
@@ -296,6 +304,182 @@ BUG_SCENARIOS: dict[str, BugScenario] = {
             catching_assertion="product",
         ),
     ]
+}
+
+
+# ---------------------------------------------------------------------------
+# Lint scenarios: ill-formed injections the static linter flags
+# ---------------------------------------------------------------------------
+#
+# The BUG_SCENARIOS above are *semantic* bugs — well-formed programs whose
+# behaviour is wrong, caught (statistically or statically) by the assertions.
+# The linter targets a different class: structurally ill-formed programs.
+# Each LintScenario builds one minimal program tripping exactly one QLINT
+# rule, and the catalog-wide test checks the mapping both ways: every lint
+# scenario produces its code, and every bug scenario either carries a static
+# signal (STATIC_SIGNALS) or is explicitly exempt.
+
+
+@dataclass(frozen=True)
+class LintScenario:
+    """One ill-formed program paired with the QLINT code it must trip."""
+
+    name: str
+    description: str
+    build: Callable[[], Program]
+    #: The diagnostic code :func:`repro.analysis.lint_program` must emit.
+    expected_code: str
+
+
+def _lint_gate_after_measure() -> Program:
+    program = Program("lint_gate_after_measure")
+    register = program.qreg("q", 2)
+    program.prep_z(register[0], 0).prep_z(register[1], 0)
+    program.gate("h", register[0])
+    program.measure(register)
+    program.gate("x", register[1])  # unitary after terminal measurement
+    return program
+
+
+def _lint_double_prep() -> Program:
+    program = Program("lint_double_prep")
+    register = program.qreg("q", 1)
+    program.prep_z(register[0], 0)
+    program.prep_z(register[0], 1)  # prior prep never used
+    program.gate("h", register[0])
+    program.measure(register)
+    return program
+
+
+def _lint_partial_prep() -> Program:
+    program = Program("lint_partial_prep")
+    register = program.qreg("q", 2)
+    program.prep_z(register[0], 0)  # q[1] gated below but never prepped
+    program.gate("x", [register[1]], controls=[register[0]])
+    program.measure(register)
+    return program
+
+
+def _lint_assert_untouched() -> Program:
+    program = Program("lint_assert_untouched")
+    register = program.qreg("q", 1)
+    spare = program.qreg("spare", 1)
+    program.prep_z(register[0], 0)
+    program.gate("h", register[0])
+    program.assert_classical(spare, 0)  # spare[0] never prepped nor gated
+    program.gate("h", spare[0])
+    program.measure(register)
+    return program
+
+
+def _lint_duplicate_breakpoint() -> Program:
+    program = Program("lint_duplicate_breakpoint")
+    register = program.qreg("q", 1)
+    program.prep_z(register[0], 1)
+    program.assert_classical(register, 1)
+    program.assert_classical(register, 1)  # exact duplicate, nothing between
+    program.measure(register)
+    return program
+
+
+def _lint_unused_qreg() -> Program:
+    program = Program("lint_unused_qreg")
+    register = program.qreg("q", 1)
+    program.qreg("scratch", 2)  # declared, never referenced
+    program.prep_z(register[0], 0)
+    program.gate("h", register[0])
+    program.measure(register)
+    return program
+
+
+def _lint_unused_creg() -> Program:
+    program = Program("lint_unused_creg")
+    register = program.qreg("q", 1)
+    program.creg("never_written", 1)  # no measure labels this creg
+    program.prep_z(register[0], 0)
+    program.gate("h", register[0])
+    program.measure(register, label="result")
+    return program
+
+
+def _lint_impossible_assertion() -> Program:
+    program = Program("lint_impossible_assertion")
+    register = program.qreg("q", 2)
+    program.prepare_int(register, 2)
+    program.assert_classical(register, 3)  # fresh preps read 2, not 3
+    program.measure(register)
+    return program
+
+
+LINT_SCENARIOS: dict[str, LintScenario] = {
+    scenario.name: scenario
+    for scenario in [
+        LintScenario(
+            name="partial_prep",
+            description="one qubit of a partially-prepped register gated unprepped",
+            build=_lint_partial_prep,
+            expected_code="QLINT001",
+        ),
+        LintScenario(
+            name="gate_after_measure",
+            description="unitary applied after the terminal measurement",
+            build=_lint_gate_after_measure,
+            expected_code="QLINT002",
+        ),
+        LintScenario(
+            name="double_prep",
+            description="qubit re-prepped while the prior prep was never used",
+            build=_lint_double_prep,
+            expected_code="QLINT003",
+        ),
+        LintScenario(
+            name="assert_untouched",
+            description="assertion reads a qubit no instruction ever touched",
+            build=_lint_assert_untouched,
+            expected_code="QLINT004",
+        ),
+        LintScenario(
+            name="duplicate_breakpoint",
+            description="identical assertion repeated with nothing in between",
+            build=_lint_duplicate_breakpoint,
+            expected_code="QLINT005",
+        ),
+        LintScenario(
+            name="impossible_assertion",
+            description="classical assertion contradicting the fresh prep values",
+            build=_lint_impossible_assertion,
+            expected_code="QLINT006",
+        ),
+        LintScenario(
+            name="unused_qreg",
+            description="quantum register declared but never referenced",
+            build=_lint_unused_qreg,
+            expected_code="QLINT007",
+        ),
+        LintScenario(
+            name="unused_creg",
+            description="classical register no measurement ever writes",
+            build=_lint_unused_creg,
+            expected_code="QLINT008",
+        ),
+    ]
+}
+
+
+#: Static signal expected from each BUG_SCENARIOS buggy variant: a QLINT code
+#: when the injection is *structurally* detectable without sampling, or
+#: ``None`` when the bug is purely semantic (lives in non-Clifford rotation
+#: angles / routing, visible only to the abstract interpreter's verdicts or
+#: to sampling) and the linter is expected to stay silent.
+STATIC_SIGNALS: dict[str, "str | None"] = {
+    "wrong_initial_value": "QLINT006",  # prep 6 contradicts assert == 5
+    "missing_superposition": "QLINT006",  # uniform assertion over fresh constants
+    "flipped_rotation_angles": None,  # angle signs: semantics, not structure
+    "adder_iteration_off_by_one": None,  # dropped rotations: semantics
+    "control_routing": None,  # wrong control wire: semantics
+    "bad_uncompute": None,  # un-mirrored uncompute: semantics
+    "wrong_modular_inverse": None,  # classical parameter: semantics
+    "wrong_modular_inverse_listing4": None,  # classical parameter: semantics
 }
 
 

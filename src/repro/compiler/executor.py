@@ -186,7 +186,11 @@ class BreakpointExecutor:
             return build_execution_plan(program)
         return self.plan_cache.plan_for(program)
 
-    def run_plan(self, plan: ExecutionPlan) -> list[BreakpointMeasurements]:
+    def run_plan(
+        self,
+        plan: ExecutionPlan,
+        skip_indices: "frozenset[int] | set[int]" = frozenset(),
+    ) -> list[BreakpointMeasurements]:
         """Collect measurement ensembles for every breakpoint of a plan.
 
         In ``"sample"`` mode the plan is walked once: each segment's delta
@@ -202,10 +206,21 @@ class BreakpointExecutor:
         token per breakpoint, and later runs restore those tokens and draw
         their ensembles directly — the same rng draws, states and verdicts
         with zero gate applications.
+
+        ``skip_indices`` names breakpoints the caller has already decided
+        (the checker's static pre-flight): their segments are still walked
+        so later breakpoints see the right state, but no snapshot is taken
+        and no ensemble is drawn, and they are absent from the result list.
+        A partially-skipped run consumes different rng draws than a full
+        one, so it neither serves from nor records shared snapshots.
         """
         if self.mode == "rerun":
-            return [self.run(bp) for bp in plan.breakpoint_programs()]
-        backend_key = self._snapshot_backend_key(plan)
+            return [
+                self.run(bp)
+                for bp in plan.breakpoint_programs()
+                if bp.index not in skip_indices
+            ]
+        backend_key = self._snapshot_backend_key(plan) if not skip_indices else None
         if backend_key is not None:
             cached = self.plan_cache.snapshots_for(plan, backend_key)
             if cached is not None:
@@ -225,6 +240,8 @@ class BreakpointExecutor:
         try:
             for segment, view in zip(plan.segments, breakpoint_views):
                 run_instructions(program, segment.instructions, engine, rng=self.rng)
+                if segment.index in skip_indices:
+                    continue
                 indices = [program.qubit_index(q) for q in segment.assertion.qubits()]
                 # Snapshot/restore brackets the readout so the walk stays intact
                 # even on backends whose sampling is destructive.

@@ -211,6 +211,9 @@ class _CacheEntry:
     deterministic_walk: bool
     #: Recorded walks keyed by resolved backend name.
     snapshots: "dict[str, SnapshotSet]" = field(default_factory=dict)
+    #: Cached static-analysis result (verdicts + diagnostics); computed on
+    #: first request, valid for every noise-free config of the program.
+    analysis: "object | None" = None
 
 
 class PlanCache:
@@ -241,6 +244,12 @@ class PlanCache:
         self.snapshot_misses = 0
         #: Cumulative gate applications skipped by snapshot-served runs.
         self.gates_saved = 0
+        self.analysis_hits = 0
+        self.analysis_misses = 0
+        #: Breakpoints whose sampling the checker skipped on a static verdict.
+        self.static_short_circuits = 0
+        #: Cumulative gate applications those short-circuits avoided.
+        self.static_gates_saved = 0
 
     # -- plans ----------------------------------------------------------
 
@@ -308,6 +317,44 @@ class PlanCache:
             if entry is not None and entry.deterministic_walk:
                 entry.snapshots[snapshot_set.backend_name] = snapshot_set
 
+    # -- static analysis -------------------------------------------------
+
+    def analysis_for(self, plan: ExecutionPlan):
+        """The static :class:`~repro.analysis.AnalysisResult` for ``plan``.
+
+        Computed once per fingerprint and cached on the plan's entry —
+        verdicts depend only on the program, never on ensemble size, seed or
+        significance, so one analysis serves every noise-free sweep point.
+        Plans without a fingerprint are analyzed fresh each call.
+        """
+        # Runtime import: analysis sits above the compiler layer (it walks
+        # plans), so the compiler must not import it at module scope.
+        from ..analysis import analyze_plan
+
+        fingerprint = plan.fingerprint
+        if fingerprint is not None:
+            with self._lock:
+                entry = self._entries.get(fingerprint)
+                if entry is not None and entry.analysis is not None:
+                    self.analysis_hits += 1
+                    return entry.analysis
+        result = analyze_plan(plan)
+        with self._lock:
+            self.analysis_misses += 1
+            if fingerprint is not None:
+                entry = self._entries.get(fingerprint)
+                if entry is not None:
+                    entry.analysis = result
+        return result
+
+    def record_static_short_circuit(
+        self, breakpoints: int, gates_saved: int
+    ) -> None:
+        """Account for breakpoints the checker skipped on static verdicts."""
+        with self._lock:
+            self.static_short_circuits += breakpoints
+            self.static_gates_saved += gates_saved
+
     # -- bookkeeping ----------------------------------------------------
 
     def __len__(self) -> int:
@@ -322,6 +369,10 @@ class PlanCache:
             self.snapshot_hits = 0
             self.snapshot_misses = 0
             self.gates_saved = 0
+            self.analysis_hits = 0
+            self.analysis_misses = 0
+            self.static_short_circuits = 0
+            self.static_gates_saved = 0
 
     def stats(self) -> dict:
         """Counter snapshot: plans cached, hit/miss rates, gates saved."""
@@ -333,6 +384,10 @@ class PlanCache:
                 "snapshot_hits": self.snapshot_hits,
                 "snapshot_misses": self.snapshot_misses,
                 "gates_saved": self.gates_saved,
+                "analysis_hits": self.analysis_hits,
+                "analysis_misses": self.analysis_misses,
+                "static_short_circuits": self.static_short_circuits,
+                "static_gates_saved": self.static_gates_saved,
             }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -125,6 +125,11 @@ class ExecutionPlan:
     cache_hits: int = 0
     #: Gate applications skipped by runs served from shared prefix snapshots.
     shared_prefix_gates_saved: int = 0
+    #: Breakpoints whose sampling the checker skipped on a static
+    #: PROVEN/REFUTED verdict (``RunConfig.static_preflight``).
+    static_short_circuits: int = 0
+    #: Gate applications those short-circuits avoided entirely.
+    static_gates_saved: int = 0
 
     @property
     def num_breakpoints(self) -> int:
@@ -239,6 +244,11 @@ class ExecutionPlan:
             lines.append(
                 f"  cached as {self.fingerprint[:12]}: {self.cache_hits} plan-cache "
                 f"hits, {self.shared_prefix_gates_saved} shared-prefix gates saved"
+            )
+        if self.static_short_circuits:
+            lines.append(
+                f"  static analysis: {self.static_short_circuits} breakpoint(s) "
+                f"short-circuited, {self.static_gates_saved} gates saved"
             )
         lines.extend(f"  {segment.describe()}" for segment in self.segments)
         return "\n".join(lines)

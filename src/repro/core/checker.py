@@ -159,6 +159,81 @@ class StatisticalAssertionChecker:
     def breakpoints(self) -> list[BreakpointProgram]:
         return split_at_assertions(self.program)
 
+    # ------------------------------------------------------------------
+    # Static analysis (stabilizer abstract interpretation)
+    # ------------------------------------------------------------------
+
+    def analyze(self):
+        """Static verdicts + lint diagnostics for the program.
+
+        Returns a :class:`repro.analysis.AnalysisResult`; served through the
+        executor's plan cache when possible, so one analysis covers every
+        noise-free run of the same program.
+        """
+        plan = self.execution_plan()
+        cache = getattr(self.executor, "plan_cache", None)
+        if cache is not None and plan.fingerprint is not None:
+            return cache.analysis_for(plan)
+        from ..analysis import analyze_plan
+
+        return analyze_plan(plan)
+
+    def _static_preflight(self, plan: ExecutionPlan):
+        """(decided verdicts by breakpoint index, analysis) for this run.
+
+        Empty when the pre-flight is off or unsound for the config: static
+        verdicts describe the *ideal* state, so any gate-noise channel or
+        readout error reverts every breakpoint to sampling.
+        """
+        if not self.config.static_preflight or not plan.segments:
+            return {}, None
+        noise = self.executor.noise
+        if noise is not None and noise.gate_channels:
+            return {}, None
+        if not self.executor.readout_error.is_ideal:
+            return {}, None
+        analysis = self.analyze()
+        decided = {
+            verdict.index: verdict
+            for verdict in analysis.verdicts
+            if verdict.decided
+        }
+        return decided, analysis
+
+    def _static_record(self, segment, verdict) -> BreakpointRecord:
+        """Synthesise the record a sampled run would have produced.
+
+        The p-value encodes the decided limit of the statistical test:
+        entanglement passes by *rejecting* independence (small p), the other
+        three pass by failing to reject (large p).
+        """
+        passed = verdict.verdict == "proven"
+        if verdict.assertion_type == "entangled":
+            p_value = 0.0 if passed else 1.0
+        else:
+            p_value = 1.0 if passed else 0.0
+        assertion = segment.assertion
+        outcome = AssertionOutcome(
+            assertion_type=verdict.assertion_type,
+            label=assertion.label or assertion.describe(),
+            passed=passed,
+            p_value=p_value,
+            statistic=0.0,
+            dof=0,
+            num_samples=0,
+            significance=self.significance,
+            message=f"statically {verdict.verdict}: {verdict.reason}",
+            details={"method": "static", "verdict": verdict.verdict},
+        )
+        return BreakpointRecord(
+            index=segment.index,
+            name=segment.name,
+            gates_before=segment.gates_before,
+            outcome=outcome,
+            ensemble_size=0,
+            method="static",
+        )
+
     def evaluate_breakpoint(self, breakpoint_program: BreakpointProgram) -> AssertionOutcome:
         """Run one breakpoint in isolation and evaluate its assertion."""
         measurements = self.executor.run(breakpoint_program)
@@ -178,13 +253,33 @@ class StatisticalAssertionChecker:
         Ensembles come from one incremental walk of the execution plan (or
         per-member prefix re-simulation in ``"rerun"`` mode — the executor
         decides based on its mode).
+
+        With ``config.static_preflight`` (noise-free, ideal readout only)
+        the stabilizer abstract interpreter decides breakpoints first:
+        decided ones land in the report with ``method="static"`` and zero
+        samples, and when *every* breakpoint decides the executor is never
+        invoked at all — the whole check costs one cached analysis.
         """
+        plan = self.execution_plan()
+        decided, analysis = self._static_preflight(plan)
         report = DebugReport(
             program_name=self.program.name,
             ensemble_size=self.ensemble_size,
             significance=self.significance,
         )
-        for measurements in self.executor.run_plan(self.execution_plan()):
+        if analysis is not None:
+            report.diagnostics = [d.to_dict() for d in analysis.diagnostics]
+        if decided and len(decided) == plan.num_breakpoints:
+            # Full short-circuit: no walk, no snapshots, no samples.
+            for segment in plan.segments:
+                report.add(self._static_record(segment, decided[segment.index]))
+            self._record_static_savings(plan, decided, full=True)
+            return report
+        if decided:
+            self._record_static_savings(plan, decided, full=False)
+        for measurements in self.executor.run_plan(
+            plan, skip_indices=frozenset(decided)
+        ):
             breakpoint_program = measurements.breakpoint
             outcome = self._evaluate(measurements)
             report.add(
@@ -196,7 +291,36 @@ class StatisticalAssertionChecker:
                     ensemble_size=self.ensemble_size,
                 )
             )
+        if decided:
+            static_records = [
+                self._static_record(segment, decided[segment.index])
+                for segment in plan.segments
+                if segment.index in decided
+            ]
+            report.records.extend(static_records)
+            report.records.sort(key=lambda record: record.index)
         return report
+
+    def _record_static_savings(self, plan, decided, *, full: bool) -> None:
+        """Thread skipped work into the plan/cache counters.
+
+        A full short-circuit skips the entire plan walk; a partial one (or
+        any ``"rerun"``-mode skip) saves the skipped breakpoints' prefix
+        re-simulation but still walks the plan for the sampled remainder.
+        """
+        if self.executor.mode == "rerun":
+            gates_saved = sum(
+                segment.gates_before
+                for segment in plan.segments
+                if segment.index in decided
+            )
+        else:
+            gates_saved = plan.total_gates if full else 0
+        plan.static_short_circuits += len(decided)
+        plan.static_gates_saved += gates_saved
+        cache = getattr(self.executor, "plan_cache", None)
+        if cache is not None:
+            cache.record_static_short_circuit(len(decided), gates_saved)
 
     def check(self) -> DebugReport:
         """Like :meth:`run` but raise :class:`AssertionViolation` on the first failure."""

@@ -207,6 +207,15 @@ class RunConfig:
         via :mod:`repro.workloads.sharding`.  Per-point seeds are spawned
         from one ``SeedSequence`` and results merge in deterministic point
         order, so a sharded sweep is verdict-identical to the serial run.
+    static_preflight:
+        With ``static_preflight=True`` the checker first asks the stabilizer
+        abstract interpreter (:mod:`repro.analysis`) to decide each
+        breakpoint; PROVEN/REFUTED assertions skip ensemble sampling and
+        land in the report with ``method="static"``.  Only applies to
+        noise-free, ideal-readout runs — any noise or readout channel
+        silently reverts every breakpoint to sampling.  Off by default
+        because skipping draws advances the rng stream differently than a
+        fully sampled run.
     """
 
     ensemble_size: int = 16
@@ -221,6 +230,7 @@ class RunConfig:
     max_batches: int = 8
     shard: bool = False
     max_workers: int | None = None
+    static_preflight: bool = False
 
     def __post_init__(self) -> None:
         ensemble_size = int(self.ensemble_size)
@@ -264,6 +274,7 @@ class RunConfig:
         object.__setattr__(self, "max_batches", max_batches)
 
         object.__setattr__(self, "shard", bool(self.shard))
+        object.__setattr__(self, "static_preflight", bool(self.static_preflight))
 
         if self.max_workers is not None:
             max_workers = int(self.max_workers)
@@ -331,6 +342,7 @@ class RunConfig:
             "max_batches": self.max_batches,
             "shard": self.shard,
             "max_workers": self.max_workers,
+            "static_preflight": self.static_preflight,
         }
 
     @classmethod

@@ -55,6 +55,10 @@ class BreakpointRecord:
     gates_before: int
     outcome: AssertionOutcome
     ensemble_size: int
+    #: How the verdict was reached: ``"sampled"`` (statistical test on an
+    #: ensemble) or ``"static"`` (stabilizer abstract interpretation, no
+    #: samples drawn).
+    method: str = "sampled"
 
     @property
     def passed(self) -> bool:
@@ -69,6 +73,7 @@ class BreakpointRecord:
             "breakpoint": self.index,
             "name": self.name,
             "type": self.outcome.assertion_type,
+            "method": self.method,
             "gates": self.gates_before,
             "n": self.ensemble_size,
             "p_value": self.outcome.p_value,
@@ -83,6 +88,7 @@ class BreakpointRecord:
                 "name": self.name,
                 "gates_before": self.gates_before,
                 "ensemble_size": self.ensemble_size,
+                "method": self.method,
                 "outcome": dataclasses.asdict(self.outcome),
             }
         )
@@ -99,6 +105,7 @@ class BreakpointRecord:
             name=str(data["name"]),
             gates_before=int(data["gates_before"]),
             ensemble_size=int(data["ensemble_size"]),
+            method=str(data.get("method", "sampled")),
             outcome=outcome,
         )
 
@@ -118,9 +125,23 @@ class DebugReport:
     #: (``run_until_converged``) run: samples, worst category standard
     #: error, converged flag, batches walked.  Empty for fixed-size runs.
     convergence: list[dict] = field(default_factory=list)
+    #: Linter findings from the static pre-flight, as plain
+    #: :meth:`repro.analysis.Diagnostic.to_dict` payloads (JSON-native so
+    #: the wire format needs no analysis import).  Empty unless the run
+    #: analyzed the program (``RunConfig.static_preflight``).
+    diagnostics: list[dict] = field(default_factory=list)
 
     def add(self, record: BreakpointRecord) -> None:
         self.records.append(record)
+
+    @property
+    def num_static(self) -> int:
+        """Breakpoints decided by static analysis (no samples drawn)."""
+        return sum(record.method == "static" for record in self.records)
+
+    @property
+    def num_sampled(self) -> int:
+        return sum(record.method != "static" for record in self.records)
 
     @property
     def passed(self) -> bool:
@@ -164,6 +185,7 @@ class DebugReport:
             "passed": self.passed,
             "records": [record.to_dict() for record in self.records],
             "convergence": _jsonify(self.convergence),
+            "diagnostics": _jsonify(self.diagnostics),
         }
 
     @classmethod
@@ -173,6 +195,7 @@ class DebugReport:
             ensemble_size=int(data.get("ensemble_size", 0)),
             significance=float(data.get("significance", 0.05)),
             convergence=[dict(row) for row in data.get("convergence", [])],
+            diagnostics=[dict(item) for item in data.get("diagnostics", [])],
         )
         for record in data.get("records", []):
             report.add(BreakpointRecord.from_dict(record))
@@ -197,6 +220,11 @@ class DebugReport:
             f"significance {self.significance})"
         ]
         lines.append(format_table(self.rows()))
+        if self.num_static:
+            lines.append(
+                f"{self.num_static} assertion(s) decided statically, "
+                f"{self.num_sampled} sampled"
+            )
         verdict = "ALL ASSERTIONS HELD" if self.passed else (
             f"{len(self.failures())} ASSERTION(S) VIOLATED"
         )
@@ -204,6 +232,24 @@ class DebugReport:
         first = self.first_failure()
         if first is not None:
             lines.append(f"first violation: {first}")
+        return "\n".join(lines)
+
+    def describe(self) -> str:
+        """:meth:`summary` plus the static-vs-sampled split and any linter
+        diagnostics the pre-flight attached."""
+        lines = [
+            self.summary(),
+            f"assertions: {self.num_static} static, {self.num_sampled} sampled",
+        ]
+        if self.diagnostics:
+            lines.append(f"{len(self.diagnostics)} linter diagnostic(s):")
+            for item in self.diagnostics:
+                anchor = item.get("instruction_index")
+                anchor = "-" if anchor is None else anchor
+                lines.append(
+                    f"  {item.get('code', '?')} {item.get('severity', '?')} "
+                    f"@{anchor}: {item.get('message', '')}"
+                )
         return "\n".join(lines)
 
     def __str__(self) -> str:

@@ -128,6 +128,19 @@ class Session:
             se_cutoff=se_cutoff, max_batches=max_batches
         )
 
+    def analyze(self, program: Program):
+        """Static analysis of ``program``: assertion verdicts + lint findings.
+
+        Walks the program once in the stabilizer abstract domain — no
+        ensembles, no rng draws — and returns a
+        :class:`repro.analysis.AnalysisResult` whose PROVEN/REFUTED verdicts
+        are exactly the outcomes a noise-free sampled check would reach.
+        Results are cached by program fingerprint in the plan cache, and
+        ``RunConfig(static_preflight=True)`` lets :meth:`check` consume them
+        to skip sampling entirely.
+        """
+        return self.checker(program).analyze()
+
     # ------------------------------------------------------------------
     # Repeated-run statistics
     # ------------------------------------------------------------------

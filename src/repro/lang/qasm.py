@@ -209,6 +209,57 @@ _IMPORT_PARAM = {
 }
 
 
+_ASSERT_CLASSICAL_RE = re.compile(
+    r"^assert_classical\((?P<qubits>[^)]*)\)\s*==\s*(?P<value>\d+)$"
+)
+_ASSERT_SUPERPOSITION_RE = re.compile(
+    r"^assert_superposition\((?P<qubits>[^)]*)\)\s*\[(?P<support>.*)\]$"
+)
+_ASSERT_JOINT_RE = re.compile(
+    # Operand tokens look like ``q[0]``, so the group bodies themselves
+    # contain ``]``; lazy/greedy matching splits at the ``], [`` boundary.
+    r"^assert_(?P<kind>entangled|product)\(\[(?P<a>.*?)\]\s*,\s*\[(?P<b>.*)\]\)$"
+)
+_SUPPORT_RE = re.compile(r"^uniform over \[(?P<values>[^\]]*)\]$")
+
+
+def _apply_assertion_comment(comment: str, program: Program, resolve) -> None:
+    """Re-import one ``// assert_* ...`` structured comment.
+
+    The formats are exactly what :meth:`AssertionInstruction.describe`
+    produces (and :func:`to_qasm` emits), so export → import round-trips
+    assertions even though OpenQASM 2.0 itself cannot express them.
+    """
+    match = _ASSERT_CLASSICAL_RE.match(comment)
+    if match:
+        qubits = [resolve(tok) for tok in match.group("qubits").split(",")]
+        program.assert_classical(qubits, int(match.group("value")))
+        return
+    match = _ASSERT_SUPERPOSITION_RE.match(comment)
+    if match:
+        qubits = [resolve(tok) for tok in match.group("qubits").split(",")]
+        support = match.group("support").strip()
+        if support == "uniform":
+            values = None
+        else:
+            inner = _SUPPORT_RE.match(support)
+            if inner is None:
+                raise QasmError(f"cannot parse superposition support {support!r}")
+            values = [int(tok) for tok in inner.group("values").split(",")]
+        program.assert_superposition(qubits, values=values)
+        return
+    match = _ASSERT_JOINT_RE.match(comment)
+    if match:
+        group_a = [resolve(tok) for tok in match.group("a").split(",")]
+        group_b = [resolve(tok) for tok in match.group("b").split(",")]
+        if match.group("kind") == "entangled":
+            program.assert_entangled(group_a, group_b)
+        else:
+            program.assert_product(group_a, group_b)
+        return
+    raise QasmError(f"cannot parse assertion comment {comment!r}")
+
+
 def _parse_angle(token: str) -> float:
     token = token.strip().replace(" ", "")
     safe = {"pi": math.pi, "__builtins__": {}}
@@ -237,6 +288,11 @@ def from_qasm(text: str, name: str = "imported") -> Program:
     for raw_line in text.splitlines():
         line = raw_line.split("//", 1)[0].strip()
         if not line:
+            comment = raw_line.strip()
+            if comment.startswith("//"):
+                comment = comment[2:].strip()
+                if comment.startswith("assert_"):
+                    _apply_assertion_comment(comment, program, _resolve)
             continue
         if line.startswith("OPENQASM") or line.startswith("include"):
             continue

@@ -1,0 +1,103 @@
+"""``python -m repro.lint``: lint (and optionally statically check) programs.
+
+A thin command-line front end over :mod:`repro.analysis`: each argument is an
+OpenQASM 2.0 file (the subset :func:`repro.lang.qasm.from_qasm` understands,
+including the ``// assert_*`` structured comments the exporter emits), and
+each file is run through the program linter.  With ``--analyze`` the
+stabilizer-domain abstract interpreter also reports a PROVEN / REFUTED /
+UNDECIDED verdict per assertion.
+
+Exit status is 1 when any file produced an error-severity diagnostic (or
+could not be parsed), 0 otherwise — warnings alone do not fail the run, so
+the tool can sit in a CI pipeline next to the test suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .analysis import analyze_program, lint_program
+from .lang.qasm import QasmError, from_qasm
+
+__all__ = ["main"]
+
+
+def _lint_file(path: Path, analyze: bool) -> dict:
+    """Lint one file; returns a JSON-ready result row."""
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        return {"file": str(path), "error": f"cannot read: {exc}"}
+    try:
+        program = from_qasm(text, name=path.stem)
+    except QasmError as exc:
+        return {"file": str(path), "error": f"parse error: {exc}"}
+
+    row: dict = {"file": str(path)}
+    if analyze:
+        result = analyze_program(program)
+        diagnostics = result.diagnostics
+        row["verdicts"] = [verdict.to_dict() for verdict in result.verdicts]
+    else:
+        diagnostics = lint_program(program)
+    row["diagnostics"] = [diagnostic.to_dict() for diagnostic in diagnostics]
+    row["errors"] = sum(diagnostic.is_error for diagnostic in diagnostics)
+    return row
+
+
+def _print_row(row: dict) -> None:
+    from .analysis.diagnostics import Diagnostic
+
+    if "error" in row:
+        print(f"{row['file']}: error: {row['error']}")
+        return
+    for payload in row["diagnostics"]:
+        print(Diagnostic.from_dict(payload).format(row["file"]))
+    for verdict in row.get("verdicts", ()):
+        print(
+            f"{row['file']}: breakpoint {verdict['index']} "
+            f"{verdict['assertion_type']}: {verdict['verdict'].upper()} "
+            f"({verdict['reason']})"
+        )
+    if not row["diagnostics"] and "verdicts" not in row:
+        print(f"{row['file']}: clean")
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Lint OpenQASM 2.0 files for quantum-program dataflow "
+        "smells (QLINT001-008); optionally prove/refute their assertions "
+        "statically.",
+    )
+    parser.add_argument("files", nargs="+", metavar="FILE.qasm")
+    parser.add_argument(
+        "--analyze",
+        action="store_true",
+        help="also run the stabilizer abstract interpreter and report a "
+        "verdict per assertion",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one JSON object per file instead of human-readable lines",
+    )
+    args = parser.parse_args(argv)
+
+    failed = False
+    for name in args.files:
+        row = _lint_file(Path(name), analyze=args.analyze)
+        if args.json:
+            print(json.dumps(row, sort_keys=True))
+        else:
+            _print_row(row)
+        if "error" in row or row.get("errors"):
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -67,7 +67,12 @@ from .trajectory_backend import (
     spawn_trajectory_streams,
 )
 
-__all__ = ["StabilizerBackend", "HybridCliffordBackend", "NotCliffordGateError"]
+__all__ = [
+    "StabilizerBackend",
+    "HybridCliffordBackend",
+    "NotCliffordGateError",
+    "tableau_outcome_distribution",
+]
 
 #: Widest measured group the backend will materialise as a dense marginal.
 _DENSE_LIMIT = 20
@@ -242,6 +247,47 @@ class _Tableau:
         self.z[p] = 0
         self.z[p, q] = 1
         self.r[p] = np.uint8(outcome)
+
+
+def tableau_outcome_distribution(
+    tableau: _Tableau,
+    qubits: Sequence[int],
+    max_support: int | None = None,
+) -> dict[int, float] | None:
+    """Exact sparse outcome distribution of a tableau (little-endian values).
+
+    Walks the branching measurement tree on tableau copies; cost is
+    O(support x k x n²), so huge registers are fine as long as the state has
+    small measurement support on them (GHZ: support 2 at any width).  With
+    ``max_support`` the enumeration bails out and returns ``None`` as soon as
+    more than ``max_support`` distinct outcomes have been completed — the
+    static analyzer's way of saying "support provably larger than the cap"
+    without paying for the full tree.
+    """
+    qubit_list = list(qubits)
+    distribution: dict[int, float] = {}
+    stack: list[tuple[_Tableau, int, int, float]] = [(tableau.copy(), 0, 0, 1.0)]
+    while stack:
+        branch, position, value, probability = stack.pop()
+        while position < len(qubit_list):
+            q = qubit_list[position]
+            outcome = branch.deterministic_outcome(q)
+            if outcome is None:
+                sibling = branch.copy()
+                sibling.collapse(q, 1)
+                probability *= 0.5
+                stack.append(
+                    (sibling, position + 1, value | (1 << position), probability)
+                )
+                branch.collapse(q, 0)
+                outcome = 0
+            value |= outcome << position
+            position += 1
+        distribution[value] = distribution.get(value, 0.0) + probability
+        if max_support is not None and len(distribution) > max_support:
+            return None
+    return distribution
+
 
 class StabilizerBackend(SimulationBackend):
     """Clifford-only tableau backend (registry name ``"stabilizer"``).
@@ -452,27 +498,8 @@ class StabilizerBackend(SimulationBackend):
         """
         qubit_list = self._validated_qubits(qubits)
         tableau = self._require_tableau()
-        distribution: dict[int, float] = {}
-        stack: list[tuple[_Tableau, int, int, float]] = [
-            (tableau.copy(), 0, 0, 1.0)
-        ]
-        while stack:
-            branch, position, value, probability = stack.pop()
-            while position < len(qubit_list):
-                q = qubit_list[position]
-                outcome = branch.deterministic_outcome(q)
-                if outcome is None:
-                    sibling = branch.copy()
-                    sibling.collapse(q, 1)
-                    probability *= 0.5
-                    stack.append(
-                        (sibling, position + 1, value | (1 << position), probability)
-                    )
-                    branch.collapse(q, 0)
-                    outcome = 0
-                value |= outcome << position
-                position += 1
-            distribution[value] = distribution.get(value, 0.0) + probability
+        distribution = tableau_outcome_distribution(tableau, qubit_list)
+        assert distribution is not None  # no cap: enumeration always completes
         return distribution
 
     def _tableau_probabilities(self, qubit_list: list[int]) -> np.ndarray:

@@ -417,5 +417,7 @@ def assertion_cost(
         "rerun_mode_simulated_gates": total_prefix_gates * ensemble_size,
         "plan_cache_hits": plan.cache_hits,
         "shared_prefix_gates_saved": plan.shared_prefix_gates_saved,
+        "static_short_circuits": plan.static_short_circuits,
+        "static_gates_saved": plan.static_gates_saved,
         "plan_cache": cache.stats(),
     }

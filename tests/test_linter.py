@@ -1,0 +1,291 @@
+"""Program linter: QLINT rules, corpus self-check, CLI, QASM round trip.
+
+The linter's contract has two halves.  Per-rule: every ill-formed
+``LINT_SCENARIOS`` program trips exactly its documented QLINT code.
+Corpus-wide: every *clean* program in the repo — bug-catalog correct
+variants, Clifford scenario variants (structurally well-formed even when
+semantically buggy), and the example scripts' builders — produces zero
+diagnostics, so the linter can run as a CI self-check without a suppression
+list.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import LINT_CODES, SEVERITIES, Diagnostic, lint_program
+from repro.bugs.injector import BUG_SCENARIOS, LINT_SCENARIOS, STATIC_SIGNALS
+from repro.lang import Program
+from repro.lang.qasm import QasmError, from_qasm, to_qasm
+from repro.workloads.clifford import CLIFFORD_SCENARIOS
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+EXAMPLES = REPO_ROOT / "examples"
+
+
+# ---------------------------------------------------------------------------
+# Diagnostic objects and the rule table
+# ---------------------------------------------------------------------------
+
+
+class TestDiagnostic:
+    def test_code_table_is_complete(self):
+        assert sorted(LINT_CODES) == [f"QLINT00{i}" for i in range(1, 9)]
+        for severity, title in LINT_CODES.values():
+            assert severity in SEVERITIES
+            assert title
+
+    def test_round_trip(self):
+        diagnostic = Diagnostic(
+            code="QLINT002",
+            message="unitary after measurement",
+            severity="error",
+            instruction_index=4,
+            qubits=("q[0]",),
+        )
+        restored = Diagnostic.from_dict(diagnostic.to_dict())
+        assert restored == diagnostic
+        assert restored.is_error
+
+    def test_invalid_severity_rejected(self):
+        with pytest.raises(ValueError):
+            Diagnostic(code="QLINT001", message="m", severity="fatal")
+
+    def test_format_includes_location(self):
+        diagnostic = Diagnostic(
+            code="QLINT001", message="oops", instruction_index=2, qubits=("q[1]",)
+        )
+        text = diagnostic.format("prog.qasm")
+        assert "prog.qasm" in text and "QLINT001" in text and "q[1]" in text
+
+
+# ---------------------------------------------------------------------------
+# Per-rule units via the injector's lint scenarios
+# ---------------------------------------------------------------------------
+
+
+class TestLintRules:
+    @pytest.mark.parametrize("name", sorted(LINT_SCENARIOS))
+    def test_scenario_trips_expected_code(self, name):
+        scenario = LINT_SCENARIOS[name]
+        diagnostics = lint_program(scenario.build())
+        codes = [diagnostic.code for diagnostic in diagnostics]
+        assert scenario.expected_code in codes, (name, codes)
+        for diagnostic in diagnostics:
+            expected_severity = LINT_CODES[diagnostic.code][0]
+            assert diagnostic.severity == expected_severity
+
+    def test_wholly_unprepped_register_is_implicit_zero(self):
+        # Gating a register that never preps ANY qubit is the implicit-|0>
+        # convention (used throughout the examples); QLINT001 only fires
+        # when the register is partially prepped.
+        program = Program("implicit")
+        register = program.qreg("q", 2)
+        program.h(register[0])
+        program.gate("x", [register[1]], controls=[register[0]])
+        program.measure(register)
+        assert lint_program(program) == []
+
+    def test_prep_consumed_by_assertion_is_not_double_prep(self):
+        program = Program("asserted_prep")
+        register = program.qreg("q", 1)
+        program.prep_z(register[0], 1)
+        program.assert_classical(register, 1)
+        program.prep_z(register[0], 0)  # prior prep was observed: fine
+        program.measure(register)
+        assert [d.code for d in lint_program(program)] == []
+
+    def test_repeated_assertion_with_gate_between_is_fine(self):
+        program = Program("progress")
+        register = program.qreg("q", 1)
+        program.prep_z(register[0], 0)
+        program.assert_classical(register, 0)
+        program.gate("x", register[0])
+        program.assert_classical(register, 1)
+        program.measure(register)
+        assert lint_program(program) == []
+
+
+# ---------------------------------------------------------------------------
+# Corpus self-check (the CI gate)
+# ---------------------------------------------------------------------------
+
+
+def _example_builders():
+    """Module-level zero-argument ``build_*`` functions in examples/*.py."""
+    for path in sorted(EXAMPLES.glob("*.py")):
+        spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        for attr in sorted(vars(module)):
+            if not attr.startswith("build_"):
+                continue
+            builder = getattr(module, attr)
+            # Only builders defined *in* the example (imports from the
+            # library are covered by their own tests), and only zero-arg
+            # ones; unwrap circuit dataclasses that carry a .program.
+            if not callable(builder) or builder.__module__ != module.__name__:
+                continue
+
+            def _unwrapped(b=builder):
+                built = b()
+                return getattr(built, "program", built)
+
+            yield f"{path.name}:{attr}", _unwrapped
+
+
+class TestCorpusSelfCheck:
+    @pytest.mark.parametrize("name", sorted(BUG_SCENARIOS))
+    def test_bug_catalog_mapping(self, name):
+        """Each bug scenario maps to a lint signal or is explicitly exempt."""
+        assert name in STATIC_SIGNALS, f"no static-signal entry for {name}"
+        scenario = BUG_SCENARIOS[name]
+        clean = lint_program(scenario.build_correct())
+        assert clean == [], [d.format(name) for d in clean]
+        buggy_codes = [d.code for d in lint_program(scenario.build_buggy())]
+        expected = STATIC_SIGNALS[name]
+        if expected is None:
+            assert buggy_codes == [], buggy_codes
+        else:
+            assert expected in buggy_codes
+
+    @pytest.mark.parametrize("name", sorted(CLIFFORD_SCENARIOS))
+    def test_clifford_corpus_lint_clean(self, name):
+        scenario = CLIFFORD_SCENARIOS[name]
+        for buggy in (False, True):
+            for width in (scenario.moderate_qubits, scenario.deep_qubits):
+                program = scenario.build(width, buggy)
+                diagnostics = lint_program(program)
+                assert diagnostics == [], [
+                    d.format(program.name) for d in diagnostics
+                ]
+
+    def test_example_programs_lint_clean(self):
+        builders = dict(_example_builders())
+        assert builders, "no example builders discovered"
+        for name, builder in builders.items():
+            diagnostics = lint_program(builder())
+            assert diagnostics == [], (name, [str(d.to_dict()) for d in diagnostics])
+
+
+# ---------------------------------------------------------------------------
+# QASM round trip of assertions (what makes the CLI useful)
+# ---------------------------------------------------------------------------
+
+
+class TestQasmAssertionRoundTrip:
+    def test_all_assertion_kinds_survive(self):
+        program = Program("rt")
+        q = program.qreg("q", 2)
+        anc = program.qreg("anc", 1)
+        program.prep_z(q[0], 0).prep_z(q[1], 0).prep_z(anc[0], 0)
+        program.h(q[0]).gate("x", [q[1]], controls=[q[0]])
+        program.assert_classical([anc[0]], 0)
+        program.assert_superposition([q[0]])
+        program.assert_superposition([q[0]], values=[0, 1])
+        program.assert_entangled([q[0], q[1]], [anc[0]])
+        program.assert_product([anc[0]], [q[0]])
+        program.measure(q)
+        restored = from_qasm(to_qasm(program))
+        want = [i.describe() for i in program.instructions]
+        got = [i.describe() for i in restored.instructions]
+        assert [d for d in want if d.startswith("assert")] == [
+            d for d in got if d.startswith("assert")
+        ]
+
+    def test_malformed_assertion_comment_raises(self):
+        text = "\n".join(
+            [
+                "OPENQASM 2.0;",
+                'include "qelib1.inc";',
+                "qreg q[1];",
+                "// assert_classical(q[0]) == not_a_number",
+            ]
+        )
+        with pytest.raises(QasmError):
+            from_qasm(text)
+
+    def test_plain_comments_still_ignored(self):
+        text = "\n".join(
+            [
+                "OPENQASM 2.0;",
+                'include "qelib1.inc";',
+                "qreg q[1];",
+                "// just prose, nothing structured",
+                "h q[0]; // trailing comment",
+            ]
+        )
+        program = from_qasm(text)
+        assert len(program.instructions) == 1
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+def _write_qasm(path: Path, program: Program) -> Path:
+    path.write_text(to_qasm(program))
+    return path
+
+
+def _run_cli(*args: str):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.lint", *args],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+    )
+
+
+class TestLintCli:
+    def test_clean_file_exits_zero(self, tmp_path):
+        program = Program("clean")
+        register = program.qreg("q", 2)
+        program.prep_z(register[0], 0).prep_z(register[1], 0)
+        program.h(register[0]).gate("x", [register[1]], controls=[register[0]])
+        program.assert_entangled([register[0]], [register[1]])
+        program.measure(register)
+        path = _write_qasm(tmp_path / "clean.qasm", program)
+        result = _run_cli(str(path), "--analyze")
+        assert result.returncode == 0, result.stderr
+        assert "PROVEN" in result.stdout
+
+    def test_error_diagnostic_exits_one(self, tmp_path):
+        program = Program("buggy")
+        register = program.qreg("q", 1)
+        program.prep_z(register[0], 0)
+        program.measure(register)
+        program.h(register[0])  # QLINT002, error severity
+        path = _write_qasm(tmp_path / "buggy.qasm", program)
+        result = _run_cli(str(path))
+        assert result.returncode == 1
+        assert "QLINT002" in result.stdout
+
+    def test_json_output(self, tmp_path):
+        program = Program("warn")
+        register = program.qreg("q", 1)
+        program.qreg("spare", 1)  # QLINT007, warning severity
+        program.prep_z(register[0], 0)
+        program.h(register[0])
+        program.measure(register)
+        path = _write_qasm(tmp_path / "warn.qasm", program)
+        result = _run_cli(str(path), "--json")
+        assert result.returncode == 0  # warnings alone do not fail the run
+        row = json.loads(result.stdout)
+        assert row["errors"] == 0
+        assert [d["code"] for d in row["diagnostics"]] == ["QLINT007"]
+
+    def test_unparseable_file_exits_one(self, tmp_path):
+        path = tmp_path / "broken.qasm"
+        path.write_text("OPENQASM 2.0;\nnot a statement\n")
+        result = _run_cli(str(path))
+        assert result.returncode == 1
+        assert "error" in result.stdout

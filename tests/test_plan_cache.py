@@ -169,6 +169,10 @@ class TestPlanCache:
             "snapshot_hits": 0,
             "snapshot_misses": 0,
             "gates_saved": 0,
+            "analysis_hits": 0,
+            "analysis_misses": 0,
+            "static_short_circuits": 0,
+            "static_gates_saved": 0,
         }
 
     def test_sweep_compiles_each_unique_program_once(self):
