@@ -255,7 +255,7 @@ class AnalysisResult:
 class _AbstractState:
     """Tableau + taint set + union-find; one instance per analysis walk."""
 
-    def __init__(self, program: Program):
+    def __init__(self, program: Program, max_support: "int | None" = None):
         self.program = program
         self.n = program.num_qubits
         self.tableau = _Tableau(self.n) if self.n else None
@@ -263,6 +263,12 @@ class _AbstractState:
         self.touched: set[int] = set()
         self._parent = list(range(self.n))
         self.analysis_gates = 0
+        if max_support is None:
+            self.max_support = SUPPORT_LIMIT
+        else:
+            self.max_support = int(max_support)
+            if self.max_support <= 0:
+                raise ValueError("max_support must be positive")
 
     # -- union-find ----------------------------------------------------
 
@@ -390,20 +396,20 @@ class _AbstractState:
             return self._undecided(qubits, indices)
         k = len(indices)
         if assertion.values is None:
-            if k > SUPPORT_LIMIT.bit_length() - 1:
+            if k > self.max_support.bit_length() - 1:
                 return (
                     UNDECIDED,
-                    f"expected support 2^{k} exceeds the {SUPPORT_LIMIT}-outcome "
+                    f"expected support 2^{k} exceeds the {self.max_support}-outcome "
                     "enumeration cap",
                 )
             expected = set(range(1 << k))
         else:
             expected = set(assertion.values)
-            if len(expected) > SUPPORT_LIMIT:
+            if len(expected) > self.max_support:
                 return (
                     UNDECIDED,
                     f"expected support of {len(expected)} exceeds the "
-                    f"{SUPPORT_LIMIT}-outcome enumeration cap",
+                    f"{self.max_support}-outcome enumeration cap",
                 )
         distribution = tableau_outcome_distribution(
             self.tableau, indices, max_support=len(expected)
@@ -442,12 +448,12 @@ class _AbstractState:
         if self._tainted(indices):
             return self._undecided(qubits, indices)
         distribution = tableau_outcome_distribution(
-            self.tableau, indices, max_support=SUPPORT_LIMIT
+            self.tableau, indices, max_support=self.max_support
         )
         if distribution is None:
             return (
                 UNDECIDED,
-                f"joint support exceeds the {SUPPORT_LIMIT}-outcome "
+                f"joint support exceeds the {self.max_support}-outcome "
                 "enumeration cap",
             )
         la = len(group_a)
@@ -507,16 +513,23 @@ def _assertion_type(assertion: AssertionInstruction) -> str:
     return "product"
 
 
-def analyze_plan(plan: ExecutionPlan) -> AnalysisResult:
+def analyze_plan(
+    plan: ExecutionPlan, max_support: "int | None" = None
+) -> AnalysisResult:
     """Walk ``plan`` in the stabilizer abstract domain and decide every
     breakpoint; also lints the underlying program.
+
+    ``max_support`` caps how many distinct outcomes the support-enumeration
+    verdicts will materialise before falling back to UNDECIDED (default
+    :data:`SUPPORT_LIMIT`; configurable per run via
+    ``RunConfig.max_support``).
 
     Prefer :meth:`repro.compiler.plan_cache.PlanCache.analysis_for` (or
     :meth:`repro.Session.analyze`) for repeated calls — results are cached by
     ``program_fingerprint``.
     """
     program = plan.program
-    state = _AbstractState(program)
+    state = _AbstractState(program, max_support=max_support)
     verdicts: list[AssertionVerdict] = []
     for segment in plan.segments:
         for instruction in segment.instructions:
@@ -541,9 +554,11 @@ def analyze_plan(plan: ExecutionPlan) -> AnalysisResult:
     )
 
 
-def analyze_program(program: Program) -> AnalysisResult:
+def analyze_program(
+    program: Program, max_support: "int | None" = None
+) -> AnalysisResult:
     """Analyze a bare :class:`Program` (compiles a fresh, uncached plan)."""
-    result = analyze_plan(build_execution_plan(program))
+    result = analyze_plan(build_execution_plan(program), max_support=max_support)
     if result.fingerprint is None:
         from ..compiler.plan_cache import program_fingerprint
 

@@ -85,8 +85,15 @@ def _assertion_key(program: Program, assertion: AssertionInstruction):
     )
 
 
-def lint_program(program: Program) -> list[Diagnostic]:
-    """Run every lint rule over ``program`` and return sorted diagnostics."""
+def lint_program(program: Program, suppress: bool = True) -> list[Diagnostic]:
+    """Run every lint rule over ``program`` and return sorted diagnostics.
+
+    Diagnostics whose code appears in ``program.lint_suppressions`` (set via
+    :meth:`Program.suppress_lint` or ``// qlint: disable=QLINT0xx`` comments
+    in imported OpenQASM) are dropped unless ``suppress=False``, which
+    reports everything regardless — the ``--no-suppress`` audit mode of
+    ``python -m repro.lint``.
+    """
     diagnostics: list[Diagnostic] = []
     n = program.num_qubits
 
@@ -253,6 +260,9 @@ def lint_program(program: Program) -> list[Diagnostic]:
                 )
             )
 
+    suppressed = getattr(program, "lint_suppressions", None)
+    if suppress and suppressed:
+        diagnostics = [d for d in diagnostics if d.code not in suppressed]
     diagnostics.sort(
         key=lambda d: (
             d.instruction_index is None,

@@ -57,7 +57,13 @@ from ..lang.program import Program, run_instructions
 from ..sim.backend import SimulationBackend
 from ..sim.measurement import MeasurementEnsemble, ReadoutErrorModel
 from ..sim.noise import KrausChannel, NoiseModel
-from ..sim.registry import make_backend, make_noisy_backend, resolve_backend_name
+from ..sim.memory import dense_qubit_budget
+from ..sim.registry import (
+    backend_capabilities,
+    make_backend,
+    make_noisy_backend,
+    resolve_backend_name,
+)
 from ..sim.trajectory_backend import spawn_trajectory_streams
 from .plan_cache import PlanCache, SnapshotSet, default_plan_cache
 from .splitter import BreakpointProgram, ExecutionPlan, build_execution_plan
@@ -169,6 +175,9 @@ class BreakpointExecutor:
         #: Gate applications this executor *skipped* because a run was served
         #: from cached breakpoint snapshots instead of re-walking the plan.
         self.shared_prefix_gates_saved = 0
+        #: Memory-aware routing decision of the most recent backend build
+        #: (``run_plan`` copies it onto the plan's ``routing_note``).
+        self._routing_note: str | None = None
 
     # ------------------------------------------------------------------
     # Incremental plan execution (the O(total_gates) path)
@@ -227,6 +236,8 @@ class BreakpointExecutor:
                 return self._sample_from_snapshots(plan, cached)
         program = plan.program
         engine = self._new_backend(program.num_qubits, clifford=plan.is_clifford)
+        if self._routing_note:
+            plan.routing_note = self._routing_note
         native, displaced = self._install_readout(engine)
         gates_before_walk = engine.gates_applied
         dense_before_walk = engine.statevector_gates_applied
@@ -252,7 +263,13 @@ class BreakpointExecutor:
                     recorder.tokens.append(token)
                     recorder.indices.append(indices)
                 results.append(
-                    self._package(view, indices, samples, native_readout=native)
+                    self._package(
+                        view,
+                        indices,
+                        samples,
+                        native_readout=native,
+                        weights=self._member_weights(engine, len(samples)),
+                    )
                 )
         finally:
             self._restore_readout(engine, native, displaced)
@@ -333,12 +350,13 @@ class BreakpointExecutor:
         indices = [program.qubit_index(q) for q in qubits]
 
         if self.mode == "sample":
-            samples, native = self._sample_mode(program, indices)
+            samples, native, weights = self._sample_mode(program, indices)
         else:
-            samples, native = self._rerun_mode(program, indices)
+            samples, native, weights = self._rerun_mode(program, indices)
 
         return self._package(
-            breakpoint_program, indices, samples, native_readout=native
+            breakpoint_program, indices, samples, native_readout=native,
+            weights=weights,
         )
 
     # ------------------------------------------------------------------
@@ -349,6 +367,7 @@ class BreakpointExecutor:
         indices: list[int],
         samples: Sequence[int],
         native_readout: bool = False,
+        weights: "Sequence[float] | None" = None,
     ) -> BreakpointMeasurements:
         # With native_readout the samples were already drawn from the exact
         # noisy distribution inside the backend — never corrupt them twice.
@@ -356,12 +375,33 @@ class BreakpointExecutor:
             samples = self.readout_error.corrupt(samples, len(indices), rng=self.rng)
         # MeasurementEnsemble copies and int-coerces the samples itself.
         joint = MeasurementEnsemble(
-            num_bits=len(indices), samples=samples, label=breakpoint_program.name
+            num_bits=len(indices),
+            samples=samples,
+            label=breakpoint_program.name,
+            weights=None if weights is None else list(weights),
         )
         group_a, group_b = self._slice_groups(breakpoint_program.assertion, joint)
         return BreakpointMeasurements(
             breakpoint=breakpoint_program, joint=joint, group_a=group_a, group_b=group_b
         )
+
+    @staticmethod
+    def _member_weights(
+        engine: SimulationBackend, sample_count: int
+    ) -> "list[float] | None":
+        """The engine's per-member importance weights, when they apply.
+
+        Only meaningful when the ensemble was drawn one-sample-per-member
+        (the batched trajectory readout); averaged-mixture draws of any
+        other shot count have no per-sample weight attribution.
+        """
+        getter = getattr(engine, "member_weights", None)
+        if getter is None:
+            return None
+        weights = getter()
+        if weights is None or len(weights) != sample_count:
+            return None
+        return [float(w) for w in weights]
 
     def _new_backend(
         self, num_qubits: int, clifford: bool | None = None
@@ -381,16 +421,59 @@ class BreakpointExecutor:
         trajectories (batched statevectors, or tableau Pauli frames on the
         stabilizer spellings); anything else falls back to the exact
         density-matrix backend (see :meth:`_new_noisy_backend`).
+
+        Before any dense backend is instantiated the request is checked
+        against the host's dense-qubit budget (see
+        :func:`repro.sim.memory.dense_qubit_budget`): over-budget dense
+        widths raise an actionable error instead of attempting a ``2**n``
+        allocation, while over-budget Clifford ``"auto"`` plans simply run
+        on the tableau (the routing is recorded in
+        ``ExecutionPlan.routing_note``).
         """
+        self._routing_note = None
         if self.noise is not None and self.noise.gate_channels:
+            spec = self.backend
+            if spec is None or isinstance(spec, str):
+                self._enforce_dense_budget(
+                    resolve_backend_name(spec, clifford=clifford),
+                    num_qubits,
+                )
             engine = self._new_noisy_backend(clifford)
         else:
             spec = self.backend
-            if isinstance(spec, str):
-                spec = resolve_backend_name(spec, clifford=clifford)
+            if spec is None or isinstance(spec, str):
+                resolved = resolve_backend_name(spec, clifford=clifford)
+                self._enforce_dense_budget(resolved, num_qubits)
+                spec = resolved
             engine = make_backend(spec)
         engine.initialize(num_qubits)
         return engine
+
+    def _enforce_dense_budget(self, resolved: str, num_qubits: int) -> None:
+        """Refuse over-budget dense allocations before they happen.
+
+        ``resolved`` is the post-``"auto"``-routing registry name; dense
+        requests wider than the host budget raise here — never inside a
+        ``2**n`` allocation — and non-dense routings of over-budget widths
+        record the decision for ``ExecutionPlan.describe()``.
+        """
+        budget = dense_qubit_budget(self.config.max_dense_qubits)
+        if num_qubits <= budget:
+            return
+        if not backend_capabilities(resolved).dense:
+            self._routing_note = (
+                f"{num_qubits} qubits exceed the {budget}-qubit dense "
+                f"budget; running on {resolved!r} (no dense allocation)"
+            )
+            return
+        raise ValueError(
+            f"backend {resolved!r} would allocate a dense {num_qubits}-qubit "
+            f"state, beyond this host's {budget}-qubit budget "
+            f"(2**{num_qubits} amplitudes). For Clifford circuits use "
+            "backend='auto' or backend='stabilizer' (no dense state at any "
+            "width); to raise the budget set RunConfig.max_dense_qubits or "
+            "the REPRO_MAX_DENSE_QUBITS environment variable."
+        )
 
     def _trajectory_streams(self, count: int) -> list[np.random.Generator]:
         """Per-trajectory rng streams via ``SeedSequence.spawn``.
@@ -472,7 +555,7 @@ class BreakpointExecutor:
 
     def _sample_mode(
         self, program: Program, indices: list[int]
-    ) -> tuple[Sequence[int], bool]:
+    ) -> tuple[Sequence[int], bool, "list[float] | None"]:
         engine = self._new_backend(
             program.num_qubits, clifford=self._all_clifford(program)
         )
@@ -488,17 +571,19 @@ class BreakpointExecutor:
             samples = engine.sample(indices, shots=self.ensemble_size, rng=self.rng)
         finally:
             self._restore_readout(engine, native, displaced)
-        return samples, native
+        return samples, native, self._member_weights(engine, len(samples))
 
     def _rerun_mode(
         self, program: Program, indices: list[int]
-    ) -> tuple[list[int], bool]:
+    ) -> tuple[list[int], bool, "list[float] | None"]:
         # Rerun mode never installs the readout model natively: ensembles
         # come from per-member collapsing measurements, and backends keep
         # `measure` ideal (mid-circuit resets must match across backends),
         # so _package applies the classical corruption — exactly the
         # statevector semantics.
         samples = []
+        weights: list[float] = []
+        weighted = False
         clifford = self._all_clifford(program)
         for _ in range(self.ensemble_size):
             engine = self._new_backend(program.num_qubits, clifford=clifford)
@@ -510,7 +595,10 @@ class BreakpointExecutor:
                 engine.statevector_gates_applied - dense_counted
             )
             samples.append(int(engine.measure(indices, rng=self.rng)))
-        return samples, False
+            member = self._member_weights(engine, 1)
+            weighted = weighted or member is not None
+            weights.append(1.0 if member is None else member[0])
+        return samples, False, weights if weighted else None
 
     def _all_clifford(self, program: Program) -> bool | None:
         """Plan-free Clifford verdict for ``"auto"`` routing (None = skip)."""

@@ -118,6 +118,12 @@ def program_fingerprint(program: Program) -> str:
     hasher = hashlib.sha256()
     for register in program.registers:
         hasher.update(f"r:{register.name}:{register.size};".encode())
+    # Lint suppressions change the diagnostics embedded in cached analysis
+    # results, so suppressing programs address distinct cache entries; the
+    # common (no-suppression) case keeps its historical fingerprint.
+    suppressions = getattr(program, "lint_suppressions", None)
+    if suppressions:
+        hasher.update(f"q:{sorted(suppressions)};".encode())
     x_key = None
     for instruction in program.instructions:
         if isinstance(instruction, GateInstruction):
@@ -211,9 +217,10 @@ class _CacheEntry:
     deterministic_walk: bool
     #: Recorded walks keyed by resolved backend name.
     snapshots: "dict[str, SnapshotSet]" = field(default_factory=dict)
-    #: Cached static-analysis result (verdicts + diagnostics); computed on
-    #: first request, valid for every noise-free config of the program.
-    analysis: "object | None" = None
+    #: Cached static-analysis results (verdicts + diagnostics) keyed by the
+    #: effective support-enumeration cap; computed on first request per cap,
+    #: valid for every noise-free config of the program.
+    analysis: "dict[int, object]" = field(default_factory=dict)
 
 
 class PlanCache:
@@ -319,32 +326,34 @@ class PlanCache:
 
     # -- static analysis -------------------------------------------------
 
-    def analysis_for(self, plan: ExecutionPlan):
+    def analysis_for(self, plan: ExecutionPlan, max_support: "int | None" = None):
         """The static :class:`~repro.analysis.AnalysisResult` for ``plan``.
 
-        Computed once per fingerprint and cached on the plan's entry —
-        verdicts depend only on the program, never on ensemble size, seed or
-        significance, so one analysis serves every noise-free sweep point.
-        Plans without a fingerprint are analyzed fresh each call.
+        Computed once per (fingerprint, support cap) and cached on the plan's
+        entry — verdicts depend only on the program and the enumeration cap,
+        never on ensemble size, seed or significance, so one analysis serves
+        every noise-free sweep point at that cap.  Plans without a
+        fingerprint are analyzed fresh each call.
         """
         # Runtime import: analysis sits above the compiler layer (it walks
         # plans), so the compiler must not import it at module scope.
-        from ..analysis import analyze_plan
+        from ..analysis import SUPPORT_LIMIT, analyze_plan
 
+        cap = SUPPORT_LIMIT if max_support is None else int(max_support)
         fingerprint = plan.fingerprint
         if fingerprint is not None:
             with self._lock:
                 entry = self._entries.get(fingerprint)
-                if entry is not None and entry.analysis is not None:
+                if entry is not None and cap in entry.analysis:
                     self.analysis_hits += 1
-                    return entry.analysis
-        result = analyze_plan(plan)
+                    return entry.analysis[cap]
+        result = analyze_plan(plan, max_support=cap)
         with self._lock:
             self.analysis_misses += 1
             if fingerprint is not None:
                 entry = self._entries.get(fingerprint)
                 if entry is not None:
-                    entry.analysis = result
+                    entry.analysis[cap] = result
         return result
 
     def record_static_short_circuit(

@@ -130,6 +130,10 @@ class ExecutionPlan:
     static_short_circuits: int = 0
     #: Gate applications those short-circuits avoided entirely.
     static_gates_saved: int = 0
+    #: Memory-aware routing decision recorded by the executor (e.g. a
+    #: Clifford plan routed to the tableau because the width exceeds the
+    #: host's dense budget); ``None`` until a routing decision is made.
+    routing_note: str | None = None
 
     @property
     def num_breakpoints(self) -> int:
@@ -250,6 +254,8 @@ class ExecutionPlan:
                 f"  static analysis: {self.static_short_circuits} breakpoint(s) "
                 f"short-circuited, {self.static_gates_saved} gates saved"
             )
+        if self.routing_note:
+            lines.append(f"  routing: {self.routing_note}")
         lines.extend(f"  {segment.describe()}" for segment in self.segments)
         return "\n".join(lines)
 

@@ -173,10 +173,10 @@ class StatisticalAssertionChecker:
         plan = self.execution_plan()
         cache = getattr(self.executor, "plan_cache", None)
         if cache is not None and plan.fingerprint is not None:
-            return cache.analysis_for(plan)
+            return cache.analysis_for(plan, max_support=self.config.max_support)
         from ..analysis import analyze_plan
 
-        return analyze_plan(plan)
+        return analyze_plan(plan, max_support=self.config.max_support)
 
     def _static_preflight(self, plan: ExecutionPlan):
         """(decided verdicts by breakpoint index, analysis) for this run.
@@ -401,8 +401,15 @@ class StatisticalAssertionChecker:
                 merged = [
                     self._merge_measurements(a, b) for a, b in zip(merged, results)
                 ]
+            # Weighted (importance-sampled) ensembles converge on their
+            # weighted frequencies at the Kish effective sample size; for
+            # unweighted ensembles both degrade to the plain spelling.
             worst = max(
-                max_category_standard_error(m.joint.frequencies()) for m in merged
+                max_category_standard_error(
+                    m.joint.weighted_frequencies(),
+                    effective_sample_size=m.joint.effective_sample_size(),
+                )
+                for m in merged
             )
             if worst <= se_cutoff or batches >= max_batches:
                 break
@@ -412,7 +419,11 @@ class StatisticalAssertionChecker:
                 "name": m.breakpoint.name,
                 "batches": batches,
                 **dataclasses.asdict(
-                    ensemble_convergence(m.joint.frequencies(), cutoff=se_cutoff)
+                    ensemble_convergence(
+                        m.joint.weighted_frequencies(),
+                        cutoff=se_cutoff,
+                        effective_sample_size=m.joint.effective_sample_size(),
+                    )
                 ),
             }
             for m in merged

@@ -138,7 +138,7 @@ def _readout_from_dict(data: Mapping) -> ReadoutErrorModel:
 
 
 def _noise_to_dict(model: NoiseModel) -> dict:
-    return {
+    payload = {
         "gate_channels": [
             {
                 "name": channel.name,
@@ -148,6 +148,9 @@ def _noise_to_dict(model: NoiseModel) -> dict:
         ],
         "readout": _readout_to_dict(model.readout),
     }
+    if model.importance_boost is not None:
+        payload["importance_boost"] = float(model.importance_boost)
+    return payload
 
 
 def _noise_from_dict(data: Mapping) -> NoiseModel:
@@ -164,6 +167,7 @@ def _noise_from_dict(data: Mapping) -> NoiseModel:
     return NoiseModel(
         gate_channels=channels,
         readout=_readout_from_dict(readout) if readout else ReadoutErrorModel(),
+        importance_boost=data.get("importance_boost"),
     )
 
 
@@ -216,6 +220,21 @@ class RunConfig:
         silently reverts every breakpoint to sampling.  Off by default
         because skipping draws advances the rng stream differently than a
         fully sampled run.
+    max_dense_qubits:
+        Cap on the register width any dense (statevector/density) backend
+        may allocate in this run.  ``None`` — the default — derives the cap
+        from host memory (see :func:`repro.sim.memory.dense_qubit_budget`,
+        overridable via the ``REPRO_MAX_DENSE_QUBITS`` environment
+        variable); an explicit int pins it.  Over-budget dense requests
+        raise an actionable error (or route to the tableau when the plan is
+        Clifford under ``backend="auto"``) instead of attempting the
+        allocation.
+    max_support:
+        Cap on the measurement-support enumeration of the static analyzer
+        (:mod:`repro.analysis`); ``None`` keeps the module default
+        (``SUPPORT_LIMIT``).  Larger values let the abstract interpreter
+        decide assertions over states with wider sparse support at
+        proportional cost.
     """
 
     ensemble_size: int = 16
@@ -231,6 +250,8 @@ class RunConfig:
     shard: bool = False
     max_workers: int | None = None
     static_preflight: bool = False
+    max_dense_qubits: int | None = None
+    max_support: int | None = None
 
     def __post_init__(self) -> None:
         ensemble_size = int(self.ensemble_size)
@@ -281,6 +302,18 @@ class RunConfig:
             if max_workers <= 0:
                 raise ValueError("max_workers must be positive (or None)")
             object.__setattr__(self, "max_workers", max_workers)
+
+        if self.max_dense_qubits is not None:
+            max_dense_qubits = int(self.max_dense_qubits)
+            if max_dense_qubits <= 0:
+                raise ValueError("max_dense_qubits must be positive (or None)")
+            object.__setattr__(self, "max_dense_qubits", max_dense_qubits)
+
+        if self.max_support is not None:
+            max_support = int(self.max_support)
+            if max_support <= 0:
+                raise ValueError("max_support must be positive (or None)")
+            object.__setattr__(self, "max_support", max_support)
 
     # ------------------------------------------------------------------
 
@@ -343,6 +376,8 @@ class RunConfig:
             "shard": self.shard,
             "max_workers": self.max_workers,
             "static_preflight": self.static_preflight,
+            "max_dense_qubits": self.max_dense_qubits,
+            "max_support": self.max_support,
         }
 
     @classmethod

@@ -257,6 +257,7 @@ class ConvergenceResult:
 def category_standard_errors(
     counts: Mapping[int, int] | Sequence[int] | np.ndarray,
     num_outcomes: int | None = None,
+    effective_sample_size: float | None = None,
 ) -> np.ndarray:
     """Binomial standard error of each category frequency.
 
@@ -269,6 +270,13 @@ def category_standard_errors(
     ``num_outcomes`` enables the other :func:`chi_square_gof` spellings
     (sparse mapping, flat sample list) — a flat sample list without
     ``num_outcomes`` would be silently misread as a histogram.
+
+    Importance-weighted ensembles pass their *weighted* frequencies together
+    with the Kish ``effective_sample_size`` (see
+    :meth:`~repro.sim.measurement.MeasurementEnsemble.effective_sample_size`):
+    the weighted counts set the category probabilities while the effective N
+    replaces the raw total in the ``1/sqrt(N)`` denominator, since weighted
+    estimates carry the variance of that many unweighted samples.
     """
     if num_outcomes is None:
         dense = np.asarray(counts, dtype=float)
@@ -283,21 +291,30 @@ def category_standard_errors(
     if total <= 0:
         raise ValueError("the observed ensemble is empty")
     p = dense / total
-    return np.sqrt(p * (1.0 - p) / total)
+    denominator = total if effective_sample_size is None else float(effective_sample_size)
+    if denominator <= 0:
+        raise ValueError(
+            f"effective_sample_size must be positive, got {effective_sample_size}"
+        )
+    return np.sqrt(p * (1.0 - p) / denominator)
 
 
 def max_category_standard_error(
     counts: Mapping[int, int] | Sequence[int] | np.ndarray,
     num_outcomes: int | None = None,
+    effective_sample_size: float | None = None,
 ) -> float:
     """Worst per-category standard error of an empirical distribution."""
-    return float(category_standard_errors(counts, num_outcomes).max())
+    return float(
+        category_standard_errors(counts, num_outcomes, effective_sample_size).max()
+    )
 
 
 def ensemble_convergence(
     counts: Mapping[int, int] | Sequence[int] | np.ndarray,
     cutoff: float = 0.025,
     num_outcomes: int | None = None,
+    effective_sample_size: float | None = None,
 ) -> ConvergenceResult:
     """Standard-error convergence criterion for trajectory ensembles.
 
@@ -307,7 +324,9 @@ def ensemble_convergence(
     error drops to ``cutoff``.  The checker's
     :meth:`~repro.core.checker.StatisticalAssertionChecker.run_until_converged`
     keeps appending trajectory batches until this criterion (or a batch cap)
-    is met.
+    is met.  Importance-weighted ensembles supply their Kish
+    ``effective_sample_size``, which both the standard error and the
+    reported ``num_samples`` then use.
     """
     if not 0.0 < cutoff < 1.0:
         raise ValueError(f"cutoff must be in (0, 1), got {cutoff}")
@@ -315,11 +334,16 @@ def ensemble_convergence(
         dense = np.asarray(counts, dtype=float)
     else:
         dense = _normalise_counts(counts, num_outcomes)
-    worst = max_category_standard_error(dense)
+    worst = max_category_standard_error(
+        dense, effective_sample_size=effective_sample_size
+    )
+    reported = (
+        dense.sum() if effective_sample_size is None else effective_sample_size
+    )
     return ConvergenceResult(
         converged=worst <= cutoff,
         max_standard_error=worst,
-        num_samples=int(dense.sum()),
+        num_samples=int(reported),
         cutoff=float(cutoff),
     )
 

@@ -95,6 +95,17 @@ class Program:
         self._num_qubits = 0
         self._next_block_id = 0
         self._open_blocks: dict[str, list[int]] = {}
+        #: Lint codes (``"QLINT003"``) the author opted out of, e.g. via
+        #: ``// qlint: disable=QLINT003`` comments in imported OpenQASM.
+        #: Honored by :func:`repro.analysis.lint_program` unless the caller
+        #: passes ``suppress=False``.
+        self.lint_suppressions: set[str] = set()
+
+    def suppress_lint(self, *codes: str) -> "Program":
+        """Opt out of the given ``QLINT0xx`` diagnostics for this program."""
+        for code in codes:
+            self.lint_suppressions.add(str(code).upper())
+        return self
 
     # ------------------------------------------------------------------
     # Registers

@@ -93,8 +93,11 @@ def _qubit_ref(qubit: Qubit) -> str:
 def to_qasm(program: Program, include_assertions_as_comments: bool = True) -> str:
     """Serialise ``program`` to OpenQASM 2.0 text."""
     lines = ["OPENQASM 2.0;", 'include "qelib1.inc";']
+    if program.lint_suppressions:
+        lines.append(f"// qlint: disable={','.join(sorted(program.lint_suppressions))}")
     for register in program.registers:
         lines.append(f"qreg {register.name}[{register.size}];")
+    header_length = len(lines)
     measure_counter = 0
     declared_cregs: list[str] = []
 
@@ -127,8 +130,9 @@ def to_qasm(program: Program, include_assertions_as_comments: bool = True) -> st
 
     # Classical registers must be declared before use; splice them in after
     # the quantum register declarations.
-    insert_at = 2 + len(program.registers)
-    return "\n".join(lines[:insert_at] + declared_cregs + lines[insert_at:]) + "\n"
+    return "\n".join(
+        lines[:header_length] + declared_cregs + lines[header_length:]
+    ) + "\n"
 
 
 def _gate_to_qasm(instruction: GateInstruction) -> str:
@@ -260,6 +264,30 @@ def _apply_assertion_comment(comment: str, program: Program, resolve) -> None:
     raise QasmError(f"cannot parse assertion comment {comment!r}")
 
 
+_QLINT_DISABLE_RE = re.compile(
+    r"qlint:\s*disable\s*=\s*(?P<codes>QLINT\d{3}(?:\s*,\s*QLINT\d{3})*)\s*$",
+    re.IGNORECASE,
+)
+
+
+def _apply_qlint_comment(comment: str, program: Program) -> None:
+    """Apply one ``// qlint: disable=QLINT003[,QLINT004]`` suppression comment.
+
+    Suppressions are program-wide: the linter drops every diagnostic whose
+    code is listed, regardless of where in the file the comment appears
+    (``python -m repro.lint --no-suppress`` reports them anyway).
+    """
+    match = _QLINT_DISABLE_RE.match(comment)
+    if not match:
+        raise QasmError(
+            f"cannot parse qlint comment {comment!r}; expected "
+            "'qlint: disable=QLINT0xx[,QLINT0yy...]'"
+        )
+    program.suppress_lint(
+        *(code.strip() for code in match.group("codes").split(","))
+    )
+
+
 def _parse_angle(token: str) -> float:
     token = token.strip().replace(" ", "")
     safe = {"pi": math.pi, "__builtins__": {}}
@@ -293,6 +321,8 @@ def from_qasm(text: str, name: str = "imported") -> Program:
                 comment = comment[2:].strip()
                 if comment.startswith("assert_"):
                     _apply_assertion_comment(comment, program, _resolve)
+                elif comment.startswith("qlint:"):
+                    _apply_qlint_comment(comment, program)
             continue
         if line.startswith("OPENQASM") or line.startswith("include"):
             continue

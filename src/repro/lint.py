@@ -25,7 +25,7 @@ from .lang.qasm import QasmError, from_qasm
 __all__ = ["main"]
 
 
-def _lint_file(path: Path, analyze: bool) -> dict:
+def _lint_file(path: Path, analyze: bool, suppress: bool = True) -> dict:
     """Lint one file; returns a JSON-ready result row."""
     try:
         text = path.read_text()
@@ -41,8 +41,12 @@ def _lint_file(path: Path, analyze: bool) -> dict:
         result = analyze_program(program)
         diagnostics = result.diagnostics
         row["verdicts"] = [verdict.to_dict() for verdict in result.verdicts]
+        if not suppress:
+            diagnostics = lint_program(program, suppress=False)
     else:
-        diagnostics = lint_program(program)
+        diagnostics = lint_program(program, suppress=suppress)
+    if program.lint_suppressions:
+        row["suppressed_codes"] = sorted(program.lint_suppressions)
     row["diagnostics"] = [diagnostic.to_dict() for diagnostic in diagnostics]
     row["errors"] = sum(diagnostic.is_error for diagnostic in diagnostics)
     return row
@@ -85,11 +89,19 @@ def main(argv: "list[str] | None" = None) -> int:
         action="store_true",
         help="emit one JSON object per file instead of human-readable lines",
     )
+    parser.add_argument(
+        "--no-suppress",
+        action="store_true",
+        help="report diagnostics even when the file opts out of them via "
+        "'// qlint: disable=QLINT0xx' comments",
+    )
     args = parser.parse_args(argv)
 
     failed = False
     for name in args.files:
-        row = _lint_file(Path(name), analyze=args.analyze)
+        row = _lint_file(
+            Path(name), analyze=args.analyze, suppress=not args.no_suppress
+        )
         if args.json:
             print(json.dumps(row, sort_keys=True))
         else:

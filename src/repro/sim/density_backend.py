@@ -258,9 +258,17 @@ class DensityMatrixBackend(SimulationBackend):
         for qubit in touched:
             if qubit not in seen:
                 seen.append(qubit)
+        single = [c for c in channels if c.num_qubits == 1]
+        double = [c for c in channels if c.num_qubits == 2]
         for qubit in seen:
-            for channel in channels:
+            for channel in single:
                 self.apply_channel(channel, [qubit])
+        # Two-qubit (correlated) channels fire once per multi-qubit gate, on
+        # the first two qubits it touches — the same contract as the
+        # trajectory paths' iter_noise_events.
+        if double and len(seen) >= 2:
+            for channel in double:
+                self.apply_channel(channel, seen[:2])
 
     # -- readout --------------------------------------------------------
 

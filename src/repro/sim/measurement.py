@@ -48,11 +48,17 @@ class MeasurementEnsemble:
         One integer outcome per program execution (ensemble member).
     label:
         Human readable name of the measured quantum variable (register name).
+    weights:
+        Optional per-sample importance weights (likelihood ratios from
+        importance-sampled trajectory noise).  ``None`` — the default — is
+        an ordinary unweighted ensemble; weighted statistics then degrade
+        to their unweighted forms.
     """
 
     num_bits: int
     samples: list[int] = field(default_factory=list)
     label: str = ""
+    weights: list[float] | None = None
 
     def __post_init__(self) -> None:
         # Copy the caller's list (later caller-side mutation must not corrupt
@@ -68,6 +74,15 @@ class MeasurementEnsemble:
                 )
             coerced.append(value)
         self.samples = coerced
+        if self.weights is not None:
+            weights = [float(w) for w in self.weights]
+            if len(weights) != len(self.samples):
+                raise ValueError(
+                    f"{len(weights)} weights for {len(self.samples)} samples"
+                )
+            if any(w < 0.0 or not np.isfinite(w) for w in weights):
+                raise ValueError("sample weights must be finite and non-negative")
+            self.weights = weights
 
     @property
     def num_samples(self) -> int:
@@ -94,6 +109,36 @@ class MeasurementEnsemble:
             raise ValueError("empty ensemble has no empirical distribution")
         return freq / total
 
+    def weighted_frequencies(self) -> np.ndarray:
+        """Outcome frequencies with importance weights applied.
+
+        Each sample contributes its likelihood-ratio weight instead of 1, so
+        ``weighted_frequencies() / sum`` is the self-normalised
+        importance-sampling estimate of the true outcome distribution.
+        Without weights this is exactly :meth:`frequencies`.
+        """
+        if self.weights is None:
+            return self.frequencies()
+        freq = np.zeros(self.num_outcomes, dtype=float)
+        for sample, weight in zip(self.samples, self.weights):
+            freq[sample] += weight
+        return freq
+
+    def effective_sample_size(self) -> float:
+        """Kish effective sample size ``(sum w)^2 / sum w^2``.
+
+        The equivalent number of *unweighted* samples carrying the same
+        estimator variance; this is what weighted standard errors must use
+        in place of the raw member count.  Unweighted ensembles return
+        ``num_samples`` exactly.
+        """
+        if self.weights is None:
+            return float(len(self.samples))
+        weights = np.asarray(self.weights, dtype=float)
+        total_sq = float(weights.sum()) ** 2
+        denom = float((weights**2).sum())
+        return total_sq / denom if denom > 0.0 else 0.0
+
     def extract_bits(
         self, bit_positions: Sequence[int], label: str | None = None
     ) -> "MeasurementEnsemble":
@@ -114,15 +159,30 @@ class MeasurementEnsemble:
             num_bits=len(bit_positions),
             samples=new_samples,
             label=self.label if label is None else label,
+            weights=None if self.weights is None else list(self.weights),
         )
 
     def extend(self, other: "MeasurementEnsemble") -> "MeasurementEnsemble":
         if other.num_bits != self.num_bits:
             raise ValueError("ensembles measure different numbers of bits")
+        weights = None
+        if self.weights is not None or other.weights is not None:
+            # A merged batch is weighted as soon as either side is; the
+            # unweighted side's members carry the neutral weight 1.
+            weights = (
+                list(self.weights)
+                if self.weights is not None
+                else [1.0] * len(self.samples)
+            ) + (
+                list(other.weights)
+                if other.weights is not None
+                else [1.0] * len(other.samples)
+            )
         return MeasurementEnsemble(
             num_bits=self.num_bits,
             samples=list(self.samples) + list(other.samples),
             label=self.label or other.label,
+            weights=weights,
         )
 
     def __len__(self) -> int:

@@ -1,0 +1,106 @@
+"""Host-memory introspection and the dense-width routing budget.
+
+A dense ``n``-qubit statevector costs ``2**n`` complex128 amplitudes — 16
+bytes each — so every doubling of width doubles memory, and a single
+over-ambitious ``backend="statevector"`` request can take the host down with
+an allocation far beyond physical RAM.  The executor therefore derives a
+**dense-qubit budget** from host memory before instantiating any dense
+backend and refuses (or reroutes, for Clifford ``"auto"`` plans) requests
+beyond it, with an error that names the budget and the ways to override it.
+
+The budget is the Qiskit-Aer rule: the widest ``n`` whose full statevector
+fits in host RAM, ``n = floor(log2(mem_bytes / 16))``.  Batched trajectory
+ensembles and density matrices cost more than one statevector, but the
+single-statevector rule is deliberately the *routing* bound — it rejects the
+requests that cannot work at all, while leaving "slow but feasible" to the
+user.
+
+Resolution order:
+
+1. ``REPRO_MAX_DENSE_QUBITS`` environment variable (explicit budget in
+   qubits; operators pin CI / shared hosts this way);
+2. ``RunConfig.max_dense_qubits`` (per-run override, checked by the caller
+   before consulting this module);
+3. host memory via :mod:`psutil` when importable, else ``/proc/meminfo``
+   (``MemTotal``), else a conservative 4 GiB fallback.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = [
+    "host_memory_bytes",
+    "dense_qubit_budget",
+    "BYTES_PER_AMPLITUDE",
+    "FALLBACK_MEMORY_BYTES",
+]
+
+#: complex128 amplitude size — the unit of dense-statevector accounting.
+BYTES_PER_AMPLITUDE = 16
+
+#: Assumed host memory when no probe works (containers without /proc,
+#: exotic platforms): 4 GiB, conservative enough to never invite an OOM.
+FALLBACK_MEMORY_BYTES = 4 * 1024**3
+
+#: Environment variable naming an explicit dense-qubit budget.
+ENV_MAX_DENSE_QUBITS = "REPRO_MAX_DENSE_QUBITS"
+
+
+def host_memory_bytes() -> int:
+    """Total physical memory of the host, in bytes.
+
+    Prefers :mod:`psutil` when installed (portable), falls back to parsing
+    ``MemTotal`` from ``/proc/meminfo`` (Linux), and finally to the
+    conservative :data:`FALLBACK_MEMORY_BYTES` constant.
+    """
+    try:
+        import psutil  # soft dependency: never required
+
+        return int(psutil.virtual_memory().total)
+    except Exception:
+        pass
+    try:
+        with open("/proc/meminfo") as handle:
+            for line in handle:
+                if line.startswith("MemTotal:"):
+                    # "MemTotal:  131993292 kB"
+                    return int(line.split()[1]) * 1024
+    except (OSError, ValueError, IndexError):
+        pass
+    return FALLBACK_MEMORY_BYTES
+
+
+def dense_qubit_budget(
+    max_dense_qubits: int | None = None,
+    memory_bytes: int | None = None,
+) -> int:
+    """The widest register a dense statevector backend may allocate.
+
+    ``max_dense_qubits`` (e.g. from ``RunConfig``) wins outright; next the
+    ``REPRO_MAX_DENSE_QUBITS`` environment variable; otherwise the budget is
+    ``floor(log2(memory_bytes / 16))`` — the widest full statevector that
+    fits in host RAM (``memory_bytes`` defaults to :func:`host_memory_bytes`
+    and exists as a parameter for deterministic tests).
+    """
+    if max_dense_qubits is not None:
+        budget = int(max_dense_qubits)
+        if budget <= 0:
+            raise ValueError("max_dense_qubits must be positive")
+        return budget
+    env = os.environ.get(ENV_MAX_DENSE_QUBITS)
+    if env:
+        try:
+            budget = int(env)
+        except ValueError:
+            raise ValueError(
+                f"{ENV_MAX_DENSE_QUBITS} must be an integer qubit count, "
+                f"got {env!r}"
+            ) from None
+        if budget <= 0:
+            raise ValueError(f"{ENV_MAX_DENSE_QUBITS} must be positive, got {env!r}")
+        return budget
+    if memory_bytes is None:
+        memory_bytes = host_memory_bytes()
+    amplitudes = max(int(memory_bytes) // BYTES_PER_AMPLITUDE, 2)
+    return amplitudes.bit_length() - 1

@@ -32,6 +32,7 @@ __all__ = [
     "PauliChannelSampler",
     "amplitude_damping",
     "depolarizing",
+    "two_qubit_depolarizing",
     "bit_flip",
     "phase_flip",
     "bit_phase_flip",
@@ -123,28 +124,93 @@ class PauliMixture:
             dtype=np.int64,
         )
 
+    def component_codes(self) -> np.ndarray:
+        """Per-component single-qubit Pauli codes, shape ``(C, num_qubits)``.
+
+        Entry ``[k, q]`` is the 0=I / 1=X / 2=Y / 3=Z code of component
+        ``k``'s tensor factor on qubit ``q`` — a correlated multi-qubit
+        Pauli string delivered as its per-qubit factors, which is how the
+        trajectory paths apply it (the factors' relative phase is a global
+        phase per member and unobservable in Z-basis readout).
+        """
+        table = {(0, 0): 0, (1, 0): 1, (1, 1): 2, (0, 1): 3}
+        codes = np.array(
+            [
+                [
+                    table[((x >> q) & 1, (z >> q) & 1)]
+                    for q in range(self.num_qubits)
+                ]
+                for x, z in zip(self.x_masks, self.z_masks)
+            ],
+            dtype=np.int64,
+        )
+        return codes.reshape(len(self.probabilities), self.num_qubits)
+
 
 class PauliChannelSampler:
-    """Pre-computed inverse-CDF sampling table of a 1-qubit Pauli mixture.
+    """Pre-computed inverse-CDF sampling table of a Pauli mixture.
 
     One trajectory noise event consumes **one uniform per member** (drawn by
     the caller from that member's own rng stream) and maps it through the
     cumulative component probabilities — the rng-stream contract that keeps
     seeded runs reproducible under any batching of the ensemble.
+
+    With ``importance_boost=q`` the sampler draws components from a *biased*
+    distribution that inflates the total error mass to ``q`` (no-op when the
+    true error mass already meets it): each error component's probability is
+    scaled by ``q / p_err`` and the identity keeps the remaining ``1 - q``.
+    ``ratios[k] = p_k / q_k`` then holds the per-component likelihood ratio;
+    multiplying a member's running weight by the ratio of every sampled
+    component keeps ensemble averages unbiased while rare error branches are
+    visited often enough for finite-variance rate estimates.
     """
 
-    __slots__ = ("cumulative", "indices")
+    __slots__ = ("codes", "cumulative", "indices", "num_qubits", "ratios")
 
-    def __init__(self, mixture: PauliMixture):
-        self.indices = mixture.single_qubit_indices()
-        cumulative = np.cumsum(np.asarray(mixture.probabilities, dtype=float))
+    def __init__(
+        self,
+        mixture: PauliMixture,
+        importance_boost: float | None = None,
+    ):
+        self.num_qubits = mixture.num_qubits
+        self.codes = mixture.component_codes()
+        self.indices = self.codes[:, 0] if mixture.num_qubits == 1 else None
+        probabilities = np.asarray(mixture.probabilities, dtype=float)
+        sampling = probabilities
+        self.ratios: np.ndarray | None = None
+        if importance_boost is not None:
+            if not 0.0 < importance_boost < 1.0:
+                raise ValueError("importance_boost must lie in (0, 1)")
+            identity = np.array(
+                [x == 0 and z == 0 for x, z in zip(mixture.x_masks, mixture.z_masks)]
+            )
+            error_mass = float(probabilities[~identity].sum())
+            if identity.any() and 0.0 < error_mass < importance_boost:
+                sampling = probabilities * (importance_boost / error_mass)
+                sampling[identity] = (
+                    probabilities[identity]
+                    * ((1.0 - importance_boost) / (1.0 - error_mass))
+                )
+                self.ratios = probabilities / sampling
+        cumulative = np.cumsum(sampling)
         cumulative[-1] = 1.0  # guard accumulated rounding at the top end
         self.cumulative = cumulative
 
+    @property
+    def is_biased(self) -> bool:
+        """True when sampling is importance-biased (weights must be tracked)."""
+        return self.ratios is not None
+
+    def sample_positions(self, uniforms: np.ndarray) -> np.ndarray:
+        """Component index per member for the given uniforms."""
+        positions = np.searchsorted(self.cumulative, uniforms, side="right")
+        return np.minimum(positions, len(self.cumulative) - 1)
+
     def sample(self, uniforms: np.ndarray) -> np.ndarray:
         """Pauli index (0=I, 1=X, 2=Y, 3=Z) per member for the given uniforms."""
-        positions = np.searchsorted(self.cumulative, uniforms, side="right")
-        return self.indices[np.minimum(positions, len(self.indices) - 1)]
+        if self.indices is None:
+            raise ValueError("sample() needs a 1-qubit mixture; use sample_positions")
+        return self.indices[self.sample_positions(uniforms)]
 
 
 @dataclass(frozen=True, eq=False)
@@ -299,6 +365,25 @@ def depolarizing(p: float) -> KrausChannel:
     )
 
 
+def two_qubit_depolarizing(p: float) -> KrausChannel:
+    """Correlated two-qubit Pauli error: each of the 15 non-identity
+    two-qubit Pauli strings occurs with probability ``p/15``.
+
+    Unlike two independent single-qubit channels this correlates the errors
+    on the pair — ``X (x) X`` at ``p/15`` rather than ``(p/3)^2`` — which is
+    the standard model for entangling-gate noise.  The trajectory paths apply
+    it once per two-qubit gate, to the first two qubits the gate touches.
+    """
+    _check_probability("p", p)
+    paulis = (_gates.I, _gates.X, _gates.Y, _gates.Z)
+    terms = [(1.0 - p, np.kron(_gates.I, _gates.I))]
+    for high in range(4):
+        for low in range(4):
+            if high or low:
+                terms.append((p / 15.0, np.kron(paulis[high], paulis[low])))
+    return _pauli_mixture_channel(f"two_qubit_depolarizing({p})", terms)
+
+
 def amplitude_damping(gamma: float) -> KrausChannel:
     """Energy relaxation ``|1> -> |0>`` with probability ``gamma``."""
     _check_probability("gamma", gamma)
@@ -323,38 +408,61 @@ def _check_probability(name: str, value: float) -> None:
 class NoiseModel:
     """Machine-level noise: per-gate Kraus channels plus readout error.
 
-    ``gate_channels`` are single-qubit channels applied, after every gate, to
-    each qubit the gate touched (controls included) — the usual locally
-    correlated gate-error model.  ``readout`` is the classical measurement
-    channel, applied analytically in the density backend's readout path.
+    ``gate_channels`` holds single-qubit channels — applied, after every
+    gate, to each qubit the gate touched (controls included) — and may also
+    hold two-qubit channels such as :func:`two_qubit_depolarizing`, which the
+    trajectory paths fire once per multi-qubit gate on the first two qubits
+    it touches (correlated pair errors).  ``readout`` is the classical
+    measurement channel, applied analytically in the density backend's
+    readout path.
+
+    ``importance_boost``, when set, turns on importance-sampled trajectory
+    noise: Pauli-mixture components are drawn from a biased distribution
+    whose total error mass is inflated to the boost, and each trajectory
+    member carries a likelihood-ratio weight so ensemble statistics stay
+    unbiased.  Pick a boost so the *expected number of error events per
+    member* is O(1) — roughly ``boost ~ a few / (gates x qubits)`` — which
+    is what gives rare-event sweeps (``p ~ 1e-4``) finite-variance detection
+    rates at fixed ensemble size.
     """
 
     gate_channels: tuple[KrausChannel, ...] = ()
     readout: ReadoutErrorModel = field(default_factory=ReadoutErrorModel)
+    importance_boost: float | None = None
 
     def __post_init__(self) -> None:
         channels = tuple(self.gate_channels)
         for channel in channels:
             if not isinstance(channel, KrausChannel):
                 raise TypeError(f"expected a KrausChannel, got {type(channel)!r}")
-            if channel.num_qubits != 1:
+            if channel.num_qubits not in (1, 2):
                 raise ValueError(
                     f"gate channel {channel.name!r} acts on "
-                    f"{channel.num_qubits} qubits; per-gate noise must be single-qubit"
+                    f"{channel.num_qubits} qubits; per-gate noise must act "
+                    f"on one or two qubits"
                 )
         object.__setattr__(self, "gate_channels", channels)
+        if self.importance_boost is not None:
+            boost = float(self.importance_boost)
+            if not 0.0 < boost < 1.0:
+                raise ValueError(
+                    f"importance_boost must lie in (0, 1), got {self.importance_boost}"
+                )
+            object.__setattr__(self, "importance_boost", boost)
 
     @classmethod
     def from_channels(
         cls,
         channels: "KrausChannel | Iterable[KrausChannel]",
         readout: ReadoutErrorModel | None = None,
+        importance_boost: float | None = None,
     ) -> "NoiseModel":
         if isinstance(channels, KrausChannel):
             channels = (channels,)
         return cls(
             gate_channels=tuple(channels),
             readout=readout or ReadoutErrorModel(),
+            importance_boost=importance_boost,
         )
 
     @property

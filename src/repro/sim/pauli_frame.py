@@ -13,13 +13,19 @@ Two facts make the frame free to maintain:
 * Clifford gates conjugate Paulis to Paulis: after a gate ``U`` the member
   state ``U F_m |psi> = (U F_m U^dagger) (U |psi>)`` is again a frame over
   the updated tableau, and the conjugation rules are single-bit XORs on the
-  frame's ``(x, z)`` columns — O(1) per gate per member, vectorised over the
+  frame's ``(x, z)`` bits — O(1) per gate per member, vectorised over the
   whole batch below;
 * frames only matter at readout through their X part: measuring qubit ``q``
   of ``F|psi>`` in the Z basis returns the outcome of ``|psi>`` XOR-ed with
   the frame's ``x`` bit (the Z part commutes with the measurement and the
   frame's sign is a global phase), so sampling the noisy ensemble is
   "sample the noiseless tableau, XOR each member's flip mask".
+
+The frames are **bit-packed over the qubit axis**: ``x`` and ``z`` are
+``(batch_size, ceil(n/64))`` uint64 word arrays with bit ``q mod 64`` of word
+``q // 64`` holding the frame bit on qubit ``q``.  A 4096-member frame set
+over 128 qubits is then 64 KiB instead of 1 MiB, and every gate conjugation
+is still a single vectorised XOR over the member axis.
 
 Signs are deliberately **not** tracked: a Pauli frame's phase is global per
 member and unobservable in any Z-basis readout, which is all the assertion
@@ -34,28 +40,33 @@ import numpy as np
 
 __all__ = ["PauliFrameSet"]
 
+_ONE = np.uint64(1)
+
 
 class PauliFrameSet:
-    """A batch of Pauli frames: per-member ``(x, z)`` bit rows over ``n`` qubits.
+    """A batch of Pauli frames: per-member packed ``(x, z)`` bit rows.
 
-    ``x[m, q]`` / ``z[m, q]`` hold the symplectic bits of member ``m``'s
-    frame on qubit ``q``.  All updates are vectorised over the member axis.
+    ``x[m, q // 64] >> (q % 64) & 1`` / same on ``z`` hold the symplectic
+    bits of member ``m``'s frame on qubit ``q``.  All updates are vectorised
+    over the member axis.
     """
 
-    __slots__ = ("batch_size", "num_qubits", "x", "z")
+    __slots__ = ("batch_size", "num_qubits", "num_words", "x", "z")
 
     def __init__(self, batch_size: int, num_qubits: int):
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
         self.batch_size = int(batch_size)
         self.num_qubits = int(num_qubits)
-        self.x = np.zeros((self.batch_size, self.num_qubits), dtype=np.uint8)
-        self.z = np.zeros((self.batch_size, self.num_qubits), dtype=np.uint8)
+        self.num_words = max((self.num_qubits + 63) // 64, 1)
+        self.x = np.zeros((self.batch_size, self.num_words), dtype=np.uint64)
+        self.z = np.zeros((self.batch_size, self.num_words), dtype=np.uint64)
 
     def copy(self) -> "PauliFrameSet":
         clone = PauliFrameSet.__new__(PauliFrameSet)
         clone.batch_size = self.batch_size
         clone.num_qubits = self.num_qubits
+        clone.num_words = self.num_words
         clone.x = self.x.copy()
         clone.z = self.z.copy()
         return clone
@@ -65,6 +76,12 @@ class PauliFrameSet:
         """True when no member carries any Pauli (noiseless so far)."""
         return not (self.x.any() or self.z.any())
 
+    @staticmethod
+    def _locate(qubit: int) -> tuple[int, np.uint64, np.uint64]:
+        """(word index, shift, single-bit mask) of one qubit."""
+        shift = np.uint64(qubit & 63)
+        return qubit >> 6, shift, _ONE << shift
+
     # -- conjugation by Clifford gates (sign-free) ----------------------
     #
     # Each rule is U F U^dagger restricted to the (x, z) bits; the op names
@@ -72,10 +89,14 @@ class PauliFrameSet:
     # tableau op word can drive the frames unchanged.
 
     def h(self, q: int) -> None:
-        self.x[:, q], self.z[:, q] = self.z[:, q].copy(), self.x[:, q].copy()
+        w, _, bit = self._locate(q)
+        diff = (self.x[:, w] ^ self.z[:, w]) & bit
+        self.x[:, w] ^= diff
+        self.z[:, w] ^= diff
 
     def s(self, q: int) -> None:
-        self.z[:, q] ^= self.x[:, q]
+        w, _, bit = self._locate(q)
+        self.z[:, w] ^= self.x[:, w] & bit
 
     def sdg(self, q: int) -> None:
         self.s(q)  # the sign difference between S and Sdg is not tracked
@@ -90,16 +111,24 @@ class PauliFrameSet:
         pass
 
     def cx(self, control: int, target: int) -> None:
-        self.x[:, target] ^= self.x[:, control]
-        self.z[:, control] ^= self.z[:, target]
+        wc, sc, _ = self._locate(control)
+        wt, st, _ = self._locate(target)
+        self.x[:, wt] ^= ((self.x[:, wc] >> sc) & _ONE) << st
+        self.z[:, wc] ^= ((self.z[:, wt] >> st) & _ONE) << sc
 
     def cz(self, control: int, target: int) -> None:
-        self.z[:, target] ^= self.x[:, control]
-        self.z[:, control] ^= self.x[:, target]
+        wc, sc, _ = self._locate(control)
+        wt, st, _ = self._locate(target)
+        self.z[:, wt] ^= ((self.x[:, wc] >> sc) & _ONE) << st
+        self.z[:, wc] ^= ((self.x[:, wt] >> st) & _ONE) << sc
 
     def swap(self, a: int, b: int) -> None:
+        wa, sa, _ = self._locate(a)
+        wb, sb, _ = self._locate(b)
         for array in (self.x, self.z):
-            array[:, a], array[:, b] = array[:, b].copy(), array[:, a].copy()
+            diff = ((array[:, wa] >> sa) ^ (array[:, wb] >> sb)) & _ONE
+            array[:, wa] ^= diff << sa
+            array[:, wb] ^= diff << sb
 
     _OPS = {
         "h": h,
@@ -123,8 +152,26 @@ class PauliFrameSet:
     def inject(self, qubit: int, paulis: np.ndarray) -> None:
         """XOR a sampled per-member Pauli (0=I, 1=X, 2=Y, 3=Z) into the frames."""
         paulis = np.asarray(paulis)
-        self.x[:, qubit] ^= ((paulis == 1) | (paulis == 2)).astype(np.uint8)
-        self.z[:, qubit] ^= ((paulis == 2) | (paulis == 3)).astype(np.uint8)
+        w, shift, _ = self._locate(qubit)
+        self.x[:, w] ^= ((paulis == 1) | (paulis == 2)).astype(np.uint64) << shift
+        self.z[:, w] ^= ((paulis == 2) | (paulis == 3)).astype(np.uint64) << shift
+
+    # -- bit access ------------------------------------------------------
+
+    def x_bits(self, qubit: int) -> np.ndarray:
+        """The per-member frame ``x`` bit on one qubit, as a 0/1 int64 array."""
+        w, shift, _ = self._locate(qubit)
+        return ((self.x[:, w] >> shift) & _ONE).astype(np.int64)
+
+    def z_bits(self, qubit: int) -> np.ndarray:
+        """The per-member frame ``z`` bit on one qubit, as a 0/1 int64 array."""
+        w, shift, _ = self._locate(qubit)
+        return ((self.z[:, w] >> shift) & _ONE).astype(np.int64)
+
+    def flip_x(self, qubit: int, members: np.ndarray) -> None:
+        """XOR an X into the frames of the members selected by a boolean mask."""
+        w, shift, _ = self._locate(qubit)
+        self.x[:, w] ^= np.asarray(members, dtype=bool).astype(np.uint64) << shift
 
     # -- readout --------------------------------------------------------
 
@@ -136,19 +183,27 @@ class PauliFrameSet:
         """
         flips = np.zeros(self.batch_size, dtype=np.int64)
         for position, qubit in enumerate(qubits):
-            flips |= self.x[:, qubit].astype(np.int64) << position
+            flips |= self.x_bits(qubit) << position
         return flips
 
-    def masks(self) -> tuple[np.ndarray, np.ndarray]:
+    def masks(self) -> tuple[list, list]:
         """Per-member symplectic integer masks ``(x_masks, z_masks)``.
 
         Bit ``q`` of the mask is the frame bit on qubit ``q`` — the input
         :func:`repro.sim.kernels.pauli_mask_kernel` takes when the hybrid
-        backend materialises the member states at conversion time.
+        backend materialises the member states at conversion time.  Returned
+        as plain Python ints so widths beyond 63 qubits do not overflow.
         """
-        weights = np.int64(1) << np.arange(self.num_qubits, dtype=np.int64)
-        x_masks = (self.x.astype(np.int64) * weights).sum(axis=1)
-        z_masks = (self.z.astype(np.int64) * weights).sum(axis=1)
+        x_words = np.ascontiguousarray(self.x.astype(np.dtype("<u8"), copy=False))
+        z_words = np.ascontiguousarray(self.z.astype(np.dtype("<u8"), copy=False))
+        x_masks = [
+            int.from_bytes(x_words[member].tobytes(), "little")
+            for member in range(self.batch_size)
+        ]
+        z_masks = [
+            int.from_bytes(z_words[member].tobytes(), "little")
+            for member in range(self.batch_size)
+        ]
         return x_masks, z_masks
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -20,6 +20,16 @@ The state is the standard 2n x (2n+1) binary tableau: rows 0..n-1 are
 updates; measurement is the Aaronson–Gottesman procedure (deterministic
 outcomes read off a scratch row, random outcomes collapse one stabilizer).
 
+The tableau is **bit-packed** in two complementary layouts (see
+:class:`_Tableau`): single-qubit columns live as arbitrary-width Python
+integers (bit ``i`` = row ``i``), making every gate a handful of O(n/64)
+word-wise integer ops, while measurement transposes into
+``(2n+1) x ceil(n/64)`` ``uint64`` row arrays (:class:`_PackedRows`, one
+scratch row) where rowsum phase accumulation is a popcount over packed
+words.  The historical one-byte-per-bit engine survives as
+:class:`_UnpackedTableau` — the correctness oracle for the packed engine's
+property tests and the baseline for ``benchmarks/bench_width.py``.
+
 Readout
 -------
 ``probabilities(qubits)`` walks a *branching* measurement tree on tableau
@@ -30,9 +40,10 @@ of 2ⁿ.  ``sample`` then draws from that dense marginal with the same
 ``rng.choice`` call shape as the statevector backend, keeping seeded
 RNG streams aligned across backends in the executor's ``"sample"`` mode.
 
-Snapshots are plain tableau copies, so the incremental executor's
-checkpoint-per-breakpoint walk costs O(n²) per breakpoint — effectively free
-at any width the tableau itself can reach.
+Snapshots are tuples of the column integers — immutable, so the incremental
+executor's checkpoint-per-breakpoint walk (and the ``PlanCache``'s shared
+``SnapshotSet``s) share unchanged columns copy-on-write instead of deep
+copying O(n²) bytes per breakpoint.
 
 ``to_statevector`` reconstructs the dense state (for the hybrid backend's
 one-time tableau→statevector conversion) by projecting a support basis state
@@ -54,7 +65,14 @@ from .clifford import (
     decompose_controlled_gate,
     decompose_gate,
 )
-from .kernels import pauli_mask_kernel
+from .kernels import (
+    bits_to_ints,
+    ints_to_bits,
+    pack_bits_to_words,
+    pauli_mask_kernel,
+    popcount_u64,
+    unpack_words_to_bits,
+)
 from .measurement import ReadoutErrorModel
 from .noise import KrausChannel, NoiseModel, PauliChannelSampler
 from .pauli_frame import PauliFrameSet
@@ -83,8 +101,16 @@ _DENSE_LIMIT = 20
 _CONVERSION_LIMIT = 24
 
 
-class _Tableau:
-    """The raw binary tableau plus its update and measurement rules."""
+class _UnpackedTableau:
+    """The historical one-byte-per-bit tableau (reference engine).
+
+    Kept as the packed engine's correctness oracle: it shares the gate /
+    ``deterministic_outcome`` / ``collapse`` / ``copy`` duck-type with
+    :class:`_Tableau`, so :func:`tableau_outcome_distribution` and the
+    property tests in ``tests/test_packed_tableau.py`` can drive both and
+    demand identical results, and ``benchmarks/bench_width.py`` uses it as
+    the pre-packing throughput baseline.
+    """
 
     __slots__ = ("n", "x", "z", "r")
 
@@ -97,8 +123,8 @@ class _Tableau:
         self.x[np.arange(n), np.arange(n)] = 1  # destabilizer i = X_i
         self.z[n + np.arange(n), np.arange(n)] = 1  # stabilizer i = Z_i
 
-    def copy(self) -> "_Tableau":
-        clone = _Tableau.__new__(_Tableau)
+    def copy(self) -> "_UnpackedTableau":
+        clone = _UnpackedTableau.__new__(_UnpackedTableau)
         clone.n = self.n
         clone.x = self.x.copy()
         clone.z = self.z.copy()
@@ -249,6 +275,375 @@ class _Tableau:
         self.r[p] = np.uint8(outcome)
 
 
+_ONE64 = np.uint64(1)
+
+
+def _locate64(qubit: int) -> tuple[int, np.uint64, np.uint64]:
+    """(word index, in-word shift, single-bit mask) of a qubit in packed rows."""
+    shift = np.uint64(qubit & 63)
+    return qubit >> 6, shift, _ONE64 << shift
+
+
+class _PackedRows:
+    """Row-major bit-packed tableau: the measurement engine.
+
+    ``x`` and ``z`` are ``(2n+1, ceil(n/64))`` ``uint64`` arrays — bit
+    ``q mod 64`` of word ``q // 64`` in row ``i`` is the symplectic bit of
+    generator ``i`` on qubit ``q``; row ``2n`` is the Aaronson–Gottesman
+    scratch row for deterministic readout.  ``r`` is the per-row sign bit.
+    Rowsum phase accumulation (:meth:`_g_sum`) is a popcount over packed
+    words, so ``collapse`` costs O(n²/64) instead of O(n²) bytes touched.
+    """
+
+    __slots__ = ("n", "num_words", "x", "z", "r")
+
+    def __init__(self, num_qubits: int):
+        self.n = int(num_qubits)
+        self.num_words = max((self.n + 63) // 64, 1)
+        rows = 2 * self.n + 1
+        self.x = np.zeros((rows, self.num_words), dtype=np.uint64)
+        self.z = np.zeros((rows, self.num_words), dtype=np.uint64)
+        self.r = np.zeros(rows, dtype=np.uint8)
+
+    @classmethod
+    def from_cols(cls, n: int, x_cols, z_cols, r_int: int) -> "_PackedRows":
+        """Transpose big-int columns (bit i = row i) into packed rows."""
+        packed = cls(n)
+        rows = 2 * n
+        if n:
+            x_bits = ints_to_bits(x_cols, rows)  # (qubit, row)
+            z_bits = ints_to_bits(z_cols, rows)
+            packed.x[:rows] = pack_bits_to_words(x_bits.T)
+            packed.z[:rows] = pack_bits_to_words(z_bits.T)
+            packed.r[:rows] = ints_to_bits([r_int], rows)[0]
+        return packed
+
+    def to_cols(self) -> tuple[list[int], list[int], int]:
+        """Transpose packed rows back into big-int columns."""
+        rows = 2 * self.n
+        x_bits = unpack_words_to_bits(self.x[:rows], self.n)  # (row, qubit)
+        z_bits = unpack_words_to_bits(self.z[:rows], self.n)
+        x_cols = bits_to_ints(x_bits.T)
+        z_cols = bits_to_ints(z_bits.T)
+        r_bytes = np.packbits(self.r[:rows], bitorder="little").tobytes()
+        return x_cols, z_cols, int.from_bytes(r_bytes, "little")
+
+    def copy(self) -> "_PackedRows":
+        clone = _PackedRows.__new__(_PackedRows)
+        clone.n = self.n
+        clone.num_words = self.num_words
+        clone.x = self.x.copy()
+        clone.z = self.z.copy()
+        clone.r = self.r.copy()
+        return clone
+
+    # -- row arithmetic -------------------------------------------------
+
+    @staticmethod
+    def _g_sum(
+        x1: np.ndarray, z1: np.ndarray, x2: np.ndarray, z2: np.ndarray
+    ) -> np.ndarray:
+        """Summed Aaronson–Gottesman ``g`` exponent over packed words.
+
+        ``g = +1`` exactly on the bit patterns collected in ``plus`` and
+        ``-1`` on those in ``minus`` (I factors and matching Paulis give 0),
+        so the qubit-axis sum is a popcount difference.  Every product term
+        ANDs at least one non-negated factor, so the zero padding bits above
+        qubit ``n-1`` can never contribute.  Broadcasts: ``x2``/``z2`` may
+        be one row or a stack of rows.
+        """
+        plus = (
+            (x1 & z1 & z2 & ~x2) | (x1 & ~z1 & x2 & z2) | (~x1 & z1 & x2 & ~z2)
+        )
+        minus = (
+            (x1 & z1 & x2 & ~z2) | (x1 & ~z1 & z2 & ~x2) | (~x1 & z1 & x2 & z2)
+        )
+        return (
+            popcount_u64(plus).astype(np.int64).sum(axis=-1)
+            - popcount_u64(minus).astype(np.int64).sum(axis=-1)
+        )
+
+    def rowsum_into(self, rows, source: int) -> None:
+        """Left-multiply each row in ``rows`` by row ``source`` (vectorised)."""
+        g = self._g_sum(self.x[source], self.z[source], self.x[rows], self.z[rows])
+        total = 2 * self.r[rows].astype(np.int64) + 2 * int(self.r[source]) + g
+        self.r[rows] = ((total % 4) // 2).astype(np.uint8)
+        self.x[rows] ^= self.x[source]
+        self.z[rows] ^= self.z[source]
+
+    # -- measurement ----------------------------------------------------
+
+    def random_row(self, q: int) -> int | None:
+        """Index of a stabilizer row anticommuting with Z_q, if any."""
+        w, _, bit = _locate64(q)
+        candidates = np.flatnonzero(self.x[self.n : 2 * self.n, w] & bit)
+        return int(candidates[0]) + self.n if candidates.size else None
+
+    def deterministic_outcome(self, q: int) -> int | None:
+        """The certain outcome of qubit ``q`` (via the scratch row), or None."""
+        if self.random_row(q) is not None:
+            return None
+        n = self.n
+        scratch = 2 * n
+        self.x[scratch] = 0
+        self.z[scratch] = 0
+        self.r[scratch] = 0
+        w, _, bit = _locate64(q)
+        for i in np.flatnonzero(self.x[:n, w] & bit):
+            self.rowsum_into(scratch, int(i) + n)
+        return int(self.r[scratch])
+
+    def collapse(self, q: int, outcome: int) -> None:
+        """Project qubit ``q`` onto ``outcome`` (must be a random outcome)."""
+        p = self.random_row(q)
+        if p is None:
+            raise ValueError(
+                f"qubit {q} is deterministic; collapse needs a 50/50 outcome"
+            )
+        n = self.n
+        w, _, bit = _locate64(q)
+        others = np.flatnonzero(self.x[: 2 * n, w] & bit)
+        others = others[others != p]
+        if others.size:
+            self.rowsum_into(others, p)
+        self.x[p - n] = self.x[p]
+        self.z[p - n] = self.z[p]
+        self.r[p - n] = self.r[p]
+        self.x[p] = 0
+        self.z[p] = 0
+        self.z[p, w] = bit
+        self.r[p] = np.uint8(outcome)
+
+    # -- dense access ---------------------------------------------------
+
+    def row_masks(self, row: int) -> tuple[int, int]:
+        """Row ``row``'s ``(x, z)`` qubit masks as arbitrary-width ints."""
+        x_mask = int.from_bytes(
+            self.x[row].astype(np.dtype("<u8"), copy=False).tobytes(), "little"
+        )
+        z_mask = int.from_bytes(
+            self.z[row].astype(np.dtype("<u8"), copy=False).tobytes(), "little"
+        )
+        return x_mask, z_mask
+
+
+class _Tableau:
+    """Bit-packed binary tableau: the production Clifford engine.
+
+    Two packed layouts, synchronised lazily:
+
+    * **Gate layout** — per-qubit *columns* as arbitrary-width Python
+      integers (``_x[q]`` / ``_z[q]``, bit ``i`` = row ``i``; ``_r`` one
+      integer over rows).  A gate touches one or two columns, so H/S/CX/CZ/
+      SWAP are a handful of word-wise big-int ops — O(n/64) machine words
+      with no per-row Python loop and no NumPy dispatch overhead, which is
+      what makes 100–200-qubit walks routine.
+    * **Measurement layout** — :class:`_PackedRows`, the
+      ``(2n+1) x ceil(n/64)`` ``uint64`` row arrays, built on demand by a
+      transpose bridge; rowsum/collapse work there because they combine
+      whole rows.
+
+    ``_cols_ok`` marks the column layout authoritative; ``_packed`` holds
+    the row mirror (``None`` when stale).  Gates invalidate the mirror;
+    ``collapse`` invalidates the columns (rebuilt by the reverse bridge on
+    the next gate).  Pauli gates are self-inverse column XORs on the sign
+    only, so they are applied directly to whichever layout is live.
+
+    Snapshots (:meth:`snapshot_token`) are tuples of the column integers —
+    immutable, so restoring or re-snapshotting shares them copy-on-write
+    instead of deep-copying O(n²) bytes per checkpoint.
+    """
+
+    __slots__ = ("n", "_x", "_z", "_r", "_packed", "_cols_ok")
+
+    def __init__(self, num_qubits: int):
+        n = int(num_qubits)
+        self.n = n
+        self._x = [1 << q for q in range(n)]  # destabilizer q = X_q
+        self._z = [1 << (n + q) for q in range(n)]  # stabilizer q = Z_q
+        self._r = 0
+        self._packed: _PackedRows | None = None
+        self._cols_ok = True
+
+    def copy(self) -> "_Tableau":
+        clone = _Tableau.__new__(_Tableau)
+        clone.n = self.n
+        if self._cols_ok:
+            clone._x = list(self._x)
+            clone._z = list(self._z)
+            clone._r = self._r
+        else:
+            clone._x = clone._z = None  # rebuilt from the packed mirror
+            clone._r = 0
+        clone._cols_ok = self._cols_ok
+        clone._packed = self._packed.copy() if self._packed is not None else None
+        return clone
+
+    # -- layout bridges -------------------------------------------------
+
+    def _ensure_cols(self) -> None:
+        if not self._cols_ok:
+            self._x, self._z, self._r = self._packed.to_cols()
+            self._cols_ok = True
+
+    def _ensure_packed(self) -> _PackedRows:
+        if self._packed is None:
+            self._packed = _PackedRows.from_cols(self.n, self._x, self._z, self._r)
+        return self._packed
+
+    # -- gates (column layout) ------------------------------------------
+
+    def h(self, q: int) -> None:
+        if not self._cols_ok:
+            self._ensure_cols()
+        x, z = self._x, self._z
+        self._r ^= x[q] & z[q]
+        x[q], z[q] = z[q], x[q]
+        self._packed = None
+
+    def s(self, q: int) -> None:
+        if not self._cols_ok:
+            self._ensure_cols()
+        xq = self._x[q]
+        self._r ^= xq & self._z[q]
+        self._z[q] ^= xq
+        self._packed = None
+
+    def sdg(self, q: int) -> None:
+        if not self._cols_ok:
+            self._ensure_cols()
+        xq = self._x[q]
+        self._r ^= xq & ~self._z[q]  # Sdg = Z . S folds the extra sign in
+        self._z[q] ^= xq
+        self._packed = None
+
+    def xgate(self, q: int) -> None:
+        if self._cols_ok:
+            self._r ^= self._z[q]
+            self._packed = None
+        else:  # sign-only update: cheaper on the live mirror than a bridge
+            packed = self._packed
+            rows = 2 * packed.n
+            w, shift, _ = _locate64(q)
+            packed.r[:rows] ^= (
+                (packed.z[:rows, w] >> shift) & _ONE64
+            ).astype(np.uint8)
+
+    def ygate(self, q: int) -> None:
+        if self._cols_ok:
+            self._r ^= self._x[q] ^ self._z[q]
+            self._packed = None
+        else:
+            packed = self._packed
+            rows = 2 * packed.n
+            w, shift, _ = _locate64(q)
+            packed.r[:rows] ^= (
+                ((packed.x[:rows, w] ^ packed.z[:rows, w]) >> shift) & _ONE64
+            ).astype(np.uint8)
+
+    def zgate(self, q: int) -> None:
+        if self._cols_ok:
+            self._r ^= self._x[q]
+            self._packed = None
+        else:
+            packed = self._packed
+            rows = 2 * packed.n
+            w, shift, _ = _locate64(q)
+            packed.r[:rows] ^= (
+                (packed.x[:rows, w] >> shift) & _ONE64
+            ).astype(np.uint8)
+
+    def cx(self, control: int, target: int) -> None:
+        if not self._cols_ok:
+            self._ensure_cols()
+        x, z = self._x, self._z
+        xc, zt = x[control], z[target]
+        self._r ^= xc & zt & ~(x[target] ^ z[control])
+        x[target] ^= xc
+        z[control] ^= zt
+        self._packed = None
+
+    def cz(self, control: int, target: int) -> None:
+        # Direct rule (H_t CX H_t composed symbolically): symmetric in the
+        # two qubits, phase flips where both X bits are set and exactly one
+        # Z bit is.
+        if not self._cols_ok:
+            self._ensure_cols()
+        x, z = self._x, self._z
+        xc, xt = x[control], x[target]
+        self._r ^= xc & xt & (z[control] ^ z[target])
+        z[control] ^= xt
+        z[target] ^= xc
+        self._packed = None
+
+    def swap(self, a: int, b: int) -> None:
+        if not self._cols_ok:
+            self._ensure_cols()
+        x, z = self._x, self._z
+        x[a], x[b] = x[b], x[a]
+        z[a], z[b] = z[b], z[a]
+        self._packed = None
+
+    _OPS = {
+        "h": h,
+        "s": s,
+        "sdg": sdg,
+        "x": xgate,
+        "y": ygate,
+        "z": zgate,
+        "cx": cx,
+        "cz": cz,
+        "swap": swap,
+    }
+
+    def apply_ops(self, ops: Sequence[tuple], qubits: Sequence[int]) -> None:
+        """Run a recognised op word; slots index into ``qubits``.
+
+        The op dispatch is deliberately branch-on-arity instead of the
+        starred-unpack idiom: the packed gates themselves are ~0.2 µs, so a
+        per-op tuple allocation would dominate the walk at width.
+        """
+        table = self._OPS
+        for op in ops:
+            if len(op) == 2:
+                table[op[0]](self, qubits[op[1]])
+            else:
+                table[op[0]](self, qubits[op[1]], qubits[op[2]])
+
+    # -- measurement (packed-row layout) --------------------------------
+
+    def _random_row(self, q: int) -> int | None:
+        """Index of a stabilizer row anticommuting with Z_q, if any."""
+        return self._ensure_packed().random_row(q)
+
+    def deterministic_outcome(self, q: int) -> int | None:
+        """The certain measurement outcome of qubit ``q``, or None if 50/50.
+
+        Read off the packed scratch row; the state itself is untouched, so
+        the column layout (when live) stays valid.
+        """
+        return self._ensure_packed().deterministic_outcome(q)
+
+    def collapse(self, q: int, outcome: int) -> None:
+        """Project qubit ``q`` onto ``outcome`` (must be a random outcome)."""
+        self._ensure_packed().collapse(q, outcome)
+        self._cols_ok = False
+
+    # -- snapshots ------------------------------------------------------
+
+    def snapshot_token(self) -> tuple[tuple[int, ...], tuple[int, ...], int]:
+        """The full state as immutable column integers (copy-on-write)."""
+        self._ensure_cols()
+        return (tuple(self._x), tuple(self._z), self._r)
+
+    def restore_token(self, x_cols, z_cols, r: int) -> None:
+        self._x = list(x_cols)
+        self._z = list(z_cols)
+        self._r = int(r)
+        self._cols_ok = True
+        self._packed = None
+
+
 def tableau_outcome_distribution(
     tableau: _Tableau,
     qubits: Sequence[int],
@@ -321,9 +716,12 @@ class StabilizerBackend(SimulationBackend):
             raise ValueError("batch_size must be positive")
         self._batch_size = int(batch_size)
         channels = self.noise.gate_channels if self.noise is not None else ()
+        boost = self.noise.importance_boost if self.noise is not None else None
         try:
             self._samplers = tuple(
-                PauliChannelSampler(channel.pauli_decomposition())
+                PauliChannelSampler(
+                    channel.pauli_decomposition(), importance_boost=boost
+                )
                 for channel in channels
             )
         except ValueError as exc:
@@ -331,6 +729,10 @@ class StabilizerBackend(SimulationBackend):
                 "the stabilizer tableau only carries Pauli noise (frames); "
                 f"{exc}"
             ) from None
+        self._biased = any(sampler.is_biased for sampler in self._samplers)
+        self._weights: np.ndarray | None = (
+            np.ones(self._batch_size) if self._biased else None
+        )
         self._carries_frames = bool(self._samplers) or self._batch_size > 1
         if self._carries_frames:
             if rng_streams is not None:
@@ -367,6 +769,8 @@ class StabilizerBackend(SimulationBackend):
         self._tableau = _Tableau(num_qubits)
         if self._carries_frames:
             self._frames = PauliFrameSet(self._batch_size, num_qubits)
+        if self._biased:
+            self._weights = np.ones(self._batch_size)
         if initial_state is not None:
             if initial_state.num_qubits != num_qubits:
                 raise ValueError("initial state has the wrong number of qubits")
@@ -387,8 +791,17 @@ class StabilizerBackend(SimulationBackend):
         return self._require_tableau().n
 
     def snapshot(self) -> tuple:
+        """The state as immutable column integers (shared copy-on-write).
+
+        The token holds references to the tableau's big-int columns, not a
+        byte-level deep copy, so a ``PlanCache`` ``SnapshotSet`` of ``k``
+        breakpoints over an ``n``-qubit rng-free walk costs O(k·n) object
+        pointers plus one copy of each *distinct* column value — not
+        O(k·n²) bytes.  Frame word arrays (when noise is live) are small
+        and genuinely mutable, so those are copied.
+        """
         tableau = self._require_tableau()
-        token = (tableau.x.copy(), tableau.z.copy(), tableau.r.copy())
+        token = tableau.snapshot_token()
         if self._frames is not None:
             token += (self._frames.x.copy(), self._frames.z.copy())
         return token
@@ -406,16 +819,24 @@ class StabilizerBackend(SimulationBackend):
                 "snapshot frame payload does not match the backend's noise "
                 "configuration"
             )
-        x, z, r = (np.asarray(part, dtype=np.uint8) for part in parts[:3])
+        try:
+            x_cols = tuple(int(v) for v in parts[0])
+            z_cols = tuple(int(v) for v in parts[1])
+            r = int(parts[2])
+        except (TypeError, ValueError):
+            raise ValueError("not a StabilizerBackend snapshot token") from None
         n = tableau.n
-        if x.shape != (2 * n, n) or z.shape != (2 * n, n) or r.shape != (2 * n,):
+        if len(x_cols) != n or len(z_cols) != n:
             raise ValueError("snapshot does not match the current register size")
-        tableau.x = x.copy()
-        tableau.z = z.copy()
-        tableau.r = r.copy()
+        full = (1 << (2 * n)) - 1
+        if not 0 <= r <= full or any(
+            not 0 <= v <= full for v in x_cols + z_cols
+        ):
+            raise ValueError("snapshot does not match the current register size")
+        tableau.restore_token(x_cols, z_cols, r)
         if self._frames is not None:
             frame_x, frame_z = (
-                np.asarray(part, dtype=np.uint8) for part in parts[3:]
+                np.asarray(part, dtype=np.uint64) for part in parts[3:]
             )
             if frame_x.shape != self._frames.x.shape or (
                 frame_z.shape != self._frames.z.shape
@@ -481,9 +902,24 @@ class StabilizerBackend(SimulationBackend):
         tableau frames alike.
         """
         for qubit, paulis in iter_noise_events(
-            self._samplers, touched, self._pool, self._batch_size, members
+            self._samplers,
+            touched,
+            self._pool,
+            self._batch_size,
+            members,
+            weights=self._weights,
         ):
             self._frames.inject(qubit, paulis)
+
+    def member_weights(self) -> np.ndarray | None:
+        """Per-member likelihood-ratio weights, or ``None`` when unbiased.
+
+        Non-``None`` exactly when the noise model carries an
+        ``importance_boost``: each entry is the running product of the
+        likelihood ratios of that member's sampled noise events, and
+        ensemble statistics must be weighted by them to stay unbiased.
+        """
+        return None if self._weights is None else self._weights.copy()
 
     # -- readout --------------------------------------------------------
 
@@ -631,10 +1067,10 @@ class StabilizerBackend(SimulationBackend):
             tableau.collapse(qubit, base)
         else:
             base = deterministic
-        member_bits = base ^ self._frames.x[:, qubit].astype(np.int64)
+        member_bits = base ^ self._frames.x_bits(qubit)
         flips = member_bits != value
         if np.any(flips):
-            self._frames.x[:, qubit] ^= flips.astype(np.uint8)
+            self._frames.flip_x(qubit, flips)
             self.gates_applied += 1
             # Only corrected members ran an X; only they pick up its noise.
             self._apply_gate_noise([qubit], members=flips)
@@ -672,9 +1108,10 @@ class StabilizerBackend(SimulationBackend):
         amplitudes = np.zeros(1 << n, dtype=complex)
         amplitudes[basis] = 1.0
         indices = np.arange(1 << n)
+        packed = tableau._ensure_packed()
         for row in range(n, 2 * n):
             amplitudes = 0.5 * (
-                amplitudes + self._apply_pauli_row(tableau, row, amplitudes, indices)
+                amplitudes + self._apply_pauli_row(packed, row, amplitudes, indices)
             )
         norm = np.linalg.norm(amplitudes)
         if norm < 1e-12:  # pragma: no cover - support search guarantees overlap
@@ -714,21 +1151,18 @@ class StabilizerBackend(SimulationBackend):
 
     @staticmethod
     def _apply_pauli_row(
-        tableau: _Tableau, row: int, amplitudes: np.ndarray, indices: np.ndarray
+        packed: _PackedRows, row: int, amplitudes: np.ndarray, indices: np.ndarray
     ) -> np.ndarray:
-        """Apply the Pauli encoded in tableau ``row`` to a dense vector."""
-        x_bits = np.flatnonzero(tableau.x[row])
-        z_bits = np.flatnonzero(tableau.z[row])
-        x_mask = int(sum(1 << int(q) for q in x_bits))
-        z_mask = int(sum(1 << int(q) for q in z_bits))
-        y_count = int(np.count_nonzero(tableau.x[row] & tableau.z[row]))
+        """Apply the Pauli encoded in packed row ``row`` to a dense vector."""
+        x_mask, z_mask = packed.row_masks(row)
+        y_count = (x_mask & z_mask).bit_count()
         # Parity of the Z-checked bits of each index -> (-1)^(b.z)
         masked = indices & z_mask
         parity = masked
         for shift in (16, 8, 4, 2, 1):
             parity = parity ^ (parity >> shift)
         signs = 1.0 - 2.0 * (parity & 1)
-        phase = (-1.0) ** int(tableau.r[row]) * (1j) ** y_count
+        phase = (-1.0) ** int(packed.r[row]) * (1j) ** y_count
         result = np.zeros_like(amplitudes)
         result[indices ^ x_mask] = phase * signs * amplitudes
         return result
@@ -899,6 +1333,11 @@ class HybridCliffordBackend(SimulationBackend):
                 members = engine.member_statevectors()
                 dense = self._new_dense_stage()
                 dense.initialize_from_members(members)
+                # Importance weights accumulated by the tableau stage carry
+                # over too — the dense stage keeps multiplying onto them.
+                weights = engine.member_weights()
+                if weights is not None:
+                    dense.set_member_weights(weights)
         except ValueError as exc:
             raise ValueError(
                 f"backend='auto' hit a non-Clifford gate on a "
@@ -974,6 +1413,11 @@ class HybridCliffordBackend(SimulationBackend):
         return self
 
     # -- readout --------------------------------------------------------
+
+    def member_weights(self) -> "np.ndarray | None":
+        """Per-member likelihood-ratio weights of the live stage (or None)."""
+        getter = getattr(self._require_engine(), "member_weights", None)
+        return None if getter is None else getter()
 
     def probabilities(self, qubits: Sequence[int] | None = None) -> np.ndarray:
         return self._require_engine().probabilities(qubits)

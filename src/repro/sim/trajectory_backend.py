@@ -139,17 +139,26 @@ def iter_noise_events(
     pool: StreamPool,
     batch_size: int,
     members: np.ndarray | None = None,
+    weights: np.ndarray | None = None,
 ):
     """Yield ``(qubit, paulis)`` for one gate's noise events.
 
     This is the single implementation of the trajectory sampling contract,
     shared by the statevector batch and the tableau Pauli frames: one event
-    per (touched qubit, channel), consuming exactly one uniform per member
-    from that member's own stream.  ``members`` optionally restricts the
-    event to a boolean mask (per-member prep corrections): only masked
-    members draw and receive a Pauli, so a member's stream consumption
-    depends solely on its own history — the batch-split reproducibility
-    invariant.
+    per (touched qubit, single-qubit channel), consuming exactly one uniform
+    per member from that member's own stream.  Two-qubit (correlated)
+    channels fire **once per gate** — only when the gate touches at least
+    two distinct qubits — on the first two touched qubits, consuming one
+    uniform per member and yielding one per-qubit event per tensor factor.
+
+    ``members`` optionally restricts the event to a boolean mask (per-member
+    prep corrections): only masked members draw and receive a Pauli, so a
+    member's stream consumption depends solely on its own history — the
+    batch-split reproducibility invariant.
+
+    ``weights``, when given, is the per-member likelihood-ratio accumulator
+    for importance-biased samplers: each biased event multiplies the drawing
+    members' entries **in place** by the sampled component's ratio.
     """
     if not samplers:
         return
@@ -162,15 +171,34 @@ def iter_noise_events(
     for qubit in touched:
         if qubit not in seen:
             seen.append(qubit)
+
+    def _draw(sampler):
+        uniforms = pool.draw(active)
+        positions = sampler.sample_positions(uniforms)
+        if weights is not None and sampler.ratios is not None:
+            target = slice(None) if active is None else active
+            weights[target] *= sampler.ratios[positions]
+        return positions
+
+    def _deliver(qubit, codes):
+        if active is None:
+            return qubit, codes
+        paulis = np.zeros(batch_size, dtype=np.int64)
+        paulis[active] = codes
+        return qubit, paulis
+
+    single = [s for s in samplers if s.num_qubits == 1]
+    double = [s for s in samplers if s.num_qubits == 2]
     for qubit in seen:
-        for sampler in samplers:
-            uniforms = pool.draw(active)
-            if active is None:
-                paulis = sampler.sample(uniforms)
-            else:
-                paulis = np.zeros(batch_size, dtype=np.int64)
-                paulis[active] = sampler.sample(uniforms)
-            yield qubit, paulis
+        for sampler in single:
+            positions = _draw(sampler)
+            yield _deliver(qubit, sampler.codes[positions, 0])
+    if double and len(seen) >= 2:
+        pair = seen[:2]
+        for sampler in double:
+            positions = _draw(sampler)
+            for slot, qubit in enumerate(pair):
+                yield _deliver(qubit, sampler.codes[positions, slot])
 
 
 class TrajectoryNoiseBackend(SimulationBackend):
@@ -222,9 +250,12 @@ class TrajectoryNoiseBackend(SimulationBackend):
             raise ValueError("batch_size must be positive")
         self._batch_size = int(batch_size)
         channels = self.noise.gate_channels if self.noise is not None else ()
+        boost = self.noise.importance_boost if self.noise is not None else None
         try:
             self._samplers = tuple(
-                PauliChannelSampler(channel.pauli_decomposition())
+                PauliChannelSampler(
+                    channel.pauli_decomposition(), importance_boost=boost
+                )
                 for channel in channels
             )
         except ValueError as exc:
@@ -233,6 +264,10 @@ class TrajectoryNoiseBackend(SimulationBackend):
                 f"{exc}.  Non-Pauli channels (e.g. amplitude damping) need "
                 "the density-matrix backend."
             ) from None
+        self._biased = any(sampler.is_biased for sampler in self._samplers)
+        self._weights: np.ndarray | None = (
+            np.ones(self._batch_size) if self._biased else None
+        )
         if rng_streams is not None:
             self._pool = as_member_streams(rng_streams, self._batch_size)
         else:
@@ -259,6 +294,8 @@ class TrajectoryNoiseBackend(SimulationBackend):
             batch[:, 0] = 1.0
         self._batch = batch
         self._num_qubits = int(num_qubits)
+        if self._biased:
+            self._weights = np.ones(self._batch_size)
         return self
 
     def initialize_from_members(
@@ -297,6 +334,28 @@ class TrajectoryNoiseBackend(SimulationBackend):
     ) -> None:
         """Install per-member noise streams (one Generator per member)."""
         self._pool = as_member_streams(streams, self._batch_size)
+
+    def member_weights(self) -> np.ndarray | None:
+        """Per-member likelihood-ratio weights, or ``None`` when unbiased.
+
+        The weights are the running product of the importance-sampling
+        likelihood ratios of every noise event a member has drawn; ensemble
+        averages of per-member statistics must be weighted by them to stay
+        unbiased estimates of the true (unbiased-noise) ensemble.
+        """
+        return None if self._weights is None else self._weights.copy()
+
+    def set_member_weights(self, weights: "np.ndarray | None") -> None:
+        """Adopt accumulated weights (the hybrid conversion path)."""
+        if weights is None:
+            self._weights = np.ones(self._batch_size) if self._biased else None
+            return
+        weights = np.asarray(weights, dtype=float)
+        if weights.shape != (self._batch_size,):
+            raise ValueError(
+                f"expected {self._batch_size} member weights, got {weights.shape}"
+            )
+        self._weights = weights.copy()
 
     def set_readout_error(self, model: ReadoutErrorModel | None) -> None:
         self.readout_error = model or ReadoutErrorModel()
@@ -349,7 +408,12 @@ class TrajectoryNoiseBackend(SimulationBackend):
     ) -> None:
         """Sample and apply one Pauli per member per channel per touched qubit."""
         for qubit, paulis in iter_noise_events(
-            self._samplers, touched, self._pool, self._batch_size, members
+            self._samplers,
+            touched,
+            self._pool,
+            self._batch_size,
+            members,
+            weights=self._weights,
         ):
             if np.any(paulis):
                 apply_pauli_batched(self._batch, qubit, paulis)

@@ -392,14 +392,19 @@ class TestNoiseModel:
         rho = backend.reduced_density_matrix([0]).data
         assert abs(rho[0, 1]) == pytest.approx(0.0, abs=1e-12)
 
-    def test_rejects_multi_qubit_gate_channels(self):
+    def test_accepts_two_qubit_rejects_wider_gate_channels(self):
         from repro.sim import KrausChannel
 
         two_qubit_identity = KrausChannel(
             name="id2", operators=(np.eye(4, dtype=complex),)
         )
-        with pytest.raises(ValueError, match="single-qubit"):
-            NoiseModel(gate_channels=(two_qubit_identity,))
+        model = NoiseModel(gate_channels=(two_qubit_identity,))
+        assert model.gate_channels[0].num_qubits == 2
+        three_qubit_identity = KrausChannel(
+            name="id3", operators=(np.eye(8, dtype=complex),)
+        )
+        with pytest.raises(ValueError, match="one or two"):
+            NoiseModel(gate_channels=(three_qubit_identity,))
 
     def test_noise_model_readout_seeds_backend(self):
         model = NoiseModel(readout=ReadoutErrorModel(p01=0.25))

@@ -289,3 +289,88 @@ class TestLintCli:
         result = _run_cli(str(path))
         assert result.returncode == 1
         assert "error" in result.stdout
+
+
+# ---------------------------------------------------------------------------
+# Suppression comments (// qlint: disable=QLINT0xx)
+# ---------------------------------------------------------------------------
+
+
+def _double_prep_program() -> Program:
+    program = Program("double_prep")
+    register = program.qreg("q", 1)
+    program.prep_z(register[0], 0)
+    program.prep_z(register[0], 0)  # QLINT003
+    program.h(register[0])
+    program.measure(register)
+    return program
+
+
+class TestSuppressions:
+    def test_suppress_lint_drops_matching_diagnostics(self):
+        program = _double_prep_program()
+        assert [d.code for d in lint_program(program)] == ["QLINT003"]
+        program.suppress_lint("QLINT003")
+        assert lint_program(program) == []
+
+    def test_no_suppress_reports_everything(self):
+        program = _double_prep_program()
+        program.suppress_lint("QLINT003")
+        assert [d.code for d in lint_program(program, suppress=False)] == [
+            "QLINT003"
+        ]
+
+    def test_unrelated_codes_still_fire(self):
+        program = _double_prep_program()
+        program.qreg("spare", 1)  # QLINT007
+        program.suppress_lint("QLINT003")
+        assert [d.code for d in lint_program(program)] == ["QLINT007"]
+
+    def test_qasm_comment_parses_and_round_trips(self):
+        program = _double_prep_program()
+        program.suppress_lint("QLINT003")
+        text = to_qasm(program)
+        assert "// qlint: disable=QLINT003" in text
+        imported = from_qasm(text)
+        assert imported.lint_suppressions == {"QLINT003"}
+        assert lint_program(imported) == []
+
+    def test_qasm_comment_multiple_codes_case_insensitive(self):
+        text = to_qasm(_double_prep_program()).replace(
+            "OPENQASM 2.0;",
+            "OPENQASM 2.0;\n// qlint: disable=qlint003, QLINT007",
+        )
+        imported = from_qasm(text)
+        assert imported.lint_suppressions == {"QLINT003", "QLINT007"}
+
+    def test_malformed_qlint_comment_is_a_parse_error(self):
+        text = to_qasm(_double_prep_program()).replace(
+            "OPENQASM 2.0;", "OPENQASM 2.0;\n// qlint: disable=bogus"
+        )
+        with pytest.raises(QasmError, match="qlint"):
+            from_qasm(text)
+
+    def test_cli_honors_suppressions(self, tmp_path):
+        program = _double_prep_program()
+        program.suppress_lint("QLINT003")
+        path = _write_qasm(tmp_path / "suppressed.qasm", program)
+        result = _run_cli(str(path))
+        assert result.returncode == 0
+        assert "QLINT003" not in result.stdout
+        assert "clean" in result.stdout
+
+    def test_cli_no_suppress_flag_overrides(self, tmp_path):
+        program = _double_prep_program()
+        program.suppress_lint("QLINT003")
+        path = _write_qasm(tmp_path / "suppressed.qasm", program)
+        result = _run_cli(str(path), "--no-suppress")
+        assert result.returncode == 0  # QLINT003 is warning severity
+        assert "QLINT003" in result.stdout
+
+    def test_cli_json_reports_suppressed_codes(self, tmp_path):
+        program = _double_prep_program()
+        program.suppress_lint("QLINT003")
+        path = _write_qasm(tmp_path / "suppressed.qasm", program)
+        row = json.loads(_run_cli(str(path), "--json").stdout)
+        assert row["suppressed_codes"] == ["QLINT003"]
+        assert row["diagnostics"] == []

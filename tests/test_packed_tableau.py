@@ -1,0 +1,155 @@
+"""Property tests: the bit-packed tableau against the unpacked reference.
+
+The packed ``_Tableau`` (big-int columns + uint64 packed rows) must be
+observationally identical to the reference ``_UnpackedTableau`` on random
+Clifford circuits at every width class the packing cares about: below one
+machine word (3, 17), exactly one word (64), just past a word boundary (65)
+and multi-word (130).  Identity is checked through every readout surface:
+``deterministic_outcome`` per qubit, the exact sparse
+``tableau_outcome_distribution`` (with and without a support cap), and
+seeded collapse-walk sample streams that consume the rng identically.
+"""
+
+import numpy as np
+import pytest
+
+from repro.lang import Program
+from repro.sim import StabilizerBackend
+from repro.sim.stabilizer_backend import (
+    _Tableau,
+    _UnpackedTableau,
+    tableau_outcome_distribution,
+)
+
+SEED = 20190622
+WIDTHS = [3, 17, 64, 65, 130]
+
+_NAMES_1Q = ("h", "s", "sdg", "x", "y", "z")
+_NAMES_2Q = ("cx", "cz", "swap")
+
+
+def _random_ops(num_qubits: int, count: int, rng: np.random.Generator):
+    """A random op word in the ``apply_ops`` format (slots == qubit ids)."""
+    ops = []
+    for _ in range(count):
+        if num_qubits < 2 or rng.random() < 0.6:
+            ops.append(
+                (_NAMES_1Q[rng.integers(len(_NAMES_1Q))], int(rng.integers(num_qubits)))
+            )
+        else:
+            a, b = rng.choice(num_qubits, size=2, replace=False)
+            ops.append((_NAMES_2Q[rng.integers(len(_NAMES_2Q))], int(a), int(b)))
+    return ops
+
+
+def _pair(num_qubits: int, gate_count: int, seed: int):
+    """Packed and unpacked tableaus walked through one random circuit."""
+    rng = np.random.default_rng(seed)
+    ops = _random_ops(num_qubits, gate_count, rng)
+    qubits = list(range(num_qubits))
+    packed = _Tableau(num_qubits)
+    unpacked = _UnpackedTableau(num_qubits)
+    packed.apply_ops(ops, qubits)
+    unpacked.apply_ops(ops, qubits)
+    return packed, unpacked
+
+
+def _collapse_stream(tableau, qubits, shots: int, seed: int) -> list[int]:
+    """Seeded measurement stream via the collapse walk; rng use is identical
+    for any two observationally equal tableaus."""
+    rng = np.random.default_rng(seed)
+    stream = []
+    for _ in range(shots):
+        branch = tableau.copy()
+        value = 0
+        for position, q in enumerate(qubits):
+            outcome = branch.deterministic_outcome(q)
+            if outcome is None:
+                outcome = int(rng.random() < 0.5)
+                branch.collapse(q, outcome)
+            value |= outcome << position
+        stream.append(value)
+    return stream
+
+
+@pytest.mark.parametrize("num_qubits", WIDTHS)
+def test_deterministic_outcomes_match(num_qubits):
+    for trial in range(3):
+        packed, unpacked = _pair(num_qubits, 4 * num_qubits, SEED + trial)
+        for q in range(num_qubits):
+            assert packed.deterministic_outcome(q) == unpacked.deterministic_outcome(q)
+
+
+@pytest.mark.parametrize("num_qubits", WIDTHS)
+def test_outcome_distributions_match(num_qubits):
+    rng = np.random.default_rng(SEED)
+    for trial in range(3):
+        packed, unpacked = _pair(num_qubits, 4 * num_qubits, SEED + 100 + trial)
+        # Random marginals stay bounded by probing few qubits at a time.
+        probe = sorted(rng.choice(num_qubits, size=min(6, num_qubits), replace=False))
+        probe = [int(q) for q in probe]
+        packed_dist = tableau_outcome_distribution(packed, probe)
+        unpacked_dist = tableau_outcome_distribution(unpacked, probe)
+        assert packed_dist is not None and unpacked_dist is not None
+        assert set(packed_dist) == set(unpacked_dist)
+        for value, probability in packed_dist.items():
+            assert unpacked_dist[value] == pytest.approx(probability)
+
+
+@pytest.mark.parametrize("num_qubits", WIDTHS)
+def test_support_cap_agrees(num_qubits):
+    """Both engines hit (or clear) a support cap identically."""
+    packed, unpacked = _pair(num_qubits, 4 * num_qubits, SEED + 200)
+    probe = list(range(min(8, num_qubits)))
+    for cap in (1, 4, 1 << len(probe)):
+        packed_dist = tableau_outcome_distribution(packed, probe, max_support=cap)
+        unpacked_dist = tableau_outcome_distribution(unpacked, probe, max_support=cap)
+        assert (packed_dist is None) == (unpacked_dist is None)
+        if packed_dist is not None:
+            assert set(packed_dist) == set(unpacked_dist)
+
+
+@pytest.mark.parametrize("num_qubits", WIDTHS)
+def test_seeded_sample_streams_match(num_qubits):
+    """The seeded collapse walk consumes the rng identically on both engines."""
+    packed, unpacked = _pair(num_qubits, 4 * num_qubits, SEED + 300)
+    rng = np.random.default_rng(SEED + 300)
+    probe = sorted(rng.choice(num_qubits, size=min(10, num_qubits), replace=False))
+    probe = [int(q) for q in probe]
+    assert _collapse_stream(packed, probe, 32, SEED) == _collapse_stream(
+        unpacked, probe, 32, SEED
+    )
+
+
+@pytest.mark.parametrize("num_qubits", WIDTHS)
+def test_backend_sample_stream_matches_reference_marginal(num_qubits):
+    """``StabilizerBackend.sample`` draws the stream the reference predicts.
+
+    The backend samples with one ``rng.choice`` over its dense marginal; the
+    same seeded draw over the *unpacked* engine's marginal must therefore be
+    byte-identical — the backend-level spelling of packed/unpacked identity.
+    """
+    rng = np.random.default_rng(SEED + 400)
+    ops = _random_ops(num_qubits, 4 * num_qubits, rng)
+    qubits = list(range(num_qubits))
+
+    program = Program("noop")
+    program.qreg("q", num_qubits)
+    backend = StabilizerBackend()
+    backend.initialize(num_qubits)
+    backend._require_tableau().apply_ops(ops, qubits)
+
+    unpacked = _UnpackedTableau(num_qubits)
+    unpacked.apply_ops(ops, qubits)
+
+    probe = sorted(rng.choice(num_qubits, size=min(6, num_qubits), replace=False))
+    probe = [int(q) for q in probe]
+    distribution = tableau_outcome_distribution(unpacked, probe)
+    probs = np.zeros(1 << len(probe))
+    for value, probability in distribution.items():
+        probs[value] = probability
+    probs = probs / probs.sum()
+
+    expected = np.random.default_rng(SEED).choice(len(probs), size=64, p=probs)
+    observed = backend.sample(probe, shots=64, rng=SEED)
+    assert list(observed) == list(expected)

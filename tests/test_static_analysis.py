@@ -375,3 +375,68 @@ class TestReportPlumbing:
         restored = RunConfig.from_dict(config.to_dict())
         assert restored.static_preflight is True
         assert restored == config
+
+
+# ---------------------------------------------------------------------------
+# Configurable support-enumeration cap (RunConfig.max_support)
+# ---------------------------------------------------------------------------
+
+
+def _ghz_program(num_qubits: int = 6) -> Program:
+    program = Program("ghz_cap")
+    register = program.qreg("q", num_qubits)
+    for qubit in register:
+        program.prep_z(qubit, 0)
+    program.h(register[0])
+    for i in range(num_qubits - 1):
+        program.gate("x", [register[i + 1]], controls=[register[i]])
+    program.assert_superposition(
+        [register[0], register[-1]], values=(0, 3), label="ends"
+    )
+    program.assert_entangled([register[0]], [register[-1]], label="pair")
+    program.measure(register)
+    return program
+
+
+class TestMaxSupport:
+    def test_default_limit_decides_everything(self):
+        result = analyze_program(_ghz_program())
+        assert [v.verdict for v in result.verdicts] == [PROVEN, PROVEN]
+
+    def test_tiny_cap_degrades_to_undecided(self):
+        result = analyze_program(_ghz_program(), max_support=1)
+        assert [v.verdict for v in result.verdicts] == [UNDECIDED, UNDECIDED]
+        assert "1-outcome" in result.verdicts[0].reason
+
+    def test_cap_must_be_positive(self):
+        with pytest.raises(ValueError, match="positive"):
+            analyze_program(_ghz_program(), max_support=0)
+
+    def test_plan_cache_keys_per_cap(self):
+        from repro.compiler.plan_cache import PlanCache
+
+        cache = PlanCache()
+        plan = cache.plan_for(_ghz_program())
+        default_a = cache.analysis_for(plan)
+        default_b = cache.analysis_for(plan)
+        capped_a = cache.analysis_for(plan, max_support=1)
+        capped_b = cache.analysis_for(plan, max_support=1)
+        assert default_a is default_b
+        assert capped_a is capped_b
+        assert default_a is not capped_a
+        assert cache.analysis_hits == 2
+        assert cache.analysis_misses == 2
+
+    def test_runconfig_threads_cap_into_checker_analysis(self):
+        capped = Session(RunConfig(seed=SEED, max_support=1)).checker(
+            _ghz_program()
+        )
+        assert all(
+            v.verdict == UNDECIDED for v in capped.analyze().verdicts
+        )
+        full = Session(RunConfig(seed=SEED)).checker(_ghz_program())
+        assert all(v.verdict == PROVEN for v in full.analyze().verdicts)
+
+    def test_runconfig_round_trips_max_support(self):
+        config = RunConfig(seed=SEED, max_support=256)
+        assert RunConfig.from_dict(config.to_dict()).max_support == 256

@@ -502,18 +502,20 @@ class TestPauliFrameSet:
         two_qubit = {"cx": cx, "cz": cz}
         labels = [(0, 0), (1, 0), (1, 1), (0, 1)]
         paulis = {(0, 0): gates.I, (1, 0): gates.X, (1, 1): gates.Y, (0, 1): gates.Z}
+        # (x, z) label -> inject's 0=I / 1=X / 2=Y / 3=Z code
+        codes = {(0, 0): 0, (1, 0): 1, (1, 1): 2, (0, 1): 3}
         for name, unitary in two_qubit.items():
             for low in labels:
                 for high in labels:
                     frames = PauliFrameSet(1, 2)
-                    frames.x[0, 0], frames.z[0, 0] = low
-                    frames.x[0, 1], frames.z[0, 1] = high
+                    frames.inject(0, np.array([codes[low]]))
+                    frames.inject(1, np.array([codes[high]]))
                     frames.apply_ops([(name, 0, 1)], [0, 1])
                     pauli = np.kron(paulis[high], paulis[low])
                     conjugated = unitary @ pauli @ unitary.conj().T
                     expected = np.kron(
-                        paulis[(int(frames.x[0, 1]), int(frames.z[0, 1]))],
-                        paulis[(int(frames.x[0, 0]), int(frames.z[0, 0]))],
+                        paulis[(int(frames.x_bits(1)[0]), int(frames.z_bits(1)[0]))],
+                        paulis[(int(frames.x_bits(0)[0]), int(frames.z_bits(0)[0]))],
                     )
                     ratio = conjugated @ np.linalg.inv(expected)
                     np.testing.assert_allclose(
