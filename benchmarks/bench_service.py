@@ -1,0 +1,216 @@
+"""Job-service benchmark: throughput, degradation latency, and a chaos run.
+
+The service's claims are operational, so the benchmark measures operations
+and appends the results to ``BENCH_service.json`` in the repo root:
+
+* **throughput** — N distinct seeded Bell-checking jobs through a
+  :class:`repro.service.LocalService` worker pool; recorded as jobs/s end
+  to end (submit through last terminal state), with every job asserted
+  ``DONE``.
+* **degradation** — the same job submitted cold (worker subprocess) and
+  again warm (content-addressed result cache): cold latency vs the inline
+  ``CACHED`` answer, plus the ``STATIC`` rung answering with the worker
+  pool *entirely down* (``max_workers=0``).
+* **chaos** — a mixed batch under an injected fault schedule (worker
+  SIGKILLs, a hang, a deterministic error, a slow start).  The run asserts
+  **100 % completion**: every submitted job reaches a terminal state, no
+  job is lost, the crashed job's retried report is byte-identical to its
+  uninjected baseline, and the hang comes back ``TIMEOUT`` inside its
+  wall-clock budget.
+
+Run standalone with ``python benchmarks/bench_service.py [--smoke]`` (CI
+smoke mode shrinks the batch sizes, same assertions), or under
+pytest-benchmark like the other benchmarks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from pathlib import Path
+
+from bench_helpers import append_trajectory, print_table
+from repro import RunConfig
+from repro.algorithms.bell import build_bell_program, build_ghz_program
+from repro.service import JobState, LocalService
+
+SEED = 20190622
+SERVICE_PATH = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+BASE = RunConfig(ensemble_size=8, seed=None, backoff_base=0.01)
+
+
+def _throughput_rows(jobs: int, workers: int) -> list[dict]:
+    """N distinct seeded jobs through the pool; jobs/s end to end."""
+    with LocalService(max_workers=workers, root_seed=SEED) as svc:
+        start = time.perf_counter()
+        ids = [svc.submit(build_bell_program(), BASE) for _ in range(jobs)]
+        finished = svc.wait_all(ids, timeout=600.0)
+        seconds = time.perf_counter() - start
+    states = {job.state for job in finished}
+    return [
+        {
+            "jobs": jobs,
+            "workers": workers,
+            "seconds": seconds,
+            "jobs_per_second": jobs / seconds if seconds else 0.0,
+            "all_done": states == {JobState.DONE},
+        }
+    ]
+
+
+def _degradation_rows() -> list[dict]:
+    """Cold worker latency vs the CACHED and STATIC inline rungs."""
+    config = BASE.replace(seed=SEED)
+    with LocalService(max_workers=1, root_seed=SEED) as svc:
+        start = time.perf_counter()
+        cold = svc.wait(svc.submit(build_bell_program(), config), timeout=600.0)
+        cold_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        warm = svc.wait(svc.submit(build_bell_program(), config), timeout=600.0)
+        warm_seconds = time.perf_counter() - start
+
+    # The STATIC rung answers with the pool entirely down.
+    static_config = config.replace(static_preflight=True)
+    with LocalService(max_workers=0, root_seed=SEED) as down:
+        start = time.perf_counter()
+        static = down.job(down.submit(build_ghz_program(3), static_config))
+        static_seconds = time.perf_counter() - start
+
+    return [
+        {
+            "cold_seconds": cold_seconds,
+            "cached_seconds": warm_seconds,
+            "cached_speedup": cold_seconds / warm_seconds if warm_seconds else 0.0,
+            "static_seconds": static_seconds,
+            "cold_state": cold.state,
+            "cached_state": warm.state,
+            "cached_byte_identical": (
+                warm.report.to_json() == cold.report.to_json()
+            ),
+            "static_state": static.state,
+            "static_pool_workers": 0,
+        }
+    ]
+
+
+def _chaos_rows(jobs: int, workers: int) -> list[dict]:
+    """Mixed batch under injected faults: 100 % completion, zero lost jobs."""
+    timeout_budget = 1.0
+    config = BASE.replace(job_timeout=timeout_budget, max_retries=2)
+    # Baseline for byte-identity: same root seed, no faults, job index 0.
+    with LocalService(max_workers=workers, root_seed=SEED) as clean:
+        baseline = clean.wait(
+            clean.submit(build_bell_program(), config), timeout=600.0
+        )
+
+    spec = "crash@0; hang@1; error@2; slow@3:0.1"
+    with LocalService(
+        max_workers=workers, root_seed=SEED, fault_spec=spec
+    ) as svc:
+        start = time.perf_counter()
+        ids = [svc.submit(build_bell_program(), config) for _ in range(jobs)]
+        finished = svc.wait_all(ids, timeout=600.0)
+        seconds = time.perf_counter() - start
+        stats = svc.stats()
+
+    states = [job.state for job in finished]
+    hang_job = finished[1]
+    return [
+        {
+            "jobs": jobs,
+            "workers": workers,
+            "fault_spec": spec,
+            "seconds": seconds,
+            "terminal_jobs": sum(job.terminal for job in finished),
+            "lost_jobs": jobs - sum(job.terminal for job in finished),
+            "completion_pct": 100.0 * sum(job.terminal for job in finished) / jobs,
+            "states": {state: states.count(state) for state in set(states)},
+            "crashed_job_state": states[0],
+            "crashed_job_attempts": finished[0].attempts,
+            "crash_retry_byte_identical": (
+                finished[0].report is not None
+                and finished[0].report.to_json() == baseline.report.to_json()
+            ),
+            "hang_state": states[1],
+            "hang_within_budget": (
+                hang_job.failure_chain[0]["duration"] < timeout_budget + 10.0
+                if hang_job.failure_chain
+                else False
+            ),
+            "accounted_jobs": stats["jobs"],
+        }
+    ]
+
+
+def _run_service_bench(jobs: int, chaos_jobs: int, workers: int) -> dict:
+    return {
+        "throughput": _throughput_rows(jobs, workers),
+        "degradation": _degradation_rows(),
+        "chaos": _chaos_rows(chaos_jobs, workers),
+    }
+
+
+def _check_and_report(entry: dict) -> None:
+    print_table("Service throughput (worker pool)", entry["throughput"])
+    print_table("Degradation ladder latency", entry["degradation"])
+    print_table("Chaos run (injected faults)", entry["chaos"])
+    append_trajectory(SERVICE_PATH, entry)
+
+    for row in entry["throughput"]:
+        assert row["all_done"], "throughput batch must complete DONE"
+        assert row["jobs_per_second"] > 0.0
+    for row in entry["degradation"]:
+        assert row["cold_state"] == JobState.DONE
+        assert row["cached_state"] == JobState.CACHED
+        assert row["cached_byte_identical"], "cache hit must be byte-identical"
+        assert row["cached_seconds"] < row["cold_seconds"], (
+            "the CACHED rung must answer faster than a cold worker run"
+        )
+        assert row["static_state"] == JobState.STATIC, (
+            "the STATIC rung must answer with the pool down"
+        )
+    for row in entry["chaos"]:
+        assert row["lost_jobs"] == 0, "chaos run lost jobs"
+        assert row["completion_pct"] == 100.0, (
+            f"chaos run completed {row['completion_pct']:.1f}% of jobs"
+        )
+        assert row["accounted_jobs"] == row["jobs"]
+        assert row["crashed_job_state"] == JobState.DONE
+        assert row["crashed_job_attempts"] >= 2
+        assert row["crash_retry_byte_identical"], (
+            "retried crash must reproduce the uninjected report byte for byte"
+        )
+        assert row["hang_state"] == JobState.TIMEOUT
+        assert row["hang_within_budget"]
+
+
+def test_service(benchmark):
+    entry = benchmark.pedantic(
+        lambda: _run_service_bench(jobs=24, chaos_jobs=8, workers=4),
+        rounds=1,
+        iterations=1,
+    )
+    _check_and_report(entry)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI smoke mode: smaller batches, same assertions",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        entry = _run_service_bench(jobs=8, chaos_jobs=6, workers=2)
+    else:
+        entry = _run_service_bench(jobs=24, chaos_jobs=8, workers=4)
+    _check_and_report(entry)
+    print("\nbench_service: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -234,9 +234,13 @@ class PlanCache:
     small default capacity — entries own backend instances, so the cache is
     bounded by construction.
 
-    The cache is safe to share across sequential runs in one process (a
-    lock guards the maps); concurrent *sampling* from one cached engine is
-    not supported — process-sharded sweeps give every worker its own cache.
+    The cache is safe to share across sequential runs in one process, and
+    ``plan_for`` is safe to hammer from many threads: a per-fingerprint
+    in-flight marker coalesces concurrent compiles, so each unique program
+    is built exactly once no matter how many threads ask for it at the same
+    instant (the builders that arrive late wait and count as hits).
+    Concurrent *sampling* from one cached engine is still not supported —
+    process-sharded sweeps give every worker its own cache.
     """
 
     def __init__(self, max_entries: int = 64):
@@ -245,6 +249,9 @@ class PlanCache:
         self.max_entries = int(max_entries)
         self._entries: "OrderedDict[str, _CacheEntry]" = OrderedDict()
         self._lock = threading.Lock()
+        #: Per-fingerprint events marking builds in progress; threads that
+        #: lose the build race wait on the event instead of compiling again.
+        self._inflight: "dict[str, threading.Event]" = {}
         self.hits = 0
         self.misses = 0
         self.snapshot_hits = 0
@@ -261,27 +268,54 @@ class PlanCache:
     # -- plans ----------------------------------------------------------
 
     def plan_for(self, program: Program) -> ExecutionPlan:
-        """The compiled plan for ``program``, compiled at most once."""
+        """The compiled plan for ``program``, compiled at most once.
+
+        Concurrent calls for the same fingerprint coalesce: the first
+        caller builds while the rest wait on an in-flight marker and are
+        then served the cached plan (counted as hits).  ``misses`` therefore
+        counts *builds*, so after any amount of concurrent hammering
+        ``misses == unique programs compiled`` and ``hits + misses == calls``.
+        """
         fingerprint = program_fingerprint(program)
-        with self._lock:
-            entry = self._entries.get(fingerprint)
-            if entry is not None:
-                self._entries.move_to_end(fingerprint)
-                self.hits += 1
-                entry.plan.cache_hits += 1
-                return entry.plan
-            self.misses += 1
-        plan = build_execution_plan(program)
-        plan.fingerprint = fingerprint
-        with self._lock:
-            self._entries[fingerprint] = _CacheEntry(
-                fingerprint=fingerprint,
-                plan=plan,
-                deterministic_walk=walk_is_deterministic(plan),
-            )
-            while len(self._entries) > self.max_entries:
-                self._entries.popitem(last=False)
-        return plan
+        while True:
+            with self._lock:
+                entry = self._entries.get(fingerprint)
+                if entry is not None:
+                    self._entries.move_to_end(fingerprint)
+                    self.hits += 1
+                    entry.plan.cache_hits += 1
+                    return entry.plan
+                pending = self._inflight.get(fingerprint)
+                if pending is None:
+                    pending = threading.Event()
+                    self._inflight[fingerprint] = pending
+                    building = True
+                else:
+                    building = False
+            if not building:
+                # Another thread is compiling this fingerprint right now;
+                # wait for it, then loop back to the hit path.  (If the
+                # builder failed — or its entry was evicted under extreme
+                # pressure — the loop simply elects a fresh builder.)
+                pending.wait()
+                continue
+            try:
+                plan = build_execution_plan(program)
+                plan.fingerprint = fingerprint
+                with self._lock:
+                    self.misses += 1
+                    self._entries[fingerprint] = _CacheEntry(
+                        fingerprint=fingerprint,
+                        plan=plan,
+                        deterministic_walk=walk_is_deterministic(plan),
+                    )
+                    while len(self._entries) > self.max_entries:
+                        self._entries.popitem(last=False)
+                return plan
+            finally:
+                with self._lock:
+                    self._inflight.pop(fingerprint, None)
+                pending.set()
 
     def shareable(self, plan: ExecutionPlan) -> bool:
         """True when breakpoint snapshots of ``plan`` may serve other runs."""

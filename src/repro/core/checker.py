@@ -19,6 +19,7 @@ debugging workflow of the paper.
 from __future__ import annotations
 
 import dataclasses
+import time
 from collections.abc import Mapping
 import numpy as np
 
@@ -234,6 +235,33 @@ class StatisticalAssertionChecker:
             method="static",
         )
 
+    def try_static_report(self) -> "DebugReport | None":
+        """The full statically decided report, or ``None``.
+
+        Succeeds exactly when the static pre-flight applies
+        (``config.static_preflight`` on a noise-free, ideal-readout run) and
+        the abstract interpreter decides *every* breakpoint — the case where
+        a checking run costs one cached analysis and no simulation at all.
+        :mod:`repro.service` uses this to answer decidable jobs inline even
+        when its worker pool is saturated or down.
+        """
+        plan = self.execution_plan()
+        if not plan.segments:
+            return None
+        decided, analysis = self._static_preflight(plan)
+        if len(decided) != plan.num_breakpoints:
+            return None
+        report = DebugReport(
+            program_name=self.program.name,
+            ensemble_size=self.ensemble_size,
+            significance=self.significance,
+        )
+        report.diagnostics = [d.to_dict() for d in analysis.diagnostics]
+        for segment in plan.segments:
+            report.add(self._static_record(segment, decided[segment.index]))
+        self._record_static_savings(plan, decided, full=True)
+        return report
+
     def evaluate_breakpoint(self, breakpoint_program: BreakpointProgram) -> AssertionOutcome:
         """Run one breakpoint in isolation and evaluate its assertion."""
         measurements = self.executor.run(breakpoint_program)
@@ -350,7 +378,10 @@ class StatisticalAssertionChecker:
         )
 
     def run_until_converged(
-        self, se_cutoff: float | None = None, max_batches: int | None = None
+        self,
+        se_cutoff: float | None = None,
+        max_batches: int | None = None,
+        max_seconds: float | None = None,
     ) -> DebugReport:
         """Grow trajectory ensembles per breakpoint until they converge.
 
@@ -372,15 +403,27 @@ class StatisticalAssertionChecker:
         :class:`~repro.core.config.RunConfig` policy; the convergence rows
         are also attached to the returned report
         (:attr:`DebugReport.convergence`).
+
+        ``max_seconds`` (default :attr:`RunConfig.max_seconds`) is a
+        wall-clock guard: when a batch finishes past the bound the partial
+        report is returned immediately, its convergence rows flagged
+        ``converged=False, reason="timeout"`` — a never-converging assertion
+        costs bounded time instead of ``max_batches`` full walks.  At least
+        one batch always runs.
         """
         se_cutoff = self.config.se_cutoff if se_cutoff is None else se_cutoff
         max_batches = (
             self.config.max_batches if max_batches is None else max_batches
         )
+        max_seconds = (
+            self.config.max_seconds if max_seconds is None else max_seconds
+        )
         if max_batches <= 0:
             raise ValueError("max_batches must be positive")
         if not 0.0 < se_cutoff < 1.0:
             raise ValueError(f"se_cutoff must be in (0, 1), got {se_cutoff}")
+        if max_seconds is not None and max_seconds <= 0.0:
+            raise ValueError(f"max_seconds must be positive, got {max_seconds}")
         plan = self.execution_plan()
         if not plan.segments:
             # No assertions: nothing to converge on (run() is empty too).
@@ -392,6 +435,8 @@ class StatisticalAssertionChecker:
             )
         merged: list[BreakpointMeasurements] | None = None
         batches = 0
+        started = time.monotonic()
+        timed_out = False
         while True:
             results = self.executor.run_plan(plan)
             batches += 1
@@ -413,20 +458,38 @@ class StatisticalAssertionChecker:
             )
             if worst <= se_cutoff or batches >= max_batches:
                 break
+            if (
+                max_seconds is not None
+                and time.monotonic() - started >= max_seconds
+            ):
+                timed_out = True
+                break
+
+        def _reason(row) -> str:
+            if row.converged:
+                return "converged"
+            return "timeout" if timed_out else "max_batches"
+
+        rows = [
+            (
+                m,
+                ensemble_convergence(
+                    m.joint.weighted_frequencies(),
+                    cutoff=se_cutoff,
+                    effective_sample_size=m.joint.effective_sample_size(),
+                ),
+            )
+            for m in merged
+        ]
         self.convergence = [
             {
                 "breakpoint": m.breakpoint.index,
                 "name": m.breakpoint.name,
                 "batches": batches,
-                **dataclasses.asdict(
-                    ensemble_convergence(
-                        m.joint.weighted_frequencies(),
-                        cutoff=se_cutoff,
-                        effective_sample_size=m.joint.effective_sample_size(),
-                    )
-                ),
+                "reason": _reason(row),
+                **dataclasses.asdict(row),
             }
-            for m in merged
+            for m, row in rows
         ]
         report = DebugReport(
             program_name=self.program.name,

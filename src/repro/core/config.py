@@ -235,6 +235,21 @@ class RunConfig:
         (``SUPPORT_LIMIT``).  Larger values let the abstract interpreter
         decide assertions over states with wider sparse support at
         proportional cost.
+    max_seconds:
+        Wall-clock bound on :meth:`~repro.core.checker.StatisticalAssertionChecker.run_until_converged`:
+        when a batch finishes past the bound the partial report is returned
+        with its convergence rows flagged ``converged=False,
+        reason="timeout"`` instead of looping on to ``max_batches``.
+        ``None`` (the default) keeps the run unbounded in time.
+    job_timeout / max_retries / backoff_base:
+        Job-execution policy for :mod:`repro.service` (and the shared
+        crash-recovery path of :mod:`repro.workloads.sharding`):
+        ``job_timeout`` is the per-job wall-clock budget in seconds before
+        the worker subprocess is killed and the job lands in the ``TIMEOUT``
+        state (``None`` = no timeout); ``max_retries`` bounds how many times
+        a *crashed* worker (SIGKILL, OOM, abnormal exit) is retried before
+        the job fails with its structured failure chain; ``backoff_base``
+        seeds the exponential backoff (with jitter) slept between retries.
     """
 
     ensemble_size: int = 16
@@ -252,6 +267,10 @@ class RunConfig:
     static_preflight: bool = False
     max_dense_qubits: int | None = None
     max_support: int | None = None
+    max_seconds: float | None = None
+    job_timeout: float | None = None
+    max_retries: int = 2
+    backoff_base: float = 0.05
 
     def __post_init__(self) -> None:
         ensemble_size = int(self.ensemble_size)
@@ -314,6 +333,28 @@ class RunConfig:
             if max_support <= 0:
                 raise ValueError("max_support must be positive (or None)")
             object.__setattr__(self, "max_support", max_support)
+
+        if self.max_seconds is not None:
+            max_seconds = float(self.max_seconds)
+            if max_seconds <= 0.0:
+                raise ValueError("max_seconds must be positive (or None)")
+            object.__setattr__(self, "max_seconds", max_seconds)
+
+        if self.job_timeout is not None:
+            job_timeout = float(self.job_timeout)
+            if job_timeout <= 0.0:
+                raise ValueError("job_timeout must be positive (or None)")
+            object.__setattr__(self, "job_timeout", job_timeout)
+
+        max_retries = int(self.max_retries)
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        object.__setattr__(self, "max_retries", max_retries)
+
+        backoff_base = float(self.backoff_base)
+        if backoff_base < 0.0:
+            raise ValueError("backoff_base must be non-negative")
+        object.__setattr__(self, "backoff_base", backoff_base)
 
     # ------------------------------------------------------------------
 
@@ -378,6 +419,10 @@ class RunConfig:
             "static_preflight": self.static_preflight,
             "max_dense_qubits": self.max_dense_qubits,
             "max_support": self.max_support,
+            "max_seconds": self.max_seconds,
+            "job_timeout": self.job_timeout,
+            "max_retries": self.max_retries,
+            "backoff_base": self.backoff_base,
         }
 
     @classmethod

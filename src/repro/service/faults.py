@@ -1,0 +1,202 @@
+"""Deterministic fault injection for the job service (chaos harness).
+
+A fault-tolerance claim is worthless until every recovery path has actually
+run, so the service ships the harness that exercises them.  A
+:class:`FaultInjector` holds a list of :class:`FaultRule`\\ s — each naming a
+fault *kind*, the **job index** it fires on (the submission sequence number,
+a property of the job, so injection is deterministic regardless of worker
+scheduling) and how many attempts it fires on — and worker subprocesses
+consult it just before executing a job.  The spec travels as one string
+(``REPRO_FAULT_SPEC`` in the environment, or the ``fault_spec=`` argument of
+:class:`repro.service.LocalService`), so the same chaos scenario drives unit
+tests, the benchmark chaos run, and ad-hoc ``REPRO_FAULT_SPEC=crash@2
+python …`` experiments.
+
+Spec grammar — rules separated by ``;``::
+
+    kind@index[:param][xattempts]
+
+    crash@2        kill the worker with SIGKILL on job 2's first attempt
+    crash@2x3      …on its first three attempts
+    hang@5         sleep forever on job 5 (parent's job_timeout must kill it)
+    slow@0:0.25    sleep 0.25 s before running job 0 (slow worker start)
+    error@1        raise InjectedFault inside the worker (clean exception)
+
+Every kind exercises a distinct recovery path: ``crash`` the retry/backoff
+machinery and byte-identical re-execution, ``hang`` the wall-clock timeout
+kill, ``slow`` scheduling under degraded workers, ``error`` the structured
+``FAILED`` report for worker-reported exceptions.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from dataclasses import dataclass
+
+__all__ = [
+    "FAULT_KINDS",
+    "FAULT_SPEC_ENV",
+    "FaultRule",
+    "FaultSpecError",
+    "InjectedFault",
+    "FaultInjector",
+]
+
+#: Environment variable the worker-side injector reads its spec from.
+FAULT_SPEC_ENV = "REPRO_FAULT_SPEC"
+
+FAULT_KINDS = ("crash", "hang", "slow", "error")
+
+#: ``hang`` sleeps this long per loop iteration; the parent's timeout kill
+#: arrives long before the loop ever finishes.
+_HANG_SLICE_SECONDS = 3600.0
+
+
+class FaultSpecError(ValueError):
+    """An unparseable fault-injection spec string."""
+
+
+class InjectedFault(RuntimeError):
+    """The exception an ``error`` fault raises inside the worker."""
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One injected fault: ``kind`` fired at job ``index``.
+
+    ``attempts`` is the number of leading attempts the rule fires on — a
+    ``crash@2`` (attempts=1) kills the first attempt only, so the retry
+    succeeds and proves recovery; ``crash@2x99`` exhausts any retry budget
+    and proves the bounded-failure path.
+    """
+
+    kind: str
+    index: int
+    param: float | None = None
+    attempts: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise FaultSpecError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+        if self.index < 0:
+            raise FaultSpecError("fault job index must be non-negative")
+        if self.attempts <= 0:
+            raise FaultSpecError("fault attempt count must be positive")
+        if self.param is not None and self.param < 0:
+            raise FaultSpecError("fault param must be non-negative")
+
+    def matches(self, index: int, attempt: int) -> bool:
+        return index == self.index and attempt < self.attempts
+
+    def spell(self) -> str:
+        """The rule back in spec-grammar form (``parse`` round-trips it)."""
+        text = f"{self.kind}@{self.index}"
+        if self.param is not None:
+            text += f":{self.param:g}"
+        if self.attempts != 1:
+            text += f"x{self.attempts}"
+        return text
+
+
+def _parse_rule(text: str) -> FaultRule:
+    head, _, param_part = text.partition(":")
+    kind, at, index_part = head.partition("@")
+    if not at or not kind or not index_part:
+        raise FaultSpecError(
+            f"bad fault rule {text!r}; expected kind@index[:param][xattempts]"
+        )
+    # The xN attempt suffix binds to the last segment (after :param if any).
+    tail = param_part if param_part else index_part
+    attempts = 1
+    if "x" in tail:
+        tail, _, attempts_part = tail.rpartition("x")
+        try:
+            attempts = int(attempts_part)
+        except ValueError as exc:
+            raise FaultSpecError(f"bad attempt count in {text!r}") from exc
+        if param_part:
+            param_part = tail
+        else:
+            index_part = tail
+    try:
+        index = int(index_part)
+    except ValueError as exc:
+        raise FaultSpecError(f"bad job index in {text!r}") from exc
+    param = None
+    if param_part:
+        try:
+            param = float(param_part)
+        except ValueError as exc:
+            raise FaultSpecError(f"bad param in {text!r}") from exc
+    return FaultRule(kind=kind.strip(), index=index, param=param, attempts=attempts)
+
+
+class FaultInjector:
+    """A parsed fault spec plus the machinery to fire its rules."""
+
+    def __init__(self, rules: "tuple[FaultRule, ...] | list[FaultRule]" = ()):
+        self.rules = tuple(rules)
+
+    @classmethod
+    def parse(cls, spec: "str | None") -> "FaultInjector":
+        """Parse a spec string; ``""``/``None`` mean no faults."""
+        if not spec:
+            return cls()
+        rules = []
+        for chunk in spec.split(";"):
+            chunk = chunk.strip()
+            if chunk:
+                rules.append(_parse_rule(chunk))
+        return cls(tuple(rules))
+
+    @classmethod
+    def from_env(cls, environ: "dict | None" = None) -> "FaultInjector":
+        """The injector gated by ``REPRO_FAULT_SPEC`` (empty when unset)."""
+        env = os.environ if environ is None else environ
+        return cls.parse(env.get(FAULT_SPEC_ENV, ""))
+
+    def spell(self) -> str:
+        """Canonical spec string (``parse(spell())`` round-trips)."""
+        return ";".join(rule.spell() for rule in self.rules)
+
+    def __bool__(self) -> bool:
+        return bool(self.rules)
+
+    def rule_for(self, index: int, attempt: int = 0) -> "FaultRule | None":
+        for rule in self.rules:
+            if rule.matches(index, attempt):
+                return rule
+        return None
+
+    def fire(self, index: int, attempt: int = 0) -> None:
+        """Execute the matching fault (if any) **in this process**.
+
+        Meant to run inside a worker subprocess; a ``crash`` rule kills the
+        calling process with SIGKILL, exactly like the OOM killer would.
+        """
+        rule = self.rule_for(index, attempt)
+        if rule is None:
+            return
+        if rule.kind == "crash":
+            os.kill(os.getpid(), signal.SIGKILL)
+        elif rule.kind == "hang":
+            deadline = (
+                time.monotonic() + rule.param if rule.param else None
+            )
+            while deadline is None or time.monotonic() < deadline:
+                remaining = (
+                    _HANG_SLICE_SECONDS
+                    if deadline is None
+                    else min(_HANG_SLICE_SECONDS, deadline - time.monotonic())
+                )
+                time.sleep(max(0.0, remaining))
+        elif rule.kind == "slow":
+            time.sleep(rule.param if rule.param is not None else 0.5)
+        elif rule.kind == "error":
+            raise InjectedFault(
+                f"injected fault at job {index} attempt {attempt}"
+            )

@@ -1,0 +1,150 @@
+"""Stdlib HTTP front for the job service.
+
+A thin JSON wrapper over :class:`~repro.service.jobs.LocalService` — no
+framework, just ``http.server.ThreadingHTTPServer`` (threads, so a blocking
+``/wait`` from one client never stalls another):
+
+========  ==========================  ========================================
+method    path                        semantics
+========  ==========================  ========================================
+POST      ``/jobs``                   submit ``{"config":…, "program": qasm,
+                                      "priority":…}`` → ``202 {"job_id":…}``
+GET       ``/jobs/<id>``              job status (state, attempts, failure
+                                      chain, report when terminal)
+GET       ``/jobs/<id>/report``       the report alone — ``409`` + state
+                                      while the job is still in flight
+GET       ``/jobs/<id>/wait``         block until terminal (``?timeout=s`` →
+                                      ``504`` on expiry); the long-poll
+                                      spelling of ``wait_for_job``
+GET       ``/stats``                  service counters
+========  ==========================  ========================================
+
+Client errors (bad JSON, bad QASM, unknown config keys) are ``400`` with the
+exception text; an unknown job id is ``404``.  Submissions are answered with
+the job id *before* any work happens — the asynchrony contract.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from .jobs import LocalService
+
+__all__ = ["ServiceServer", "serve_http"]
+
+
+class _ServiceHandler(BaseHTTPRequestHandler):
+    server: "ServiceServer"
+
+    # -- plumbing --------------------------------------------------------
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # tests and embedded use must not spam stderr
+
+    def _send(self, code: int, payload: dict) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    # -- routes ----------------------------------------------------------
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib casing
+        parsed = urlparse(self.path)
+        if parsed.path.rstrip("/") != "/jobs":
+            self._send(404, {"error": f"no such route {parsed.path!r}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            payload = json.loads(self.rfile.read(length) or b"{}")
+            job_id = self.server.service.submit_payload(payload)
+        except (ValueError, TypeError, KeyError) as exc:
+            self._send(400, {"error": str(exc)})
+            return
+        self._send(202, {"job_id": job_id})
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib casing
+        parsed = urlparse(self.path)
+        parts = [part for part in parsed.path.split("/") if part]
+        service = self.server.service
+        if parts == ["stats"]:
+            self._send(200, service.stats())
+            return
+        if not parts or parts[0] != "jobs" or len(parts) > 3:
+            self._send(404, {"error": f"no such route {parsed.path!r}"})
+            return
+        try:
+            job = service.job(parts[1])
+        except KeyError as exc:
+            self._send(404, {"error": str(exc)})
+            return
+        if len(parts) == 2:
+            self._send(200, job.to_dict())
+            return
+        if parts[2] == "report":
+            if job.report is None:
+                self._send(409, {"state": job.state, "terminal": job.terminal})
+                return
+            self._send(200, job.report.to_dict())
+            return
+        if parts[2] == "wait":
+            query = parse_qs(parsed.query)
+            timeout = None
+            if "timeout" in query:
+                timeout = float(query["timeout"][0])
+            try:
+                job = service.wait(job.id, timeout=timeout)
+            except TimeoutError:
+                self._send(504, {"state": job.state, "terminal": job.terminal})
+                return
+            self._send(200, job.to_dict())
+            return
+        self._send(404, {"error": f"no such route {parsed.path!r}"})
+
+
+class ServiceServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`LocalService`."""
+
+    daemon_threads = True
+
+    def __init__(self, address: "tuple[str, int]", service: LocalService):
+        super().__init__(address, _ServiceHandler)
+        self.service = service
+        self._thread: "threading.Thread | None" = None
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def start(self) -> "ServiceServer":
+        """Serve on a background thread; returns self for chaining."""
+        self._thread = threading.Thread(
+            target=self.serve_forever, name="repro-service-http", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self.shutdown()
+        if self._thread is not None:
+            self._thread.join(10.0)
+        self.server_close()
+
+    def __enter__(self) -> "ServiceServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def serve_http(
+    service: LocalService, host: str = "127.0.0.1", port: int = 0
+) -> ServiceServer:
+    """Bind (but do not start) an HTTP front; ``port=0`` picks a free port."""
+    return ServiceServer((host, port), service)

@@ -1,0 +1,497 @@
+"""Debugging-as-a-service: the async job layer (`LocalService`).
+
+Clients submit ``{"config": <RunConfig JSON>, "program": <QASM>}`` (or a
+:class:`~repro.lang.program.Program` directly), get a job id back
+immediately, and poll or block for the finished
+:class:`~repro.core.report.DebugReport` — the ``run_async`` /
+``wait_for_job`` split of PyQuil's QAM API, built on the wire formats PR 5
+made JSON-round-trippable.  Fault tolerance is the first-class design axis:
+
+* **per-job seeds** — a job submitted with ``seed=None`` gets a seed derived
+  from the service's root ``SeedSequence`` and the job's submission index,
+  so results are reproducible regardless of worker scheduling, and a
+  *retried* job re-runs the exact same seeded computation (its report is
+  byte-identical to an uninjected run);
+* **timeouts** — ``config.job_timeout`` is enforced by the parent, which
+  SIGKILLs the worker subprocess on expiry and parks the job in the
+  structured ``TIMEOUT`` state;
+* **retry with backoff** — a *crashed* worker (SIGKILL, OOM, abnormal exit)
+  is retried up to ``config.max_retries`` times with exponential backoff +
+  jitter (:class:`~repro.service.workers.RetryPolicy`); exhausted retries
+  produce a ``FAILED`` job carrying the full per-attempt failure chain —
+  never a lost job, never a hung client.  Worker-*reported* exceptions are
+  deterministic and fail fast without burning retries;
+* **self-healing pool** — each attempt runs in a fresh subprocess
+  (:mod:`~repro.service.workers`), so a dead worker is detected by its own
+  exit and the next attempt simply forks a new one; the queue never drains;
+* **graceful degradation** — the content-addressed
+  :class:`~repro.service.result_cache.ResultCache` answers repeat jobs as
+  ``CACHED`` and the static analyzer answers fully decidable
+  ``static_preflight`` jobs as ``STATIC``, both *inline at submission* —
+  these rungs keep working when the pool is saturated or entirely down.
+
+Job lifecycle::
+
+    QUEUED ──▶ RUNNING ──▶ DONE | TIMEOUT | FAILED
+       └────────────────▶ CACHED | STATIC     (answered at submission)
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import pickle
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.checker import StatisticalAssertionChecker
+from ..core.config import RunConfig
+from ..core.report import DebugReport
+from ..lang.program import Program
+from ..lang.qasm import from_qasm
+from .faults import FaultInjector
+from .queue import PriorityJobQueue
+from .result_cache import ResultCache
+from .workers import RetryPolicy, run_attempt, worker_context
+
+__all__ = ["JobState", "Job", "LocalService"]
+
+
+class JobState:
+    """The job lifecycle's state names (plain strings, JSON-native)."""
+
+    QUEUED = "QUEUED"
+    RUNNING = "RUNNING"
+    DONE = "DONE"
+    TIMEOUT = "TIMEOUT"
+    FAILED = "FAILED"
+    CACHED = "CACHED"
+    STATIC = "STATIC"
+
+    #: States carrying a report a client can fetch.
+    WITH_REPORT = frozenset({DONE, CACHED, STATIC})
+    #: States a job never leaves.
+    TERMINAL = frozenset({DONE, TIMEOUT, FAILED, CACHED, STATIC})
+
+
+@dataclass
+class Job:
+    """One submitted checking job and everything that happened to it."""
+
+    id: str
+    index: int
+    program: Program
+    config: RunConfig
+    priority: int = 0
+    state: str = JobState.QUEUED
+    #: Worker attempts started so far (0 for CACHED/STATIC jobs).
+    attempts: int = 0
+    #: One entry per failed attempt: ``{"attempt", "kind", "detail",
+    #: "exitcode", "duration", "backoff"}`` — the structured failure chain
+    #: a FAILED/TIMEOUT job ships to the client.
+    failure_chain: list = field(default_factory=list)
+    report: "DebugReport | None" = None
+    cache_key: str = ""
+    submitted_at: float = 0.0
+    finished_at: "float | None" = None
+    _program_bytes: bytes = b""
+    _config_json: str = ""
+    _done: threading.Event = field(default_factory=threading.Event)
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in JobState.TERMINAL
+
+    def to_dict(self, include_report: bool = True) -> dict:
+        """JSON-native job view (the HTTP layer's GET /jobs/<id> body)."""
+        payload = {
+            "id": self.id,
+            "index": self.index,
+            "state": self.state,
+            "priority": self.priority,
+            "attempts": self.attempts,
+            "program_name": self.program.name,
+            "terminal": self.terminal,
+            "failure_chain": [dict(entry) for entry in self.failure_chain],
+            "submitted_at": self.submitted_at,
+            "finished_at": self.finished_at,
+        }
+        if include_report:
+            payload["report"] = (
+                self.report.to_dict() if self.report is not None else None
+            )
+        return payload
+
+
+class LocalService:
+    """An in-process debugging service: submit, poll, wait, survive.
+
+    Parameters
+    ----------
+    defaults:
+        Base :class:`~repro.core.config.RunConfig` merged under every
+        submission that does not bring its own config.
+    max_workers:
+        Concurrent worker subprocesses.  ``0`` models a fully-down pool:
+        nothing is dispatched, but cached and static-decidable submissions
+        still complete (the degradation ladder's whole point).
+    root_seed:
+        Entropy for per-job seed derivation (``None`` = OS entropy).  Jobs
+        submitted with an explicit ``config.seed`` keep it.
+    fault_spec:
+        A :mod:`~repro.service.faults` spec injected into every worker
+        (defaults to the ``REPRO_FAULT_SPEC`` environment variable), keyed
+        by job submission index — the chaos harness.
+    """
+
+    def __init__(
+        self,
+        defaults: "RunConfig | dict | None" = None,
+        *,
+        max_workers: int = 2,
+        root_seed: "int | None" = None,
+        fault_spec: "str | None" = None,
+        cache_entries: int = 256,
+        poll_interval: float = 0.05,
+    ):
+        self.defaults = RunConfig.coerce(defaults, caller="LocalService")
+        if max_workers < 0:
+            raise ValueError("max_workers must be non-negative")
+        self.max_workers = int(max_workers)
+        root = np.random.SeedSequence(root_seed)
+        self._root_entropy = (
+            root.entropy
+            if isinstance(root.entropy, int)
+            else int(root.generate_state(1, np.uint64)[0])
+        )
+        if fault_spec is None:
+            self.fault_injector = FaultInjector.from_env()
+        else:
+            self.fault_injector = FaultInjector.parse(fault_spec)
+        self.queue = PriorityJobQueue()
+        self.result_cache = ResultCache(max_entries=cache_entries)
+        self._jobs: "dict[str, Job]" = {}
+        self._order: "list[str]" = []
+        self._lock = threading.RLock()
+        self._counter = itertools.count()
+        self._closed = False
+        self._poll_interval = float(poll_interval)
+        self._ctx = worker_context()
+        self._active_threads: "set[threading.Thread]" = set()
+        #: Jobs answered without a worker, by rung (observability).
+        self.inline_answers = {"cached": 0, "static": 0}
+        if self.max_workers > 0:
+            self._slots = threading.Semaphore(self.max_workers)
+            self._dispatcher = threading.Thread(
+                target=self._dispatch_loop, name="repro-service-dispatch",
+                daemon=True,
+            )
+            self._dispatcher.start()
+        else:
+            self._slots = None
+            self._dispatcher = None
+
+    # -- submission ------------------------------------------------------
+
+    def submit(
+        self,
+        program: "Program | str",
+        config: "RunConfig | dict | None" = None,
+        *,
+        priority: int = 0,
+    ) -> str:
+        """Submit one checking job; returns its job id immediately.
+
+        ``program`` is a :class:`Program` or OpenQASM text; ``config`` a
+        :class:`RunConfig`, a config dict, or ``None`` for the service
+        defaults.  Validation problems (bad QASM, unknown config keys, a
+        non-serializable backend) raise *here*, synchronously — they are
+        client errors, not job failures.
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("service is closed")
+            index = next(self._counter)
+        if isinstance(program, str):
+            program = from_qasm(program, name=f"job-{index}")
+        elif not isinstance(program, Program):
+            raise TypeError(
+                f"program must be a Program or QASM text, got {type(program)!r}"
+            )
+        config = (
+            self.defaults
+            if config is None
+            else RunConfig.coerce(config, caller="LocalService.submit")
+        )
+        if config.seed is None:
+            config = config.replace(seed=self._derive_seed(index))
+        # Serializability gate: the config must cross the process boundary
+        # (and address the result cache) as JSON — fail at submit if not.
+        config_json = config.to_json()
+        job = Job(
+            id=f"job-{index:06d}",
+            index=index,
+            program=program,
+            config=config,
+            priority=int(priority),
+            cache_key=ResultCache.key_for(program, config),
+            submitted_at=time.time(),
+            _program_bytes=pickle.dumps(program),
+            _config_json=config_json,
+        )
+        with self._lock:
+            self._jobs[job.id] = job
+            self._order.append(job.id)
+        # Degradation rungs 1 and 2 run inline at submission, so they keep
+        # answering when every worker is busy or dead.
+        cached = self.result_cache.get(job.cache_key)
+        if cached is not None:
+            with self._lock:
+                self.inline_answers["cached"] += 1
+            self._finish(job, JobState.CACHED, DebugReport.from_json(cached))
+            return job.id
+        static = self._try_static(program, config)
+        if static is not None:
+            with self._lock:
+                self.inline_answers["static"] += 1
+            self._finish(job, JobState.STATIC, static)
+            return job.id
+        self.queue.put(job, priority=job.priority)
+        return job.id
+
+    def submit_payload(self, payload: "dict | str") -> str:
+        """Submit a wire-format job: ``{"config":…, "program": <qasm>, …}``."""
+        if isinstance(payload, (str, bytes)):
+            payload = json.loads(payload)
+        if not isinstance(payload, dict):
+            raise TypeError("payload must be a JSON object")
+        if "program" not in payload:
+            raise ValueError('payload is missing the "program" key')
+        return self.submit(
+            payload["program"],
+            payload.get("config"),
+            priority=int(payload.get("priority", 0)),
+        )
+
+    def _derive_seed(self, index: int) -> int:
+        """The pinned seed of submission ``index`` (scheduling-independent)."""
+        sequence = np.random.SeedSequence([self._root_entropy, index])
+        return int(sequence.generate_state(1, np.uint64)[0])
+
+    def _try_static(
+        self, program: Program, config: RunConfig
+    ) -> "DebugReport | None":
+        """Rung 2: answer a fully statically decidable job inline."""
+        if not config.static_preflight:
+            return None
+        try:
+            checker = StatisticalAssertionChecker.from_config(program, config)
+            return checker.try_static_report()
+        except Exception:
+            # Static analysis must never take a submission down; the job
+            # simply proceeds to a worker.
+            return None
+
+    # -- dispatch / execution -------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            job = self.queue.get(timeout=self._poll_interval)
+            if job is None:
+                if self._closed:
+                    return
+                continue
+            while not self._slots.acquire(timeout=self._poll_interval):
+                if self._closed:
+                    # Shutting down with a job in hand: leave it QUEUED.
+                    return
+            thread = threading.Thread(
+                target=self._run_job, args=(job,),
+                name=f"repro-service-{job.id}", daemon=True,
+            )
+            with self._lock:
+                self._active_threads.add(thread)
+            thread.start()
+
+    def _run_job(self, job: Job) -> None:
+        try:
+            policy = RetryPolicy.from_config(job.config)
+            crashes = 0
+            while True:
+                attempt = job.attempts
+                with self._lock:
+                    job.state = JobState.RUNNING
+                    job.attempts += 1
+                outcome = run_attempt(
+                    {
+                        "program_bytes": job._program_bytes,
+                        "config_json": job._config_json,
+                        "job_index": job.index,
+                        "attempt": attempt,
+                        "fault_spec": self.fault_injector.spell(),
+                    },
+                    timeout=job.config.job_timeout,
+                    ctx=self._ctx,
+                )
+                if outcome.status == "ok":
+                    report = DebugReport.from_json(outcome.report_json)
+                    self.result_cache.put(job.cache_key, outcome.report_json)
+                    self._finish(job, JobState.DONE, report)
+                    return
+                failure = {
+                    "attempt": attempt,
+                    "kind": outcome.status,
+                    "detail": outcome.detail,
+                    "exitcode": outcome.exitcode,
+                    "duration": outcome.duration,
+                    "backoff": None,
+                }
+                if outcome.status == "timeout":
+                    # A hung job gets no retry: re-running a computation
+                    # that exceeded its wall-clock budget would just burn
+                    # another budget.  Structured TIMEOUT, client unblocked.
+                    job.failure_chain.append(failure)
+                    self._finish(job, JobState.TIMEOUT, None)
+                    return
+                if outcome.status == "error":
+                    # The worker *reported* the exception: deterministic
+                    # program/config problem, retrying cannot help.
+                    job.failure_chain.append(failure)
+                    self._finish(job, JobState.FAILED, None)
+                    return
+                # crash: SIGKILL / OOM / abnormal exit — retry with backoff.
+                crashes += 1
+                if not policy.retries_left(crashes):
+                    job.failure_chain.append(failure)
+                    self._finish(job, JobState.FAILED, None)
+                    return
+                backoff = policy.delay(crashes - 1, seed=job.config.seed)
+                failure["backoff"] = backoff
+                job.failure_chain.append(failure)
+                if backoff > 0.0:
+                    time.sleep(backoff)
+        except Exception as exc:  # pragma: no cover - defensive belt
+            job.failure_chain.append(
+                {
+                    "attempt": job.attempts,
+                    "kind": "internal",
+                    "detail": f"{type(exc).__name__}: {exc}",
+                    "exitcode": None,
+                    "duration": 0.0,
+                    "backoff": None,
+                }
+            )
+            self._finish(job, JobState.FAILED, None)
+        finally:
+            if self._slots is not None:
+                self._slots.release()
+            with self._lock:
+                self._active_threads.discard(threading.current_thread())
+
+    def _finish(self, job: Job, state: str, report: "DebugReport | None") -> None:
+        with self._lock:
+            job.state = state
+            job.report = report
+            job.finished_at = time.time()
+        job._done.set()
+
+    # -- client surface --------------------------------------------------
+
+    def job(self, job_id: str) -> Job:
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise KeyError(f"unknown job id {job_id!r}")
+        return job
+
+    def jobs(self) -> "list[Job]":
+        """Every job, in submission order."""
+        with self._lock:
+            return [self._jobs[job_id] for job_id in self._order]
+
+    def report(self, job_id: str) -> "DebugReport | None":
+        """The finished report, or ``None`` while the job is in flight."""
+        return self.job(job_id).report
+
+    def wait(self, job_id: str, timeout: "float | None" = None) -> Job:
+        """Block until the job is terminal; the ``wait_for_job`` shape.
+
+        Raises :class:`TimeoutError` if the *wait* times out — distinct
+        from the job itself timing out, which returns normally with
+        ``state == "TIMEOUT"``.
+        """
+        job = self.job(job_id)
+        if not job._done.wait(timeout):
+            raise TimeoutError(
+                f"job {job_id} not terminal after {timeout}s (state {job.state})"
+            )
+        return job
+
+    def wait_all(
+        self, job_ids: "list[str] | None" = None, timeout: "float | None" = None
+    ) -> "list[Job]":
+        """Wait for many jobs; overall deadline shared across them."""
+        if job_ids is None:
+            job_ids = [job.id for job in self.jobs()]
+        deadline = None if timeout is None else time.monotonic() + timeout
+        waited = []
+        for job_id in job_ids:
+            remaining = (
+                None if deadline is None else deadline - time.monotonic()
+            )
+            if remaining is not None and remaining <= 0:
+                raise TimeoutError(f"timed out before job {job_id}")
+            waited.append(self.wait(job_id, timeout=remaining))
+        return waited
+
+    def stats(self) -> dict:
+        """Service counters: per-state job counts, queue depth, cache."""
+        with self._lock:
+            states: "dict[str, int]" = {}
+            for job in self._jobs.values():
+                states[job.state] = states.get(job.state, 0) + 1
+            return {
+                "jobs": len(self._jobs),
+                "states": states,
+                "queue_depth": len(self.queue),
+                "max_workers": self.max_workers,
+                "inline_answers": dict(self.inline_answers),
+                "cache": self.result_cache.stats(),
+                "faults": self.fault_injector.spell(),
+            }
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self, wait: bool = True, timeout: "float | None" = 30.0) -> None:
+        """Stop accepting and dispatching; optionally join running jobs.
+
+        Jobs still queued stay ``QUEUED`` (they were never started and are
+        fully described by their payloads); jobs mid-attempt run to their
+        next terminal state when ``wait=True``.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            threads = list(self._active_threads)
+        self.queue.close()
+        if self._dispatcher is not None:
+            self._dispatcher.join(timeout)
+        if wait:
+            for thread in threads:
+                thread.join(timeout)
+
+    def __enter__(self) -> "LocalService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LocalService(workers={self.max_workers}, "
+            f"jobs={len(self._jobs)}, queue={len(self.queue)})"
+        )

@@ -1,0 +1,80 @@
+"""The service's thread-safe priority job queue.
+
+Scheduling order is ``(priority desc, submission order asc)``: higher
+``priority`` values run first, ties break FIFO on the submission sequence
+number, so two identical services draining the same submissions always
+schedule identically — determinism of *results* is carried by per-job seeds,
+but deterministic scheduling keeps latency tests and the chaos harness
+reproducible too.
+
+The queue is deliberately minimal: ``put``/``get(timeout)``/``drain``/
+``close``.  Retry scheduling lives in the worker layer (a retried job is a
+fresh attempt inside its job thread, never re-queued), so the queue never
+needs to reorder in-flight work.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+
+__all__ = ["PriorityJobQueue", "QueueClosed"]
+
+
+class QueueClosed(RuntimeError):
+    """``put`` after ``close`` — the service is shutting down."""
+
+
+class PriorityJobQueue:
+    """Heap-backed priority queue with blocking ``get`` and clean shutdown."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[int, int, object]] = []
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._sequence = itertools.count()
+        self._closed = False
+
+    def put(self, item, priority: int = 0) -> None:
+        """Enqueue ``item``; higher ``priority`` values are served first."""
+        with self._not_empty:
+            if self._closed:
+                raise QueueClosed("queue is closed")
+            heapq.heappush(self._heap, (-int(priority), next(self._sequence), item))
+            self._not_empty.notify()
+
+    def get(self, timeout: "float | None" = None):
+        """Pop the highest-priority item, blocking up to ``timeout`` seconds.
+
+        Returns ``None`` on timeout or when the queue is closed and empty —
+        the dispatcher loop treats both as "nothing to do right now".
+        """
+        with self._not_empty:
+            while not self._heap:
+                if self._closed:
+                    return None
+                if not self._not_empty.wait(timeout):
+                    return None
+            return heapq.heappop(self._heap)[2]
+
+    def drain(self) -> list:
+        """Remove and return every queued item in scheduling order."""
+        with self._lock:
+            items = [entry[2] for entry in sorted(self._heap)]
+            self._heap.clear()
+            return items
+
+    def close(self) -> None:
+        """Refuse new puts and wake every blocked getter."""
+        with self._not_empty:
+            self._closed = True
+            self._not_empty.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._heap)

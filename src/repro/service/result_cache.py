@@ -1,0 +1,101 @@
+"""Content-addressed cache of finished job reports.
+
+The cache key is ``sha256(program_fingerprint ‖ canonical config JSON)``:
+
+* the **program fingerprint** is the plan cache's content address
+  (:func:`repro.compiler.plan_cache.program_fingerprint`) — stable across
+  gate *spellings* and OpenQASM round trips, so a client resubmitting the
+  same circuit written differently still hits;
+* the **config JSON** is ``RunConfig.to_dict()`` serialised with sorted
+  keys, *after* the service has pinned the job's seed — so a hit guarantees
+  an identical seeded run, whose report is byte-identical by the repo's
+  reproducibility contract.  Serving from cache is therefore not an
+  approximation: it returns exactly the bytes a fresh worker would have
+  produced.
+
+Jobs served here land in the ``CACHED`` terminal state without ever touching
+the queue or a worker, which is the first rung of the service's degradation
+ladder: repeat traffic survives a saturated — or entirely dead — worker pool.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from collections import OrderedDict
+
+from ..compiler.plan_cache import program_fingerprint
+from ..core.config import RunConfig
+from ..lang.program import Program
+
+__all__ = ["result_key", "ResultCache"]
+
+
+def result_key(fingerprint: str, config: RunConfig) -> str:
+    """The content address of one (program, pinned config) job."""
+    canonical = json.dumps(config.to_dict(), sort_keys=True)
+    hasher = hashlib.sha256()
+    hasher.update(fingerprint.encode())
+    hasher.update(b"|")
+    hasher.update(canonical.encode())
+    return hasher.hexdigest()
+
+
+class ResultCache:
+    """LRU map from job content address to finished report JSON."""
+
+    def __init__(self, max_entries: int = 256):
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = int(max_entries)
+        self._entries: "OrderedDict[str, str]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key_for(program: Program, config: RunConfig) -> str:
+        """Content address of ``(program, config)``; see :func:`result_key`."""
+        return result_key(program_fingerprint(program), config)
+
+    def get(self, key: str) -> "str | None":
+        """The cached report JSON, or ``None`` (counts a hit/miss)."""
+        with self._lock:
+            text = self._entries.get(key)
+            if text is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return text
+
+    def peek(self, key: str) -> bool:
+        """Whether ``key`` is cached, without touching the counters/LRU."""
+        with self._lock:
+            return key in self._entries
+
+    def put(self, key: str, report_json: str) -> None:
+        with self._lock:
+            self._entries[key] = report_json
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+            }

@@ -31,7 +31,9 @@ from __future__ import annotations
 
 import os
 import pickle
-from concurrent.futures import ProcessPoolExecutor
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Sequence
 
 import numpy as np
@@ -40,6 +42,8 @@ from ..core.checker import check_program
 from ..core.config import RunConfig
 from ..core.report import DebugReport
 from ..lang.program import Program
+from ..service.faults import FaultInjector
+from ..service.workers import RetryPolicy
 
 __all__ = [
     "available_workers",
@@ -113,8 +117,14 @@ def _check_point(payload: tuple) -> str:
     Module-level (picklable) on purpose; the payload is a pickled program
     plus a JSON config, and the result is the report's JSON text — plain
     bytes/str in both directions keeps the process boundary transparent.
+    Pool payloads additionally carry ``(point_index, attempt)``, the
+    coordinates the :mod:`repro.service.faults` chaos harness fires on
+    (gated by ``REPRO_FAULT_SPEC``; the in-process path never passes them,
+    so an injected crash can only ever kill a pool worker).
     """
-    program_bytes, config_json = payload
+    program_bytes, config_json, *fault_coords = payload
+    if fault_coords:
+        FaultInjector.from_env().fire(fault_coords[0], fault_coords[1])
     program = pickle.loads(program_bytes)
     report = check_program(program, RunConfig.from_json(config_json))
     return report.to_json()
@@ -123,6 +133,8 @@ def _check_point(payload: tuple) -> str:
 def run_sharded_points(
     points: "Sequence[tuple[Program, RunConfig]]",
     max_workers: int | None = None,
+    *,
+    retry: "RetryPolicy | None" = None,
 ) -> list[DebugReport]:
     """Check every ``(program, config)`` point, sharded across processes.
 
@@ -131,17 +143,75 @@ def run_sharded_points(
     the code path is otherwise identical, which is what makes
     ``max_workers=1`` vs ``max_workers=N`` runs byte-identical: every point
     is seeded by its own config, not by shared session state.
+
+    **Crash recovery.**  A worker killed mid-point (OOM, SIGKILL, an
+    injected chaos fault) breaks the whole ``ProcessPoolExecutor``; instead
+    of surfacing ``BrokenProcessPool`` and losing the sweep, the finished
+    points are kept, a fresh pool is spun up, and only the unfinished
+    points are resubmitted — the same bounded retry/backoff policy the job
+    service applies to crashed workers (``retry`` defaults to
+    ``RetryPolicy.from_config`` of the first point's config).  Each
+    resubmission is the identical seeded payload, so a recovered sweep is
+    byte-identical to an uninterrupted one.  Points whose crashes exhaust
+    the budget raise a ``RuntimeError`` naming them.
     """
-    payloads = [
-        (pickle.dumps(program), config.to_json()) for program, config in points
-    ]
     workers = available_workers(max_workers)
-    if workers <= 1 or len(payloads) <= 1:
-        texts = [_check_point(payload) for payload in payloads]
-    else:
+    if workers <= 1 or len(points) <= 1:
+        texts = [
+            _check_point((pickle.dumps(program), config.to_json()))
+            for program, config in points
+        ]
+        return [DebugReport.from_json(text) for text in texts]
+
+    if retry is None:
+        retry = RetryPolicy.from_config(points[0][1])
+    payloads = {
+        index: (pickle.dumps(program), config.to_json())
+        for index, (program, config) in enumerate(points)
+    }
+    attempts = {index: 0 for index in payloads}
+    results: "dict[int, str]" = {}
+    pending = dict(payloads)
+    crash_rounds = 0
+    while pending:
+        crashed = False
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            texts = list(pool.map(_check_point, payloads))
-    return [DebugReport.from_json(text) for text in texts]
+            futures = {
+                pool.submit(
+                    _check_point,
+                    (*payload, index, attempts[index]),
+                ): index
+                for index, payload in pending.items()
+            }
+            not_done = set(futures)
+            while not_done:
+                done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index = futures[future]
+                    try:
+                        results[index] = future.result()
+                        del pending[index]
+                    except BrokenProcessPool:
+                        crashed = True
+                    # Any other exception is a deterministic worker error
+                    # (bad config, bad program) and propagates as before.
+                if crashed:
+                    break
+        if pending and not crashed:  # pragma: no cover - defensive
+            crashed = True
+        if crashed and pending:
+            crash_rounds += 1
+            for index in pending:
+                attempts[index] += 1
+            if not retry.retries_left(crash_rounds):
+                lost = sorted(pending)
+                raise RuntimeError(
+                    f"sweep points {lost} crashed their workers "
+                    f"{crash_rounds} time(s); retry budget "
+                    f"(max_retries={retry.max_retries}) exhausted"
+                )
+            time.sleep(retry.delay(crash_rounds - 1))
+    return [DebugReport.from_json(results[index]) for index in range(len(points))]
 
 
 def sharded_sweep(

@@ -1,0 +1,154 @@
+"""Concurrent access to the PlanCache: one build per fingerprint, ever.
+
+The job service and sharded sweeps hammer ``plan_for`` from many threads at
+once; these tests pin the coalescing contract documented on
+:meth:`~repro.compiler.plan_cache.PlanCache.plan_for` — concurrent callers
+for one fingerprint elect a single builder, everyone else waits and counts
+as a hit, and the counters stay consistent under arbitrary interleavings
+(``misses`` counts *builds*, ``hits + misses == calls``).
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+import repro.compiler.plan_cache as plan_cache_module
+from repro.algorithms.bell import build_bell_program, build_ghz_program
+from repro.compiler.plan_cache import PlanCache, program_fingerprint
+
+THREADS = 16
+ROUNDS = 25
+
+
+def _programs(count):
+    """``count`` distinct programs (distinct fingerprints)."""
+    builders = [build_bell_program] + [
+        (lambda n=n: build_ghz_program(n)) for n in range(2, count + 1)
+    ]
+    programs = [build() for build in builders[:count]]
+    assert len({program_fingerprint(p) for p in programs}) == count
+    return programs
+
+
+class _CountingBuilder:
+    """Wrap ``build_execution_plan`` with a per-fingerprint build counter."""
+
+    def __init__(self, real):
+        self.real = real
+        self.builds: "dict[str, int]" = {}
+        self.concurrent = 0
+        self.max_concurrent = 0
+        self._lock = threading.Lock()
+
+    def __call__(self, program):
+        fingerprint = program_fingerprint(program)
+        with self._lock:
+            self.builds[fingerprint] = self.builds.get(fingerprint, 0) + 1
+            self.concurrent += 1
+            self.max_concurrent = max(self.max_concurrent, self.concurrent)
+        try:
+            return self.real(program)
+        finally:
+            with self._lock:
+                self.concurrent -= 1
+
+
+@pytest.fixture()
+def counting_builder(monkeypatch):
+    counter = _CountingBuilder(plan_cache_module.build_execution_plan)
+    monkeypatch.setattr(plan_cache_module, "build_execution_plan", counter)
+    return counter
+
+
+def _hammer(cache, programs, threads=THREADS, rounds=ROUNDS):
+    """Every thread requests every program ``rounds`` times; returns plans."""
+    barrier = threading.Barrier(threads)
+
+    def worker(worker_index):
+        barrier.wait()  # maximise the simultaneous-first-call race
+        plans = []
+        for round_index in range(rounds):
+            for offset in range(len(programs)):
+                # Each thread walks the programs in a different order.
+                program = programs[(worker_index + round_index + offset) % len(programs)]
+                plans.append((program_fingerprint(program), cache.plan_for(program)))
+        return plans
+
+    with ThreadPoolExecutor(max_workers=threads) as pool:
+        results = list(pool.map(worker, range(threads)))
+    return [pair for result in results for pair in result]
+
+
+class TestConcurrentPlanFor:
+    def test_each_fingerprint_builds_exactly_once(self, counting_builder):
+        programs = _programs(4)
+        cache = PlanCache(max_entries=16)
+        pairs = _hammer(cache, programs)
+        assert all(count == 1 for count in counting_builder.builds.values())
+        assert len(counting_builder.builds) == len(programs)
+        assert cache.misses == len(programs)
+        assert cache.hits + cache.misses == len(pairs)
+
+    def test_waiters_receive_the_builders_plan_object(self, counting_builder):
+        programs = _programs(3)
+        cache = PlanCache(max_entries=16)
+        pairs = _hammer(cache, programs)
+        by_fingerprint = {}
+        for fingerprint, plan in pairs:
+            by_fingerprint.setdefault(fingerprint, set()).add(id(plan))
+        # One build ⇒ one plan object per fingerprint, shared by everyone.
+        assert all(len(ids) == 1 for ids in by_fingerprint.values())
+
+    def test_no_two_builds_run_concurrently_for_one_program(self, counting_builder):
+        cache = PlanCache(max_entries=16)
+        program = build_bell_program()
+        _hammer(cache, [program])
+        assert counting_builder.builds == {program_fingerprint(program): 1}
+        assert counting_builder.max_concurrent == 1
+
+    def test_distinct_programs_may_build_in_parallel(self, counting_builder):
+        # The lock guards bookkeeping, not compilation: builders for
+        # *different* fingerprints must not serialise each other.  (Max
+        # observed concurrency is scheduling-dependent, so only the
+        # exactly-once invariant is asserted; this documents intent.)
+        programs = _programs(6)
+        cache = PlanCache(max_entries=16)
+        _hammer(cache, programs, threads=6, rounds=2)
+        assert all(count == 1 for count in counting_builder.builds.values())
+
+    def test_eviction_hammer_stays_consistent(self, counting_builder):
+        # A capacity smaller than the working set forces rebuild-after-evict
+        # races; the invariants that must survive are bounded size,
+        # hits + misses == calls, and misses == builds (not double-builds
+        # of a *live* entry).
+        programs = _programs(5)
+        cache = PlanCache(max_entries=2)
+        pairs = _hammer(cache, programs, threads=8, rounds=10)
+        assert len(cache._entries) <= 2
+        assert cache.hits + cache.misses == len(pairs)
+        assert cache.misses == sum(counting_builder.builds.values())
+        # Every program was evicted and rebuilt at least once overall...
+        assert all(count >= 1 for count in counting_builder.builds.values())
+
+    def test_failed_build_releases_the_inflight_marker(self, monkeypatch):
+        cache = PlanCache(max_entries=4)
+        program = build_bell_program()
+        real = plan_cache_module.build_execution_plan
+        calls = {"n": 0}
+
+        def flaky(prog):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("injected compile failure")
+            return real(prog)
+
+        monkeypatch.setattr(plan_cache_module, "build_execution_plan", flaky)
+        with pytest.raises(RuntimeError, match="injected compile failure"):
+            cache.plan_for(program)
+        assert not cache._inflight  # marker cleaned up
+        plan = cache.plan_for(program)  # a fresh builder is elected
+        assert plan is cache.plan_for(program)
+        assert cache.misses == 1 and cache.hits == 1
