@@ -1,0 +1,189 @@
+"""Observable-assertion benchmark: grouped settings and the exact path.
+
+Estimating a 15-term molecular Hamiltonian naively costs one measurement
+setting per non-identity term; qubit-wise-commuting (QWC) grouping packs the
+H2 Hamiltonian's 14 non-identity terms (plus the free identity) into 5
+shared settings — a >= 3x reduction in state preparations at *identical*
+verdicts, since every term's estimator is unchanged, only co-measured.  On
+Clifford preparations the stabilizer backend skips sampling entirely: the
+expectation is read exactly off the tableau, zero shots, matching the dense
+statevector ``<H>`` to machine precision.
+
+Measured per run, over the chemistry observable scenarios (correct + buggy
+variants of HF preparation, the UCCD ansatz and Trotterised evolution):
+
+* **grouped** — ``group_observables=True`` (the default): settings and shots
+  actually drawn, verdict per program;
+* **per-term** — ``group_observables=False``: one setting per term, same
+  seed, verdict per program;
+* **exact** — the Clifford HF pair on the ``auto`` backend: asserted zero
+  sampling shots and ``<H>`` equal to the statevector value to 1e-12.
+
+Asserted: grouped and per-term verdicts identical on every program, grouped
+settings <= 1/3 of per-term settings, and the exact path's zero-shot /
+1e-12 agreement.  Each run appends a trajectory entry to
+``BENCH_observables.json``; ``--smoke`` is the CI-sized variant (one seed
+instead of three, same assertions).
+
+Run standalone with ``python benchmarks/bench_observables.py [--smoke]`` or
+under pytest-benchmark like the other benchmarks.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from bench_helpers import append_trajectory, print_table
+from repro import RunConfig
+from repro.core.checker import StatisticalAssertionChecker
+from repro.lang.program import run_instructions
+from repro.observables.exact import statevector_expectation
+from repro.sim.statevector import Statevector
+from repro.workloads.chemistry_observables import (
+    OBSERVABLE_SCENARIOS,
+    build_hf_energy_program,
+    h2_hamiltonian,
+)
+
+SEED = 20190622
+OBSERVABLES_PATH = Path(__file__).resolve().parent.parent / "BENCH_observables.json"
+
+
+def _programs() -> "list[tuple[str, object]]":
+    programs = []
+    for name in sorted(OBSERVABLE_SCENARIOS):
+        scenario = OBSERVABLE_SCENARIOS[name]
+        for buggy in (False, True):
+            label = f"{name}:{'buggy' if buggy else 'correct'}"
+            programs.append((label, scenario.build(buggy)))
+    return programs
+
+
+def _sampled_sweep(programs, seeds, grouped: bool) -> "tuple[int, int, dict]":
+    """(total settings, total shots, verdict per (label, seed)) on statevector."""
+    settings = 0
+    shots = 0
+    verdicts: "dict[tuple[str, int], bool]" = {}
+    for seed in seeds:
+        for label, program in programs:
+            config = RunConfig(
+                backend="statevector", seed=seed, group_observables=grouped
+            )
+            report = StatisticalAssertionChecker(program, config).run()
+            (record,) = report.records
+            details = record.outcome.details
+            settings += int(details["num_settings"])
+            shots += int(details["total_shots"])
+            verdicts[(label, seed)] = record.outcome.passed
+    return settings, shots, verdicts
+
+
+def _exact_side(seeds) -> dict:
+    """The Clifford HF pair on ``auto``: zero shots, 1e-12 vs statevector."""
+    max_diff = 0.0
+    total_shots = 0
+    all_exact = True
+    for seed in seeds:
+        for buggy in (False, True):
+            program = build_hf_energy_program(buggy=buggy)
+            config = RunConfig(backend="auto", seed=seed)
+            report = StatisticalAssertionChecker(program, config).run()
+            (record,) = report.records
+            details = record.outcome.details
+            all_exact = all_exact and bool(details["exact"])
+            total_shots += int(details["total_shots"])
+            # Dense reference: simulate the prefix and take the exact <H>.
+            reference = Statevector(program.num_qubits)
+            run_instructions(program, program.instructions, reference)
+            dense = statevector_expectation(reference, h2_hamiltonian())
+            max_diff = max(max_diff, abs(details["mean"] - dense))
+    return {
+        "exact": all_exact,
+        "sampling_shots": total_shots,
+        "max_diff_vs_statevector": max_diff,
+    }
+
+
+def _run(seeds) -> dict:
+    programs = _programs()
+    grouped_settings, grouped_shots, grouped_verdicts = _sampled_sweep(
+        programs, seeds, grouped=True
+    )
+    per_term_settings, per_term_shots, per_term_verdicts = _sampled_sweep(
+        programs, seeds, grouped=False
+    )
+    exact = _exact_side(seeds)
+    agree = all(
+        grouped_verdicts[cell] == per_term_verdicts[cell]
+        for cell in per_term_verdicts
+    )
+    return {
+        "row": {
+            "workload": "h2_observable_scenarios",
+            "programs": len(programs),
+            "seeds": len(seeds),
+            "grouped_settings": grouped_settings,
+            "per_term_settings": per_term_settings,
+            "settings_reduction": (
+                per_term_settings / grouped_settings
+                if grouped_settings
+                else float("inf")
+            ),
+            "grouped_shots": grouped_shots,
+            "per_term_shots": per_term_shots,
+            "verdicts_agree": agree,
+            "exact_path": exact["exact"],
+            "exact_sampling_shots": exact["sampling_shots"],
+            "exact_max_diff": exact["max_diff_vs_statevector"],
+        }
+    }
+
+
+def _check_and_report(entry: dict) -> None:
+    row = entry["row"]
+    print_table("Grouped observable estimation vs per-term settings", [row])
+    append_trajectory(OBSERVABLES_PATH, entry)
+
+    assert row["verdicts_agree"], "grouped verdicts diverged from per-term"
+    assert row["settings_reduction"] >= 3.0, (
+        f"expected >= 3x settings reduction on H2, got "
+        f"{row['settings_reduction']:.2f}x"
+    )
+    assert row["exact_path"], "Clifford HF pair must take the exact tableau path"
+    assert row["exact_sampling_shots"] == 0, (
+        "the exact path must draw zero sampling shots"
+    )
+    assert row["exact_max_diff"] <= 1e-12, (
+        f"exact tableau <H> deviates from statevector by {row['exact_max_diff']:g}"
+    )
+
+
+def test_observables(benchmark):
+    entry = benchmark.pedantic(
+        lambda: _run(seeds=[SEED, SEED + 1, SEED + 2]),
+        rounds=1,
+        iterations=1,
+    )
+    _check_and_report(entry)
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI smoke mode: one seed instead of three, same assertions",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        entry = _run(seeds=[SEED])
+    else:
+        entry = _run(seeds=[SEED, SEED + 1, SEED + 2])
+    _check_and_report(entry)
+    print("\nbench_observables: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -38,6 +38,7 @@ from .core import (
     session,
 )
 from .lang import Program, QuantumRegister
+from .observables import PauliString, PauliSum
 from .sim import Statevector
 
 __version__ = "1.2.0"
@@ -45,6 +46,8 @@ __version__ = "1.2.0"
 __all__ = [
     "Program",
     "QuantumRegister",
+    "PauliString",
+    "PauliSum",
     "Statevector",
     "RunConfig",
     "Session",

@@ -37,6 +37,10 @@ LINT_CODES: dict[str, tuple[str, str]] = {
     "QLINT006": ("error", "classically-impossible assertion"),
     "QLINT007": ("warning", "unused quantum register"),
     "QLINT008": ("warning", "unused classical register"),
+    "QLINT009": (
+        "warning",
+        "observable assertion whose Pauli support includes an untouched qubit",
+    ),
 }
 
 

@@ -60,6 +60,7 @@ from typing import Mapping
 from ..compiler.splitter import ExecutionPlan, build_execution_plan
 from ..lang.instructions import (
     AssertionInstruction,
+    AssertObservableInstruction,
     ClassicalAssertInstruction,
     EntangledAssertInstruction,
     GateInstruction,
@@ -72,7 +73,11 @@ from ..sim.clifford import (
     decompose_controlled_gate,
     decompose_gate,
 )
-from ..sim.stabilizer_backend import _Tableau, tableau_outcome_distribution
+from ..sim.stabilizer_backend import (
+    _Tableau,
+    tableau_outcome_distribution,
+    tableau_pauli_expectation,
+)
 from .diagnostics import Diagnostic
 from .linter import lint_program
 
@@ -362,6 +367,8 @@ class _AbstractState:
             return self._decide_superposition(assertion)
         if isinstance(assertion, EntangledAssertInstruction):
             return self._decide_joint(assertion, want_entangled=True)
+        if isinstance(assertion, AssertObservableInstruction):
+            return self._decide_observable(assertion)
         return self._decide_joint(assertion, want_entangled=False)
 
     def _decide_classical(self, assertion) -> tuple[str, str]:
@@ -482,6 +489,40 @@ class _AbstractState:
             "not in a product state",
         )
 
+    def _decide_observable(self, assertion) -> tuple[str, str]:
+        qubits = [assertion.targets[i] for i in assertion.support_indices()]
+        indices = [self.program.qubit_index(q) for q in qubits]
+        if self._tainted(indices):
+            return self._undecided(qubits, indices)
+        # Remap each term's symplectic masks (over the assertion's operand
+        # list) onto program qubit indices, then read the exact expectation
+        # off the stabilizer group — no enumeration, no sampling.
+        value = 0.0
+        for term in assertion.observable.terms:
+            x_mask, z_mask = term.symplectic_masks()
+            gx = gz = 0
+            for bit in range(term.num_qubits):
+                qi = self.program.qubit_index(assertion.targets[bit])
+                if (x_mask >> bit) & 1:
+                    gx |= 1 << qi
+                if (z_mask >> bit) & 1:
+                    gz |= 1 << qi
+            value += term.coefficient.real * tableau_pauli_expectation(
+                self.tableau, gx, gz
+            )
+        deviation = abs(value - assertion.expectation)
+        if deviation <= assertion.tolerance + 1e-9:
+            return (
+                PROVEN,
+                f"exact <H> = {value:.6g} is within {assertion.tolerance:.6g} "
+                f"of {assertion.expectation:.6g}",
+            )
+        return (
+            REFUTED,
+            f"exact <H> = {value:.6g} deviates from {assertion.expectation:.6g} "
+            f"by {deviation:.6g} (> tolerance {assertion.tolerance:.6g})",
+        )
+
     # -- reporting ------------------------------------------------------
 
     def qubit_state_map(self) -> dict[str, str]:
@@ -510,6 +551,8 @@ def _assertion_type(assertion: AssertionInstruction) -> str:
         return "superposition"
     if isinstance(assertion, EntangledAssertInstruction):
         return "entangled"
+    if isinstance(assertion, AssertObservableInstruction):
+        return "observable"
     return "product"
 
 

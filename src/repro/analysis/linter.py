@@ -21,6 +21,9 @@ QLINT006   error     classically-impossible assertion: the operands are fresh
                      prep constants that contradict the asserted property
 QLINT007   warning   quantum register referenced by no instruction at all
 QLINT008   warning   classical register matching no measurement label
+QLINT009   warning   observable assertion whose Pauli support includes a qubit
+                     no prep or gate ever touched (the observable-specific
+                     counterpart of QLINT004)
 =========  ========  ===========================================================
 
 Severities matter operationally: the ``python -m repro.lint`` CLI exits
@@ -32,6 +35,7 @@ from __future__ import annotations
 
 from ..lang.instructions import (
     AssertionInstruction,
+    AssertObservableInstruction,
     ClassicalAssertInstruction,
     EntangledAssertInstruction,
     GateInstruction,
@@ -60,6 +64,10 @@ def _make(code: str, message: str, index: int | None = None, qubits=()) -> Diagn
 def _assertion_operands(assertion: AssertionInstruction):
     if isinstance(assertion, (ClassicalAssertInstruction, SuperpositionAssertInstruction)):
         return list(assertion.measured)
+    if isinstance(assertion, AssertObservableInstruction):
+        # Only the Pauli support matters: identity-padded operands are never
+        # rotated or sampled, so they do not participate in dataflow.
+        return list(assertion.qubits())
     return list(assertion.group_a) + list(assertion.group_b)
 
 
@@ -76,6 +84,17 @@ def _assertion_key(program: Program, assertion: AssertionInstruction):
             "superposition",
             tuple(program.qubit_index(q) for q in assertion.measured),
             assertion.values,
+        )
+    if isinstance(assertion, AssertObservableInstruction):
+        return (
+            "observable",
+            tuple(program.qubit_index(q) for q in assertion.targets),
+            tuple(
+                (term.label(), term.coefficient.real)
+                for term in assertion.observable.terms
+            ),
+            assertion.expectation,
+            assertion.tolerance,
         )
     kind = "entangled" if isinstance(assertion, EntangledAssertInstruction) else "product"
     return (
@@ -192,7 +211,19 @@ def lint_program(program: Program, suppress: bool = True) -> list[Diagnostic]:
             for q, qi in zip(operands, indices):
                 pending_prep.pop(qi, None)
             untouched = [q for q, qi in zip(operands, indices) if qi not in touched]
-            if untouched:
+            if untouched and isinstance(instruction, AssertObservableInstruction):
+                diagnostics.append(
+                    _make(
+                        "QLINT009",
+                        f"observable assertion {instruction.describe()!r} has "
+                        f"Pauli support on "
+                        f"{', '.join(repr(q) for q in untouched)}, which no "
+                        "prep or gate ever touched",
+                        index,
+                        untouched,
+                    )
+                )
+            elif untouched:
                 diagnostics.append(
                     _make(
                         "QLINT004",
@@ -328,5 +359,34 @@ def _impossible_assertion(
                         group,
                     )
                 ]
+        return []
+    if isinstance(assertion, AssertObservableInstruction):
+        indices = [program.qubit_index(q) for q in assertion.targets]
+        if not all(qi in known for qi in indices):
+            return []
+        # Fresh prep constants form a computational basis state, on which
+        # <P> is 0 for any X/Y support and ±1 on pure-Z strings — exact.
+        value = 0.0
+        for term in assertion.observable.terms:
+            x_mask, z_mask = term.symplectic_masks()
+            if x_mask:
+                continue
+            parity = sum(
+                known[qi]
+                for bit, qi in enumerate(indices)
+                if (z_mask >> bit) & 1
+            )
+            value += term.coefficient.real * (-1.0 if parity % 2 else 1.0)
+        if abs(value - assertion.expectation) > assertion.tolerance + 1e-9:
+            return [
+                _make(
+                    "QLINT006",
+                    "operands are freshly prepared classical constants with "
+                    f"exact <H> = {value:.6g}, but the assertion expects "
+                    f"{assertion.expectation:.6g} +/- {assertion.tolerance:.6g}",
+                    index,
+                    assertion.targets,
+                )
+            ]
         return []
     return []  # product state over constants is trivially true, not impossible

@@ -16,6 +16,7 @@ from ..algorithms.modular import append_cmult_inplace, build_cmodmul_test_harnes
 from ..algorithms.qft import append_iqft, append_qft, build_qft_test_harness
 from ..algorithms.shor import build_shor_program
 from ..lang.program import Program
+from ..observables.pauli import PauliString, PauliSum
 from .catalog import BugType
 
 __all__ = [
@@ -411,6 +412,23 @@ def _lint_impossible_assertion() -> Program:
     return program
 
 
+def _lint_observable_untouched() -> Program:
+    program = Program("lint_observable_untouched")
+    register = program.qreg("q", 1)
+    spare = program.qreg("spare", 1)
+    program.prep_z(register[0], 0)
+    program.gate("h", register[0])
+    program.assert_observable(
+        [register[0], spare[0]],
+        PauliSum([PauliString.from_label("XZ")]),  # Z support on untouched spare[0]
+        expectation=0.0,
+        tolerance=0.5,
+    )
+    program.gate("h", spare[0])
+    program.measure(register)
+    return program
+
+
 LINT_SCENARIOS: dict[str, LintScenario] = {
     scenario.name: scenario
     for scenario in [
@@ -461,6 +479,12 @@ LINT_SCENARIOS: dict[str, LintScenario] = {
             description="classical register no measurement ever writes",
             build=_lint_unused_creg,
             expected_code="QLINT008",
+        ),
+        LintScenario(
+            name="observable_untouched_support",
+            description="observable assertion with Pauli support on an untouched qubit",
+            build=_lint_observable_untouched,
+            expected_code="QLINT009",
         ),
     ]
 }

@@ -23,9 +23,9 @@ from typing import Sequence
 import numpy as np
 
 from ..lang.program import Program
+from ..observables.pauli import PauliString, PauliSum
 from ..sim.statevector import Statevector
 from .h2 import ELECTRON_ASSIGNMENTS, build_h2_qubit_hamiltonian
-from .pauli import PauliString, PauliSum
 from .trotter import append_trotter_step
 
 __all__ = [

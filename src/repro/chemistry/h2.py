@@ -33,7 +33,7 @@ import numpy as np
 
 from .fermion import FermionOperator
 from .jordan_wigner import jordan_wigner
-from .pauli import PauliString, PauliSum
+from ..observables.pauli import PauliString, PauliSum
 
 __all__ = [
     "H2Integrals",

@@ -43,7 +43,7 @@ from .h2 import (
     build_h2_qubit_hamiltonian,
     dominant_eigenstate_energy,
 )
-from .pauli import PauliSum
+from ..observables.pauli import PauliSum
 from .trotter import append_evolution
 
 __all__ = [

@@ -12,8 +12,8 @@ for its "electron assignments".
 
 from __future__ import annotations
 
+from ..observables.pauli import PauliString, PauliSum
 from .fermion import FermionOperator
-from .pauli import PauliString, PauliSum
 
 __all__ = ["jordan_wigner_ladder", "jordan_wigner"]
 

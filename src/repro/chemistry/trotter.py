@@ -21,7 +21,7 @@ from typing import Sequence
 
 from ..lang.program import Program
 from ..lang.registers import Qubit, flatten_qubits
-from .pauli import PauliString, PauliSum
+from ..observables.pauli import PauliString, PauliSum
 
 __all__ = [
     "append_pauli_evolution",

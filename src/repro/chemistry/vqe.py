@@ -26,11 +26,14 @@ from typing import Callable
 import numpy as np
 
 from ..lang.program import Program
+from ..observables.estimation import setting_eigenvalue_products
+from ..observables.exact import statevector_expectation
+from ..observables.grouping import MeasurementSetting
+from ..observables.pauli import PauliString, PauliSum
 from ..sim.statevector import Statevector
 from .fermion import FermionOperator
 from .h2 import ELECTRON_ASSIGNMENTS, WHITFIELD_INTEGRALS, build_h2_qubit_hamiltonian
 from .jordan_wigner import jordan_wigner
-from .pauli import PauliString, PauliSum
 from .trotter import append_pauli_evolution
 
 __all__ = [
@@ -123,7 +126,7 @@ class H2VQESolver:
         """Energy of the ansatz state, exact or estimated from measurements."""
         state = self.prepare_state(theta)
         if self.shots <= 0:
-            return float(self.hamiltonian.expectation(state).real)
+            return statevector_expectation(state, self.hamiltonian)
         return self._sampled_energy(theta)
 
     def _sampled_energy(self, theta: float) -> float:
@@ -151,8 +154,12 @@ class H2VQESolver:
         state = program.simulate()
         indices = [program.qubit_index(system[q]) for q in support]
         samples = state.sample(indices, shots=self.shots, rng=self.rng)
-        parities = [(-1) ** bin(int(sample)).count("1") for sample in samples]
-        return float(np.mean(parities))
+        # The eigenvalue-product estimator is the observables subsystem's;
+        # the rotation fragments above stay on the legacy H / RX(pi/2)
+        # convention so seeded histories remain byte-identical.
+        setting = MeasurementSetting(basis=term.ops, term_indices=(0,))
+        products = setting_eigenvalue_products(setting, PauliSum([term]), samples)
+        return float(np.mean(products[0]))
 
     # ------------------------------------------------------------------
     # Classical outer loop

@@ -1,6 +1,6 @@
 """Compiler layer: breakpoint splitting, lowering passes and execution."""
 
-from .executor import BreakpointExecutor, BreakpointMeasurements
+from .executor import BreakpointExecutor, BreakpointMeasurements, ObservableMeasurements
 from .plan_cache import (
     PlanCache,
     SnapshotSet,
@@ -34,6 +34,7 @@ __all__ = [
     "split_at_assertions",
     "BreakpointExecutor",
     "BreakpointMeasurements",
+    "ObservableMeasurements",
     "PlanCache",
     "SnapshotSet",
     "default_plan_cache",

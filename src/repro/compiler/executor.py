@@ -47,6 +47,7 @@ import numpy as np
 
 from ..lang.instructions import (
     AssertionInstruction,
+    AssertObservableInstruction,
     ClassicalAssertInstruction,
     EntangledAssertInstruction,
     ProductAssertInstruction,
@@ -54,6 +55,8 @@ from ..lang.instructions import (
 )
 from ..lang.clifford import is_clifford_instruction
 from ..lang.program import Program, run_instructions
+from ..observables.grouping import MeasurementSetting, group_terms
+from ..sim import gates as _gates
 from ..sim.backend import SimulationBackend
 from ..sim.measurement import MeasurementEnsemble, ReadoutErrorModel
 from ..sim.noise import KrausChannel, NoiseModel
@@ -68,7 +71,11 @@ from ..sim.trajectory_backend import spawn_trajectory_streams
 from .plan_cache import PlanCache, SnapshotSet, default_plan_cache
 from .splitter import BreakpointProgram, ExecutionPlan, build_execution_plan
 
-__all__ = ["BreakpointMeasurements", "BreakpointExecutor"]
+__all__ = [
+    "BreakpointMeasurements",
+    "ObservableMeasurements",
+    "BreakpointExecutor",
+]
 
 
 @dataclass
@@ -82,6 +89,26 @@ class BreakpointMeasurements:
     group_a: MeasurementEnsemble
     #: Ensemble of the second operand group (entangled/product assertions only).
     group_b: MeasurementEnsemble | None
+
+
+@dataclass
+class ObservableMeasurements:
+    """Per-setting ensembles collected at one ``assert_observable`` breakpoint.
+
+    One entry of ``ensembles`` per entry of ``settings``: the ensemble of
+    basis-rotated measurements of the setting's support qubits, or ``None``
+    for empty-support (identity-only) settings, which contribute their
+    coefficients exactly and cost no shots.  When the breakpoint state lived
+    on a stabilizer tableau the executor instead evaluates the observable
+    exactly (see :mod:`repro.observables.exact`): ``exact`` carries the
+    zero-shot :class:`~repro.observables.estimation.ObservableEstimate` and
+    ``ensembles`` stays empty.
+    """
+
+    breakpoint: BreakpointProgram
+    settings: "tuple[MeasurementSetting, ...]"
+    ensembles: "list[MeasurementEnsemble | None]"
+    exact: "object | None" = None
 
 
 class BreakpointExecutor:
@@ -253,6 +280,16 @@ class BreakpointExecutor:
                 run_instructions(program, segment.instructions, engine, rng=self.rng)
                 if segment.index in skip_indices:
                     continue
+                if isinstance(segment.assertion, AssertObservableInstruction):
+                    # Observable breakpoints draw per-setting rotated
+                    # ensembles (or evaluate exactly on a tableau); the
+                    # walk state is snapshot/restore-bracketed inside.
+                    results.append(
+                        self._measure_observable(
+                            view, program, engine, native_readout=native
+                        )
+                    )
+                    continue
                 indices = [program.qubit_index(q) for q in segment.assertion.qubits()]
                 # Snapshot/restore brackets the readout so the walk stays intact
                 # even on backends whose sampling is destructive.
@@ -296,6 +333,14 @@ class BreakpointExecutor:
         if self.plan_cache is None or not self.plan_cache.shareable(plan):
             return None
         if self.noise is not None and self.noise.gate_channels:
+            return None
+        # Observable breakpoints replay rotated per-setting draws, not one
+        # plain ensemble per token — the recorded snapshot protocol cannot
+        # reproduce them, so such plans opt out of snapshot sharing.
+        if any(
+            isinstance(segment.assertion, AssertObservableInstruction)
+            for segment in plan.segments
+        ):
             return None
         spec = self.backend
         if spec is not None and not isinstance(spec, str):
@@ -346,6 +391,28 @@ class BreakpointExecutor:
         """
         assertion = breakpoint_program.assertion
         program = breakpoint_program.program
+        if isinstance(assertion, AssertObservableInstruction):
+            # Observable breakpoints always simulate the (measurement-free)
+            # prefix once and draw their per-setting ensembles from the
+            # breakpoint state — statistically identical to per-shot reruns.
+            engine = self._new_backend(
+                program.num_qubits, clifford=self._all_clifford(program)
+            )
+            native, displaced = self._install_readout(engine)
+            counted = engine.gates_applied
+            dense_counted = engine.statevector_gates_applied
+            try:
+                run_instructions(program, program.instructions, engine, rng=self.rng)
+                result = self._measure_observable(
+                    breakpoint_program, program, engine, native_readout=native
+                )
+            finally:
+                self._restore_readout(engine, native, displaced)
+            self.gates_applied += engine.gates_applied - counted
+            self.statevector_gates_applied += (
+                engine.statevector_gates_applied - dense_counted
+            )
+            return result
         qubits = assertion.qubits()
         indices = [program.qubit_index(q) for q in qubits]
 
@@ -383,6 +450,82 @@ class BreakpointExecutor:
         group_a, group_b = self._slice_groups(breakpoint_program.assertion, joint)
         return BreakpointMeasurements(
             breakpoint=breakpoint_program, joint=joint, group_a=group_a, group_b=group_b
+        )
+
+    def _measure_observable(
+        self,
+        breakpoint_program: BreakpointProgram,
+        program: Program,
+        engine: SimulationBackend,
+        native_readout: bool = False,
+    ) -> ObservableMeasurements:
+        """Collect per-setting rotated ensembles for one observable breakpoint.
+
+        When the breakpoint state lives on a stabilizer tableau (pure
+        ``"stabilizer"`` runs, or ``"auto"`` plans still in their Clifford
+        prefix) and readout is ideal, the observable is evaluated **exactly**
+        — anticommuting Paulis contribute 0, stabilized ones ±1 by phase —
+        at zero sampling shots.  Otherwise each qubit-wise-commuting setting
+        appends its basis rotations (X → H, Y → S†H) to the snapshotted
+        breakpoint state and samples its support qubits; the walk state is
+        restored afterwards, so later breakpoints are unperturbed.
+        """
+        from ..observables.estimation import rotation_ops
+        from ..observables.exact import exact_estimate, tableau_engine
+
+        assertion = breakpoint_program.assertion
+        observable = assertion.observable
+        settings = tuple(
+            group_terms(observable, grouped=self.config.group_observables)
+        )
+        if self.readout_error.is_ideal and tableau_engine(engine) is not None:
+            return ObservableMeasurements(
+                breakpoint=breakpoint_program,
+                settings=settings,
+                ensembles=[],
+                exact=exact_estimate(engine, observable),
+            )
+        shots = self.config.observable_shots_per_setting
+        token = engine.snapshot()
+        ensembles: "list[MeasurementEnsemble | None]" = []
+        try:
+            for setting in settings:
+                support = setting.support()
+                if not support:
+                    # Identity-only setting: coefficients are constants, no
+                    # shots are spent (estimation adds them in exactly).
+                    ensembles.append(None)
+                    continue
+                engine.restore(token)
+                for name, qubit in rotation_ops(setting):
+                    engine.apply_matrix(
+                        _gates.FIXED_GATES[name],
+                        [program.qubit_index(assertion.targets[qubit])],
+                    )
+                indices = [
+                    program.qubit_index(assertion.targets[q]) for q in support
+                ]
+                samples = engine.sample(indices, shots=shots, rng=self.rng)
+                weights = self._member_weights(engine, len(samples))
+                if not self.readout_error.is_ideal and not native_readout:
+                    samples = self.readout_error.corrupt(
+                        samples, len(indices), rng=self.rng
+                    )
+                ensembles.append(
+                    MeasurementEnsemble(
+                        num_bits=len(indices),
+                        samples=samples,
+                        label=f"{breakpoint_program.name}:{setting.describe()}",
+                        weights=weights,
+                    )
+                )
+        finally:
+            engine.restore(token)
+        return ObservableMeasurements(
+            breakpoint=breakpoint_program,
+            settings=settings,
+            ensembles=ensembles,
+            exact=None,
         )
 
     @staticmethod

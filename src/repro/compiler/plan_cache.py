@@ -39,6 +39,7 @@ import numpy as np
 
 from ..lang.instructions import (
     AssertionInstruction,
+    AssertObservableInstruction,
     BarrierInstruction,
     BlockMarkerInstruction,
     ClassicalAssertInstruction,
@@ -93,6 +94,7 @@ _ASSERTION_TAGS = {
     SuperpositionAssertInstruction: "superposition",
     EntangledAssertInstruction: "entangled",
     ProductAssertInstruction: "product",
+    AssertObservableInstruction: "observable",
 }
 
 
@@ -146,6 +148,16 @@ def program_fingerprint(program: Program) -> str:
             if isinstance(instruction, ClassicalAssertInstruction):
                 indices = [program.qubit_index(q) for q in instruction.measured]
                 hasher.update(f"{indices}={instruction.value};".encode())
+            elif isinstance(instruction, AssertObservableInstruction):
+                indices = [program.qubit_index(q) for q in instruction.targets]
+                terms = [
+                    (term.label(), repr(term.coefficient.real))
+                    for term in instruction.observable.terms
+                ]
+                hasher.update(
+                    f"{indices}:{terms}=={instruction.expectation!r}"
+                    f"~{instruction.tolerance!r};".encode()
+                )
             elif isinstance(instruction, SuperpositionAssertInstruction):
                 indices = [program.qubit_index(q) for q in instruction.measured]
                 values = sorted(instruction.values) if instruction.values else None

@@ -34,6 +34,7 @@ __all__ = [
     "SuperpositionAssertion",
     "EntanglementAssertion",
     "ProductStateAssertion",
+    "ObservableAssertion",
 ]
 
 #: Significance level used throughout the paper ("small p-value (<= 0.05)").
@@ -272,3 +273,72 @@ class ProductStateAssertion(_PairedAssertion):
                 "suggesting the mirrored/uncompute code is buggy"
             )
         return self._outcome(result, passed, num_samples, message)
+
+
+class ObservableAssertion(BaseAssertion):
+    """The state's Pauli expectation should sit within a tolerance band.
+
+    The null hypothesis is ``|<H> - expected| <= tolerance``; a one-sample
+    t-test on the estimator (see
+    :func:`repro.core.statistics.tolerance_t_test`) rejects it when the
+    estimate sits significantly outside the band, so — like the classical and
+    product assertions — a *large* p-value is the good case.  The evaluator
+    consumes an :class:`repro.observables.estimation.ObservableEstimate`
+    (sampled via grouped measurement settings, or exact on a stabilizer
+    tableau, where the standard error is 0 and the verdict is a plain
+    comparison).
+    """
+
+    assertion_type = "observable"
+
+    def __init__(
+        self,
+        expected: float,
+        tolerance: float = 0.0,
+        label: str = "",
+        significance: float = DEFAULT_SIGNIFICANCE,
+    ):
+        super().__init__(label=label, significance=significance)
+        expected = float(expected)
+        tolerance = float(tolerance)
+        if tolerance < 0.0:
+            raise ValueError("tolerance must be non-negative")
+        self.expected = expected
+        self.tolerance = tolerance
+
+    def evaluate(self, estimate) -> AssertionOutcome:
+        """Evaluate against an ``ObservableEstimate`` (sampled or exact)."""
+        if estimate.total_shots == 0 and not estimate.exact:
+            raise InsufficientEnsembleError(
+                "observable assertion needs at least one sampled shot"
+            )
+        result = stats.tolerance_t_test(
+            mean=estimate.value,
+            standard_error=estimate.standard_error,
+            dof=estimate.dof,
+            expected=self.expected,
+            tolerance=self.tolerance,
+        )
+        passed = not result.rejects_null(self.significance)
+        method = "exact" if estimate.exact else "sampled"
+        if passed:
+            message = (
+                f"estimated <H> = {estimate.value:.6g} ({method}) is consistent "
+                f"with {self.expected:.6g} +/- {self.tolerance:.6g}"
+            )
+        else:
+            message = (
+                f"estimated <H> = {estimate.value:.6g} ({method}) deviates from "
+                f"{self.expected:.6g} beyond the {self.tolerance:.6g} tolerance"
+            )
+        return self._outcome(
+            result,
+            passed,
+            int(round(estimate.total_shots)),
+            message,
+            extra_details={
+                "exact": estimate.exact,
+                "num_settings": estimate.num_settings,
+                "total_shots": estimate.total_shots,
+            },
+        )

@@ -23,7 +23,11 @@ import time
 from collections.abc import Mapping
 import numpy as np
 
-from ..compiler.executor import BreakpointExecutor, BreakpointMeasurements
+from ..compiler.executor import (
+    BreakpointExecutor,
+    BreakpointMeasurements,
+    ObservableMeasurements,
+)
 from ..compiler.splitter import (
     BreakpointProgram,
     ExecutionPlan,
@@ -31,23 +35,30 @@ from ..compiler.splitter import (
 )
 from ..lang.instructions import (
     AssertionInstruction,
+    AssertObservableInstruction,
     ClassicalAssertInstruction,
     EntangledAssertInstruction,
     ProductAssertInstruction,
     SuperpositionAssertInstruction,
 )
 from ..lang.program import Program
+from ..observables.estimation import ObservableEstimate, estimate_observable
 from .assertions import (
     AssertionOutcome,
     ClassicalAssertion,
     EntanglementAssertion,
+    ObservableAssertion,
     ProductStateAssertion,
     SuperpositionAssertion,
 )
 from .config import RunConfig, resolve_run_config
 from .exceptions import AssertionViolation
 from .report import BreakpointRecord, DebugReport
-from .statistics import ensemble_convergence, max_category_standard_error
+from .statistics import (
+    ConvergenceResult,
+    ensemble_convergence,
+    max_category_standard_error,
+)
 
 __all__ = ["StatisticalAssertionChecker", "check_program", "build_evaluator"]
 
@@ -75,6 +86,13 @@ def build_evaluator(assertion: AssertionInstruction, significance: float):
         return EntanglementAssertion(label=label, significance=significance)
     if isinstance(assertion, ProductAssertInstruction):
         return ProductStateAssertion(label=label, significance=significance)
+    if isinstance(assertion, AssertObservableInstruction):
+        return ObservableAssertion(
+            expected=assertion.expectation,
+            tolerance=assertion.tolerance,
+            label=label,
+            significance=significance,
+        )
     raise TypeError(f"unknown assertion instruction {type(assertion)!r}")
 
 
@@ -267,13 +285,50 @@ class StatisticalAssertionChecker:
         measurements = self.executor.run(breakpoint_program)
         return self._evaluate(measurements)
 
-    def _evaluate(self, measurements: BreakpointMeasurements) -> AssertionOutcome:
+    def _evaluate(self, measurements) -> AssertionOutcome:
         evaluator = build_evaluator(
             measurements.breakpoint.assertion, self.significance
         )
+        if isinstance(measurements, ObservableMeasurements):
+            return evaluator.evaluate(self._observable_estimate(measurements))
         if isinstance(evaluator, (ClassicalAssertion, SuperpositionAssertion)):
             return evaluator.evaluate(measurements.group_a)
         return evaluator.evaluate(measurements.group_a, measurements.group_b)
+
+    @staticmethod
+    def _observable_estimate(
+        measurements: ObservableMeasurements,
+    ) -> ObservableEstimate:
+        """The breakpoint's observable estimate (exact, or aggregated)."""
+        if measurements.exact is not None:
+            return measurements.exact
+        return estimate_observable(
+            measurements.breakpoint.assertion.observable,
+            measurements.settings,
+            measurements.ensembles,
+        )
+
+    def _sampled_record(self, measurements) -> BreakpointRecord:
+        """Build the report record for one executor measurement bundle."""
+        breakpoint_program = measurements.breakpoint
+        outcome = self._evaluate(measurements)
+        if isinstance(measurements, ObservableMeasurements):
+            estimate = self._observable_estimate(measurements)
+            return BreakpointRecord(
+                index=breakpoint_program.index,
+                name=breakpoint_program.name,
+                gates_before=breakpoint_program.gates_before,
+                outcome=outcome,
+                ensemble_size=int(round(estimate.total_shots)),
+                method="observable",
+            )
+        return BreakpointRecord(
+            index=breakpoint_program.index,
+            name=breakpoint_program.name,
+            gates_before=breakpoint_program.gates_before,
+            outcome=outcome,
+            ensemble_size=measurements.joint.num_samples,
+        )
 
     def run(self) -> DebugReport:
         """Check every assertion and return the full report.
@@ -308,17 +363,7 @@ class StatisticalAssertionChecker:
         for measurements in self.executor.run_plan(
             plan, skip_indices=frozenset(decided)
         ):
-            breakpoint_program = measurements.breakpoint
-            outcome = self._evaluate(measurements)
-            report.add(
-                BreakpointRecord(
-                    index=breakpoint_program.index,
-                    name=breakpoint_program.name,
-                    gates_before=breakpoint_program.gates_before,
-                    outcome=outcome,
-                    ensemble_size=self.ensemble_size,
-                )
-            )
+            report.add(self._sampled_record(measurements))
         if decided:
             static_records = [
                 self._static_record(segment, decided[segment.index])
@@ -363,9 +408,20 @@ class StatisticalAssertionChecker:
     # ------------------------------------------------------------------
 
     @staticmethod
-    def _merge_measurements(
-        accumulated: BreakpointMeasurements, fresh: BreakpointMeasurements
-    ) -> BreakpointMeasurements:
+    def _merge_measurements(accumulated, fresh):
+        if isinstance(accumulated, ObservableMeasurements):
+            if accumulated.exact is not None:
+                # Exact tableau evaluation: already converged, nothing to add.
+                return accumulated
+            return ObservableMeasurements(
+                breakpoint=accumulated.breakpoint,
+                settings=accumulated.settings,
+                ensembles=[
+                    old if old is None else old.extend(new)
+                    for old, new in zip(accumulated.ensembles, fresh.ensembles)
+                ],
+                exact=None,
+            )
         return BreakpointMeasurements(
             breakpoint=accumulated.breakpoint,
             joint=accumulated.joint.extend(fresh.joint),
@@ -449,13 +505,9 @@ class StatisticalAssertionChecker:
             # Weighted (importance-sampled) ensembles converge on their
             # weighted frequencies at the Kish effective sample size; for
             # unweighted ensembles both degrade to the plain spelling.
-            worst = max(
-                max_category_standard_error(
-                    m.joint.weighted_frequencies(),
-                    effective_sample_size=m.joint.effective_sample_size(),
-                )
-                for m in merged
-            )
+            # Observable breakpoints converge on their estimator's standard
+            # error instead (0 on the exact tableau path).
+            worst = max(self._worst_standard_error(m) for m in merged)
             if worst <= se_cutoff or batches >= max_batches:
                 break
             if (
@@ -470,17 +522,7 @@ class StatisticalAssertionChecker:
                 return "converged"
             return "timeout" if timed_out else "max_batches"
 
-        rows = [
-            (
-                m,
-                ensemble_convergence(
-                    m.joint.weighted_frequencies(),
-                    cutoff=se_cutoff,
-                    effective_sample_size=m.joint.effective_sample_size(),
-                ),
-            )
-            for m in merged
-        ]
+        rows = [(m, self._convergence_result(m, se_cutoff)) for m in merged]
         self.convergence = [
             {
                 "breakpoint": m.breakpoint.index,
@@ -493,23 +535,39 @@ class StatisticalAssertionChecker:
         ]
         report = DebugReport(
             program_name=self.program.name,
-            ensemble_size=merged[0].joint.num_samples if merged else 0,
+            ensemble_size=rows[0][1].num_samples if rows else 0,
             significance=self.significance,
             convergence=[dict(row) for row in self.convergence],
         )
         for measurements in merged:
-            breakpoint_program = measurements.breakpoint
-            outcome = self._evaluate(measurements)
-            report.add(
-                BreakpointRecord(
-                    index=breakpoint_program.index,
-                    name=breakpoint_program.name,
-                    gates_before=breakpoint_program.gates_before,
-                    outcome=outcome,
-                    ensemble_size=measurements.joint.num_samples,
-                )
-            )
+            report.add(self._sampled_record(measurements))
         return report
+
+    def _worst_standard_error(self, measurements) -> float:
+        """The convergence statistic of one breakpoint's measurement bundle."""
+        if isinstance(measurements, ObservableMeasurements):
+            estimate = self._observable_estimate(measurements)
+            return 0.0 if estimate.exact else float(estimate.standard_error)
+        return max_category_standard_error(
+            measurements.joint.weighted_frequencies(),
+            effective_sample_size=measurements.joint.effective_sample_size(),
+        )
+
+    def _convergence_result(self, measurements, se_cutoff: float) -> ConvergenceResult:
+        if isinstance(measurements, ObservableMeasurements):
+            estimate = self._observable_estimate(measurements)
+            se = 0.0 if estimate.exact else float(estimate.standard_error)
+            return ConvergenceResult(
+                converged=se <= se_cutoff,
+                max_standard_error=se,
+                num_samples=int(round(estimate.total_shots)),
+                cutoff=se_cutoff,
+            )
+        return ensemble_convergence(
+            measurements.joint.weighted_frequencies(),
+            cutoff=se_cutoff,
+            effective_sample_size=measurements.joint.effective_sample_size(),
+        )
 
 
 def check_program(

@@ -241,6 +241,16 @@ class RunConfig:
         with its convergence rows flagged ``converged=False,
         reason="timeout"`` instead of looping on to ``max_batches``.
         ``None`` (the default) keeps the run unbounded in time.
+    observable_shots_per_setting:
+        Shots drawn per grouped measurement setting when an
+        ``assert_observable`` breakpoint is sampled (ignored on the exact
+        stabilizer path, which costs zero shots).
+    group_observables:
+        With ``group_observables=True`` (default) qubit-wise-commuting
+        observable terms share one tensor-product-basis measurement setting
+        (see :mod:`repro.observables.grouping`); ``False`` measures one
+        setting per term, which is the ungrouped baseline the benchmark
+        compares against.
     job_timeout / max_retries / backoff_base:
         Job-execution policy for :mod:`repro.service` (and the shared
         crash-recovery path of :mod:`repro.workloads.sharding`):
@@ -268,6 +278,8 @@ class RunConfig:
     max_dense_qubits: int | None = None
     max_support: int | None = None
     max_seconds: float | None = None
+    observable_shots_per_setting: int = 256
+    group_observables: bool = True
     job_timeout: float | None = None
     max_retries: int = 2
     backoff_base: float = 0.05
@@ -339,6 +351,12 @@ class RunConfig:
             if max_seconds <= 0.0:
                 raise ValueError("max_seconds must be positive (or None)")
             object.__setattr__(self, "max_seconds", max_seconds)
+
+        observable_shots = int(self.observable_shots_per_setting)
+        if observable_shots <= 0:
+            raise ValueError("observable_shots_per_setting must be positive")
+        object.__setattr__(self, "observable_shots_per_setting", observable_shots)
+        object.__setattr__(self, "group_observables", bool(self.group_observables))
 
         if self.job_timeout is not None:
             job_timeout = float(self.job_timeout)
@@ -420,6 +438,8 @@ class RunConfig:
             "max_dense_qubits": self.max_dense_qubits,
             "max_support": self.max_support,
             "max_seconds": self.max_seconds,
+            "observable_shots_per_setting": self.observable_shots_per_setting,
+            "group_observables": self.group_observables,
             "job_timeout": self.job_timeout,
             "max_retries": self.max_retries,
             "backoff_base": self.backoff_base,

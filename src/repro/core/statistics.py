@@ -42,6 +42,9 @@ __all__ = [
     "category_standard_errors",
     "max_category_standard_error",
     "ensemble_convergence",
+    "weighted_mean_standard_error",
+    "student_t_survival",
+    "tolerance_t_test",
 ]
 
 
@@ -345,6 +348,101 @@ def ensemble_convergence(
         max_standard_error=worst,
         num_samples=int(reported),
         cutoff=float(cutoff),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Mean estimation (observable assertions)
+# ---------------------------------------------------------------------------
+
+
+def weighted_mean_standard_error(
+    values: Sequence[float] | np.ndarray,
+    weights: Sequence[float] | np.ndarray | None = None,
+) -> tuple[float, float, float]:
+    """``(mean, standard error, effective sample size)`` of scalar draws.
+
+    For unweighted draws this is the ordinary sample mean with standard
+    error ``sqrt(var / (N - 1))`` (population variance over ``N - 1``, i.e.
+    the usual unbiased SE of the mean).  Importance-weighted draws use the
+    weighted mean and variance with the Kish effective sample size
+    ``(sum w)^2 / sum w^2`` replacing ``N`` — the same convention the
+    category standard errors above use for weighted ensembles.  A single
+    effective draw has no estimable spread; its standard error is ``inf``.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 1 or values.size == 0:
+        raise ValueError("values must be a non-empty 1-D array")
+    if weights is None:
+        w = np.ones_like(values)
+    else:
+        w = np.asarray(weights, dtype=float)
+        if w.shape != values.shape:
+            raise ValueError("weights must match values in shape")
+        if np.any(w < 0) or w.sum() <= 0:
+            raise ValueError("weights must be non-negative with positive total")
+    total = w.sum()
+    mean = float((w * values).sum() / total)
+    variance = float((w * (values - mean) ** 2).sum() / total)
+    ess = float(total**2 / (w**2).sum())
+    if ess <= 1.0:
+        return mean, math.inf, ess
+    return mean, math.sqrt(variance / (ess - 1.0)), ess
+
+
+def student_t_survival(statistic: float, dof: float) -> float:
+    """P(T_dof >= statistic) for Student's t (normal tail when dof <= 0)."""
+    if math.isinf(statistic):
+        return 0.0
+    if dof <= 0:
+        return float(_special.ndtr(-statistic))
+    return float(_special.stdtr(dof, -statistic))
+
+
+def tolerance_t_test(
+    mean: float,
+    standard_error: float,
+    dof: float,
+    expected: float,
+    tolerance: float = 0.0,
+) -> ChiSquareResult:
+    """t-test of an estimated mean against a tolerance band.
+
+    The null hypothesis is "the true mean lies within
+    ``[expected - tolerance, expected + tolerance]``"; the statistic is the
+    distance of the estimate *beyond* the band in standard-error units
+    (zero inside the band), with a two-sided tail — a conservative
+    equivalence-style test whose p-value is 1 when the estimate sits inside
+    the band and shrinks as it leaves.  A zero standard error denotes an
+    exact evaluation: the p-value is then exactly 1 or 0.  Packaged as a
+    :class:`ChiSquareResult` so assertion evaluators consume it through the
+    same ``_outcome`` path as the chi-square tests.
+    """
+    if tolerance < 0:
+        raise ValueError("tolerance must be non-negative")
+    if standard_error < 0:
+        raise ValueError("standard_error must be non-negative")
+    excess = max(0.0, abs(mean - expected) - tolerance)
+    details = {
+        "mean": float(mean),
+        "standard_error": float(standard_error),
+        "expected": float(expected),
+        "tolerance": float(tolerance),
+    }
+    if standard_error == 0.0:
+        statistic = 0.0 if excess == 0.0 else math.inf
+        p_value = 1.0 if excess == 0.0 else 0.0
+    elif math.isinf(standard_error):
+        statistic = 0.0
+        p_value = 1.0
+    else:
+        statistic = excess / standard_error
+        p_value = min(1.0, 2.0 * student_t_survival(statistic, dof))
+    return ChiSquareResult(
+        statistic=float(statistic),
+        dof=max(int(dof), 0),
+        p_value=p_value,
+        details=details,
     )
 
 

@@ -10,7 +10,8 @@ A program (see :mod:`repro.lang.program`) is a flat list of instructions:
   compute/uncompute and control-block context managers (Section 5.1.1).
 * Assertion instructions — the quantum breakpoints proposed by the paper:
   :class:`ClassicalAssertInstruction`, :class:`SuperpositionAssertInstruction`,
-  :class:`EntangledAssertInstruction` and :class:`ProductAssertInstruction`.
+  :class:`EntangledAssertInstruction`, :class:`ProductAssertInstruction` and
+  :class:`AssertObservableInstruction`.
 
 Assertion instructions carry only *what* to check; the statistics live in
 :mod:`repro.core.assertions`.
@@ -23,6 +24,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ..observables.pauli import PauliSum
 from ..sim import gates as _gates
 from .registers import Qubit
 
@@ -38,6 +40,7 @@ __all__ = [
     "SuperpositionAssertInstruction",
     "EntangledAssertInstruction",
     "ProductAssertInstruction",
+    "AssertObservableInstruction",
     "SELF_INVERSE_GATES",
     "DAGGER_PAIRS",
     "inverse_gate_spec",
@@ -355,3 +358,60 @@ class ProductAssertInstruction(AssertionInstruction):
         a = ", ".join(repr(q) for q in self.group_a)
         b = ", ".join(repr(q) for q in self.group_b)
         return f"assert_product([{a}], [{b}])"
+
+
+@dataclass(frozen=True)
+class AssertObservableInstruction(AssertionInstruction):
+    """``assert_observable(reg, H, expectation, tolerance)``: a Pauli-expectation check.
+
+    ``observable`` is a Hermitian :class:`~repro.observables.pauli.PauliSum`
+    whose qubit ``i`` acts on ``targets[i]``; the assertion claims
+    ``|<H> - expectation| <= tolerance`` on the state at the breakpoint.
+    """
+
+    targets: tuple[Qubit, ...] = ()
+    observable: PauliSum = field(default_factory=lambda: PauliSum([]))
+    expectation: float = 0.0
+    tolerance: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.targets:
+            raise ValueError("observable assertion needs at least one qubit")
+        if len(set(self.targets)) != len(self.targets):
+            raise ValueError("observable assertion targets contain duplicates")
+        if not isinstance(self.observable, PauliSum):
+            raise TypeError("observable must be a PauliSum")
+        if not self.observable.terms:
+            raise ValueError("observable assertion needs a non-empty observable")
+        if self.observable.num_qubits != len(self.targets):
+            raise ValueError(
+                f"observable acts on {self.observable.num_qubits} qubits but "
+                f"{len(self.targets)} targets were given"
+            )
+        for term in self.observable.terms:
+            if abs(term.coefficient.imag) > 1e-12:
+                raise ValueError("observable coefficients must be real (Hermitian)")
+        if not np.isfinite(self.expectation):
+            raise ValueError("expected value must be finite")
+        if not (np.isfinite(self.tolerance) and self.tolerance >= 0.0):
+            raise ValueError("tolerance must be finite and non-negative")
+
+    def support_indices(self) -> tuple[int, ...]:
+        """Indices into ``targets`` touched by at least one non-identity factor."""
+        touched: set[int] = set()
+        for term in self.observable.terms:
+            touched.update(term.support())
+        return tuple(sorted(touched))
+
+    def qubits(self) -> list[Qubit]:
+        return [self.targets[index] for index in self.support_indices()]
+
+    def describe(self) -> str:
+        operands = ", ".join(repr(q) for q in self.targets)
+        terms = " ".join(
+            f"{term.coefficient.real:+.12g}*{term.label()}" for term in self.observable.terms
+        )
+        return (
+            f"assert_observable([{operands}]) == {self.expectation:.12g} "
+            f"+/- {self.tolerance:.12g} [{terms}]"
+        )

@@ -23,8 +23,10 @@ import numpy as np
 
 from ..sim.backend import SimulationBackend, make_backend
 from ..sim.statevector import Statevector
+from ..observables.pauli import PauliString, PauliSum
 from .instructions import (
     AssertionInstruction,
+    AssertObservableInstruction,
     BarrierInstruction,
     BlockMarkerInstruction,
     ClassicalAssertInstruction,
@@ -394,6 +396,33 @@ class Program:
                 label=label,
                 group_a=tuple(flatten_qubits(register_a)),
                 group_b=tuple(flatten_qubits(register_b)),
+            )
+        )
+
+    def assert_observable(
+        self,
+        register,
+        observable: "PauliSum | PauliString",
+        expectation: float,
+        tolerance: float = 0.0,
+        label: str = "",
+    ) -> "Program":
+        """Assert ``|<observable> - expectation| <= tolerance`` on the register.
+
+        ``observable`` is a :class:`~repro.observables.pauli.PauliSum` (or a
+        single :class:`~repro.observables.pauli.PauliString`) whose qubit ``i``
+        refers to the ``i``-th qubit of ``register``.
+        """
+        qubits = tuple(flatten_qubits(register))
+        if isinstance(observable, PauliString):
+            observable = PauliSum([observable])
+        return self.append(
+            AssertObservableInstruction(
+                label=label,
+                targets=qubits,
+                observable=observable,
+                expectation=float(expectation),
+                tolerance=float(tolerance),
             )
         )
 

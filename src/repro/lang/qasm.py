@@ -19,6 +19,7 @@ import math
 import re
 from typing import Sequence
 
+from ..observables.pauli import PauliString, PauliSum
 from .instructions import (
     AssertionInstruction,
     BarrierInstruction,
@@ -225,6 +226,11 @@ _ASSERT_JOINT_RE = re.compile(
     r"^assert_(?P<kind>entangled|product)\(\[(?P<a>.*?)\]\s*,\s*\[(?P<b>.*)\]\)$"
 )
 _SUPPORT_RE = re.compile(r"^uniform over \[(?P<values>[^\]]*)\]$")
+_ASSERT_OBSERVABLE_RE = re.compile(
+    r"^assert_observable\(\[(?P<qubits>.*?)\]\)\s*==\s*(?P<expected>\S+)\s*"
+    r"\+/-\s*(?P<tolerance>\S+)\s*\[(?P<terms>.*)\]$"
+)
+_OBSERVABLE_TERM_RE = re.compile(r"^(?P<coefficient>[+-][\d.eE+-]+)\*(?P<label>[IXYZ]+)$")
 
 
 def _apply_assertion_comment(comment: str, program: Program, resolve) -> None:
@@ -260,6 +266,31 @@ def _apply_assertion_comment(comment: str, program: Program, resolve) -> None:
             program.assert_entangled(group_a, group_b)
         else:
             program.assert_product(group_a, group_b)
+        return
+    match = _ASSERT_OBSERVABLE_RE.match(comment)
+    if match:
+        qubits = [resolve(tok) for tok in match.group("qubits").split(",")]
+        terms = []
+        for token in match.group("terms").split():
+            term_match = _OBSERVABLE_TERM_RE.match(token)
+            if term_match is None:
+                raise QasmError(f"cannot parse observable term {token!r}")
+            label = term_match.group("label")
+            if len(label) != len(qubits):
+                raise QasmError(
+                    f"observable term {token!r} does not span {len(qubits)} qubits"
+                )
+            terms.append(
+                PauliString.from_label(label, float(term_match.group("coefficient")))
+            )
+        if not terms:
+            raise QasmError(f"observable assertion {comment!r} has no terms")
+        program.assert_observable(
+            qubits,
+            PauliSum(terms),
+            expectation=float(match.group("expected")),
+            tolerance=float(match.group("tolerance")),
+        )
         return
     raise QasmError(f"cannot parse assertion comment {comment!r}")
 

@@ -74,7 +74,7 @@ def main(argv: "list[str] | None" = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.lint",
         description="Lint OpenQASM 2.0 files for quantum-program dataflow "
-        "smells (QLINT001-008); optionally prove/refute their assertions "
+        "smells (QLINT001-009); optionally prove/refute their assertions "
         "statically.",
     )
     parser.add_argument("files", nargs="+", metavar="FILE.qasm")

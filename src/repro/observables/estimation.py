@@ -1,0 +1,240 @@
+"""Sampled Pauli-expectation estimation from grouped measurement settings.
+
+One measurement setting = one basis-rotation fragment appended to the
+breakpoint state (H for ``X``, S†-then-H for ``Y``, nothing for ``Z``)
+followed by a computational-basis ensemble over the setting's support.  A
+term's estimator is the eigenvalue product ``prod (1 - 2 bit)`` over its
+support, averaged over shots; terms sharing a setting are estimated from the
+*same* shots, so the aggregate estimator sums the per-shot term values
+first and takes one mean — the within-setting covariance between terms is
+then captured for free, and the observable's standard error is the
+root-sum-square of the independent per-setting standard errors.
+
+Everything here is pure bookkeeping over
+:class:`~repro.sim.measurement.MeasurementEnsemble` objects: the executor
+owns snapshot/rotate/sample/restore, `run_until_converged` merges ensembles
+across batches, and this module turns merged ensembles into
+:class:`ObservableEstimate` records the checker's t-test consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..core.statistics import weighted_mean_standard_error
+from ..sim.measurement import MeasurementEnsemble
+from .grouping import MeasurementSetting
+from .pauli import PauliSum
+
+__all__ = [
+    "ROTATION_OPS",
+    "rotation_ops",
+    "TermEstimate",
+    "ObservableEstimate",
+    "setting_eigenvalue_products",
+    "estimate_observable",
+]
+
+#: Per-basis conjugation appended before a Z-basis readout: the op words use
+#: the tableau/frame vocabulary (``repro.sim.clifford`` names, slot = qubit).
+ROTATION_OPS = {
+    "I": (),
+    "Z": (),
+    "X": (("h",),),
+    "Y": (("sdg",), ("h",)),
+}
+
+
+def rotation_ops(setting: MeasurementSetting) -> list[tuple[str, int]]:
+    """Basis-rotation fragment for one setting, as ``(gate, qubit)`` pairs.
+
+    Diagonalises every measured qubit into the computational basis:
+    ``X -> H``, ``Y -> S† H`` (so ``H S`` maps Z-eigenstates back), ``Z``
+    and ``I`` need nothing.  Deterministic qubit order keeps the executor's
+    rng stream — and therefore seeded verdicts — stable.
+    """
+    ops: list[tuple[str, int]] = []
+    for qubit, basis in enumerate(setting.basis):
+        for op in ROTATION_OPS[basis]:
+            ops.append((op[0], qubit))
+    return ops
+
+
+@dataclass(frozen=True)
+class TermEstimate:
+    """One Pauli term's estimate: ``value`` includes the (real) coefficient."""
+
+    index: int
+    label: str
+    coefficient: float
+    value: float
+    standard_error: float
+
+    def raw_expectation(self) -> float:
+        """``<P>`` with the coefficient divided back out (0 when c == 0)."""
+        return self.value / self.coefficient if self.coefficient else 0.0
+
+
+@dataclass(frozen=True)
+class ObservableEstimate:
+    """Aggregated ``<H>`` estimate with its uncertainty budget.
+
+    ``exact`` marks evaluations that consumed no sampling shots (tableau
+    Pauli expectations); their ``standard_error`` reflects only the spread
+    across trajectory members (zero for a single noiseless walk).  ``dof``
+    is the t-test's degrees of freedom: total effective shots minus the
+    number of sampled settings.
+    """
+
+    value: float
+    standard_error: float
+    num_settings: int
+    total_shots: float
+    dof: float
+    exact: bool = False
+    terms: tuple[TermEstimate, ...] = ()
+    details: dict = field(default_factory=dict)
+
+
+def setting_eigenvalue_products(
+    setting: MeasurementSetting,
+    observable: PauliSum,
+    samples: np.ndarray,
+) -> dict[int, np.ndarray]:
+    """Per-shot eigenvalue products ``prod (1 - 2 bit)`` for each term.
+
+    ``samples`` are little-endian integers over the setting's support (bit
+    ``j`` = ``setting.support()[j]``), exactly what the executor's ensemble
+    path returns.  The coefficient is *not* applied here.
+    """
+    support = setting.support()
+    position = {qubit: j for j, qubit in enumerate(support)}
+    samples = np.asarray(samples, dtype=np.int64)
+    bits = np.empty((samples.size, len(support)), dtype=np.int64)
+    for j in range(len(support)):
+        bits[:, j] = (samples >> j) & 1
+    products: dict[int, np.ndarray] = {}
+    for index in setting.term_indices:
+        term = observable.terms[index]
+        columns = [position[qubit] for qubit in term.support()]
+        if columns:
+            parity = bits[:, columns].sum(axis=1) & 1
+            products[index] = 1.0 - 2.0 * parity
+        else:
+            products[index] = np.ones(samples.size)
+    return products
+
+
+def estimate_observable(
+    observable: PauliSum,
+    settings: Sequence[MeasurementSetting],
+    ensembles: Sequence[MeasurementEnsemble | None],
+) -> ObservableEstimate:
+    """Aggregate per-setting ensembles into one ``<H>`` estimate.
+
+    ``ensembles[i]`` holds the readout ensemble of ``settings[i]`` (bit
+    ``j`` = support qubit ``j``); ``None`` marks an empty-support setting
+    (identity terms), which contributes its coefficients as an exact
+    constant.  Per setting the shots' term values are summed *before*
+    averaging, so covariance between grouped terms is included; settings
+    are sampled independently, so their variances add.
+    """
+    if len(settings) != len(ensembles):
+        raise ValueError("settings and ensembles must pair up")
+    total_value = 0.0
+    total_variance = 0.0
+    total_shots = 0.0
+    sampled_settings = 0
+    dof = 0.0
+    term_estimates: list[TermEstimate] = []
+    for setting, ensemble in zip(settings, ensembles):
+        coefficients = {
+            index: float(observable.terms[index].coefficient.real)
+            for index in setting.term_indices
+        }
+        constant = sum(
+            coefficients[index]
+            for index in setting.term_indices
+            if observable.terms[index].is_identity
+        )
+        measured = [
+            index
+            for index in setting.term_indices
+            if not observable.terms[index].is_identity
+        ]
+        if not measured:
+            total_value += constant
+            for index in setting.term_indices:
+                term = observable.terms[index]
+                term_estimates.append(
+                    TermEstimate(
+                        index=index,
+                        label=term.label(),
+                        coefficient=coefficients[index],
+                        value=coefficients[index],
+                        standard_error=0.0,
+                    )
+                )
+            continue
+        if ensemble is None:
+            raise ValueError(
+                f"setting {setting.describe()} measures terms but has no ensemble"
+            )
+        weights = ensemble.weights
+        products = setting_eigenvalue_products(
+            setting, observable, np.asarray(ensemble.samples)
+        )
+        shot_values = None
+        for index in measured:
+            term = observable.terms[index]
+            contribution = coefficients[index] * products[index]
+            shot_values = (
+                contribution if shot_values is None else shot_values + contribution
+            )
+            mean, se, _ = weighted_mean_standard_error(contribution, weights)
+            term_estimates.append(
+                TermEstimate(
+                    index=index,
+                    label=term.label(),
+                    coefficient=coefficients[index],
+                    value=mean,
+                    standard_error=se,
+                )
+            )
+        for index in setting.term_indices:
+            if observable.terms[index].is_identity:
+                term = observable.terms[index]
+                term_estimates.append(
+                    TermEstimate(
+                        index=index,
+                        label=term.label(),
+                        coefficient=coefficients[index],
+                        value=coefficients[index],
+                        standard_error=0.0,
+                    )
+                )
+        mean, se, ess = weighted_mean_standard_error(shot_values, weights)
+        total_value += constant + mean
+        if np.isinf(se):
+            total_variance = np.inf
+        else:
+            total_variance += se * se
+        total_shots += ess
+        sampled_settings += 1
+        dof += max(ess - 1.0, 0.0)
+    term_estimates.sort(key=lambda estimate: estimate.index)
+    return ObservableEstimate(
+        value=total_value,
+        standard_error=float(np.sqrt(total_variance))
+        if not np.isinf(total_variance)
+        else float("inf"),
+        num_settings=len(settings),
+        total_shots=total_shots,
+        dof=dof,
+        exact=False,
+        terms=tuple(term_estimates),
+        details={"sampled_settings": sampled_settings},
+    )

@@ -1,0 +1,198 @@
+"""Exact Pauli expectations across the backend family.
+
+The stabilizer tableau answers ``<P>`` in closed form (see
+:func:`repro.sim.stabilizer_backend.tableau_pauli_expectation`): zero
+sampling shots, exact to machine precision, and with Pauli-frame noise the
+per-member values are the shared tableau value sign-flipped by each frame —
+so even noisy Clifford breakpoints evaluate observables exactly, weighted
+over members.  Dense backends fall back to dense linear algebra: a
+statevector contracts the term on its support, a density matrix traces the
+term against the reduced density matrix, and a trajectory batch evaluates
+each member state and averages with the members' importance weights.
+
+The checker only routes tableau-stage engines here (everything else goes
+through the sampled grouped-setting path — the decision table lives in
+``docs/architecture.md``); the dense entry points back the cross-backend
+identity tests, the chemistry expectation helpers, and the static
+analyzer's PROVEN/REFUTED decisions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sim import gates as _gates
+from ..sim.density_backend import DensityMatrixBackend
+from ..sim.stabilizer_backend import HybridCliffordBackend, StabilizerBackend
+from ..sim.statevector import Statevector
+from ..sim.trajectory_backend import TrajectoryNoiseBackend
+from .estimation import ObservableEstimate, TermEstimate
+from .pauli import _PAULI_MATRICES, PauliString, PauliSum
+
+__all__ = [
+    "as_pauli_sum",
+    "statevector_expectation",
+    "density_expectation",
+    "tableau_engine",
+    "member_observable_values",
+    "exact_estimate",
+    "backend_expectation",
+]
+
+
+def as_pauli_sum(observable: "PauliSum | PauliString") -> PauliSum:
+    """Normalise a single string into a one-term sum (sums pass through)."""
+    if isinstance(observable, PauliString):
+        return PauliSum([observable])
+    if isinstance(observable, PauliSum):
+        return observable
+    raise TypeError(
+        f"observable must be a PauliString or PauliSum, got {type(observable).__name__}"
+    )
+
+
+def statevector_expectation(
+    state: Statevector, observable: "PauliSum | PauliString"
+) -> float:
+    """Dense ``<H>`` of a pure state (real part; support-local contraction)."""
+    return float(as_pauli_sum(observable).expectation(state).real)
+
+
+def density_expectation(
+    backend: DensityMatrixBackend, observable: "PauliSum | PauliString"
+) -> float:
+    """``Tr(rho H)`` via per-term reduced density matrices on the support."""
+    total = 0.0
+    for term in as_pauli_sum(observable).terms:
+        support = term.support()
+        if not support:
+            total += float(term.coefficient.real)
+            continue
+        reduced = backend.reduced_density_matrix(support)
+        matrix = _gates.kron_all([_PAULI_MATRICES[term.ops[q]] for q in support])
+        total += float(
+            (term.coefficient * np.trace(reduced.data @ matrix)).real
+        )
+    return total
+
+
+def tableau_engine(backend: object) -> "StabilizerBackend | None":
+    """The live tableau engine behind ``backend``, or None when dense.
+
+    Unwraps ``backend="auto"``'s hybrid while it is still in its tableau
+    stage — the condition under which observable assertions are exact and
+    free.
+    """
+    if isinstance(backend, StabilizerBackend):
+        return backend
+    if isinstance(backend, HybridCliffordBackend) and backend.stage == "tableau":
+        engine = backend.active_engine
+        assert isinstance(engine, StabilizerBackend)
+        return engine
+    return None
+
+
+def member_observable_values(
+    backend: object, observable: "PauliSum | PauliString"
+) -> "tuple[np.ndarray, np.ndarray | None]":
+    """Per-member exact ``<H>`` values and optional importance weights.
+
+    Single-state backends return one member.  The member axis is what
+    carries trajectory-noise uncertainty: the values themselves are exact
+    per member, the spread across members is Monte-Carlo.
+    """
+    observable = as_pauli_sum(observable)
+    engine = tableau_engine(backend)
+    if engine is not None:
+        values: np.ndarray | None = None
+        for term in observable.terms:
+            x_mask, z_mask = term.symplectic_masks()
+            member = float(term.coefficient.real) * engine.member_pauli_expectations(
+                x_mask, z_mask
+            )
+            values = member if values is None else values + member
+        assert values is not None
+        return values, engine.member_weights()
+    if isinstance(backend, HybridCliffordBackend):
+        return member_observable_values(backend.active_engine, observable)
+    if isinstance(backend, TrajectoryNoiseBackend):
+        values = np.array(
+            [
+                statevector_expectation(
+                    backend.member_statevector(member), observable
+                )
+                for member in range(backend.batch_size)
+            ]
+        )
+        return values, backend.member_weights()
+    if isinstance(backend, DensityMatrixBackend):
+        return np.array([density_expectation(backend, observable)]), None
+    if isinstance(backend, Statevector):
+        return np.array([statevector_expectation(backend, observable)]), None
+    to_statevector = getattr(backend, "to_statevector", None)
+    if to_statevector is None:
+        raise TypeError(
+            f"cannot evaluate Pauli expectations on {type(backend).__name__}"
+        )
+    return (
+        np.array([statevector_expectation(to_statevector(copy=False), observable)]),
+        None,
+    )
+
+
+def backend_expectation(
+    backend: object, observable: "PauliSum | PauliString"
+) -> float:
+    """Exact ensemble ``<H>`` on any backend (weighted over members)."""
+    values, weights = member_observable_values(backend, observable)
+    if weights is None:
+        return float(values.mean())
+    return float((weights * values).sum() / weights.sum())
+
+
+def exact_estimate(
+    backend: object, observable: "PauliSum | PauliString"
+) -> ObservableEstimate:
+    """Zero-shot :class:`ObservableEstimate` from exact member values.
+
+    ``standard_error`` is zero for a single member (the evaluation is
+    literally exact) and the weighted member spread otherwise — a noisy
+    trajectory ensemble still carries Monte-Carlo uncertainty across its
+    members even though each member is evaluated exactly.
+    """
+    from ..core.statistics import weighted_mean_standard_error
+
+    observable = as_pauli_sum(observable)
+    values, weights = member_observable_values(backend, observable)
+    if values.size == 1:
+        value, se, ess = float(values[0]), 0.0, 1.0
+        dof = 0.0
+    else:
+        value, se, ess = weighted_mean_standard_error(values, weights)
+        if np.isinf(se):
+            se = 0.0
+        dof = max(ess - 1.0, 0.0)
+    term_estimates = []
+    for index, term in enumerate(observable.terms):
+        term_value = backend_expectation(
+            backend, PauliSum([term])
+        )
+        term_estimates.append(
+            TermEstimate(
+                index=index,
+                label=term.label(),
+                coefficient=float(term.coefficient.real),
+                value=term_value,
+                standard_error=0.0,
+            )
+        )
+    return ObservableEstimate(
+        value=value,
+        standard_error=se,
+        num_settings=0,
+        total_shots=0.0,
+        dof=dof,
+        exact=True,
+        terms=tuple(term_estimates),
+        details={"effective_members": ess},
+    )

@@ -16,6 +16,9 @@ GET       ``/jobs/<id>/report``       the report alone — ``409`` + state
 GET       ``/jobs/<id>/wait``         block until terminal (``?timeout=s`` →
                                       ``504`` on expiry); the long-poll
                                       spelling of ``wait_for_job``
+DELETE    ``/jobs/<id>``              cancel the job (withdraw if queued,
+                                      kill the worker if running); idempotent
+                                      — returns the job view either way
 GET       ``/stats``                  service counters
 ========  ==========================  ========================================
 
@@ -67,6 +70,19 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             self._send(400, {"error": str(exc)})
             return
         self._send(202, {"job_id": job_id})
+
+    def do_DELETE(self) -> None:  # noqa: N802 - stdlib casing
+        parsed = urlparse(self.path)
+        parts = [part for part in parsed.path.split("/") if part]
+        if len(parts) != 2 or parts[0] != "jobs":
+            self._send(404, {"error": f"no such route {parsed.path!r}"})
+            return
+        try:
+            job = self.server.service.cancel(parts[1])
+        except KeyError as exc:
+            self._send(404, {"error": str(exc)})
+            return
+        self._send(200, job.to_dict(include_report=False))
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib casing
         parsed = urlparse(self.path)

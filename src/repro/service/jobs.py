@@ -32,8 +32,9 @@ made JSON-round-trippable.  Fault tolerance is the first-class design axis:
 
 Job lifecycle::
 
-    QUEUED ──▶ RUNNING ──▶ DONE | TIMEOUT | FAILED
-       └────────────────▶ CACHED | STATIC     (answered at submission)
+    QUEUED ──▶ RUNNING ──▶ DONE | TIMEOUT | FAILED | CANCELLED
+       ├────────────────▶ CACHED | STATIC     (answered at submission)
+       └────────────────▶ CANCELLED           (withdrawn before dispatch)
 """
 
 from __future__ import annotations
@@ -70,11 +71,12 @@ class JobState:
     FAILED = "FAILED"
     CACHED = "CACHED"
     STATIC = "STATIC"
+    CANCELLED = "CANCELLED"
 
     #: States carrying a report a client can fetch.
     WITH_REPORT = frozenset({DONE, CACHED, STATIC})
     #: States a job never leaves.
-    TERMINAL = frozenset({DONE, TIMEOUT, FAILED, CACHED, STATIC})
+    TERMINAL = frozenset({DONE, TIMEOUT, FAILED, CACHED, STATIC, CANCELLED})
 
 
 @dataclass
@@ -100,6 +102,7 @@ class Job:
     _program_bytes: bytes = b""
     _config_json: str = ""
     _done: threading.Event = field(default_factory=threading.Event)
+    _cancel: threading.Event = field(default_factory=threading.Event)
 
     @property
     def terminal(self) -> bool:
@@ -304,10 +307,16 @@ class LocalService:
                 if self._closed:
                     return
                 continue
+            if job._cancel.is_set():
+                # Cancelled while queued: already parked in CANCELLED, skip.
+                continue
             while not self._slots.acquire(timeout=self._poll_interval):
                 if self._closed:
                     # Shutting down with a job in hand: leave it QUEUED.
                     return
+            if job._cancel.is_set():
+                self._slots.release()
+                continue
             thread = threading.Thread(
                 target=self._run_job, args=(job,),
                 name=f"repro-service-{job.id}", daemon=True,
@@ -321,6 +330,9 @@ class LocalService:
             policy = RetryPolicy.from_config(job.config)
             crashes = 0
             while True:
+                if job._cancel.is_set():
+                    self._finish(job, JobState.CANCELLED, None)
+                    return
                 attempt = job.attempts
                 with self._lock:
                     job.state = JobState.RUNNING
@@ -335,7 +347,23 @@ class LocalService:
                     },
                     timeout=job.config.job_timeout,
                     ctx=self._ctx,
+                    cancel_event=job._cancel,
                 )
+                if outcome.status == "cancelled":
+                    # Client withdrew the job mid-attempt: the worker was
+                    # killed and — like TIMEOUT — there is no retry.
+                    job.failure_chain.append(
+                        {
+                            "attempt": attempt,
+                            "kind": "cancelled",
+                            "detail": outcome.detail,
+                            "exitcode": outcome.exitcode,
+                            "duration": outcome.duration,
+                            "backoff": None,
+                        }
+                    )
+                    self._finish(job, JobState.CANCELLED, None)
+                    return
                 if outcome.status == "ok":
                     report = DebugReport.from_json(outcome.report_json)
                     self.result_cache.put(job.cache_key, outcome.report_json)
@@ -393,10 +421,14 @@ class LocalService:
 
     def _finish(self, job: Job, state: str, report: "DebugReport | None") -> None:
         with self._lock:
+            if job._done.is_set():
+                # Already terminal (e.g. cancelled while the worker raced to
+                # its own answer): first writer wins, never overwrite.
+                return
             job.state = state
             job.report = report
             job.finished_at = time.time()
-        job._done.set()
+            job._done.set()
 
     # -- client surface --------------------------------------------------
 
@@ -415,6 +447,27 @@ class LocalService:
     def report(self, job_id: str) -> "DebugReport | None":
         """The finished report, or ``None`` while the job is in flight."""
         return self.job(job_id).report
+
+    def cancel(self, job_id: str) -> Job:
+        """Cancel a job: withdraw it if QUEUED, kill its worker if RUNNING.
+
+        A QUEUED job goes terminal (``CANCELLED``) immediately; a RUNNING
+        job has its current attempt's subprocess killed and — like TIMEOUT —
+        is never retried.  Cancelling an already-terminal job is a no-op
+        (the job is returned unchanged), so cancellation is idempotent and
+        can never race a completion into an error.
+        """
+        job = self.job(job_id)
+        with self._lock:
+            if job.terminal:
+                return job
+            job._cancel.set()
+            queued = job.state == JobState.QUEUED
+        if queued:
+            # The dispatcher skips cancelled jobs when it pops them; park
+            # the job terminal right away so clients unblock immediately.
+            self._finish(job, JobState.CANCELLED, None)
+        return job
 
     def wait(self, job_id: str, timeout: "float | None" = None) -> Job:
         """Block until the job is terminal; the ``wait_for_job`` shape.

@@ -84,10 +84,12 @@ class AttemptOutcome:
     """What one subprocess attempt produced, classified for the retry loop.
 
     ``status`` is one of ``"ok"`` (``report_json`` holds the result),
-    ``"timeout"`` (deadline expired, child SIGKILLed), ``"crash"`` (child
-    died without reporting — SIGKILL/OOM/segfault; ``exitcode`` says how),
-    or ``"error"`` (child caught and reported a Python exception —
-    deterministic, so the service fails fast instead of retrying).
+    ``"timeout"`` (deadline expired, child SIGKILLed), ``"cancelled"``
+    (the parent's cancel event fired mid-attempt, child SIGKILLed),
+    ``"crash"`` (child died without reporting — SIGKILL/OOM/segfault;
+    ``exitcode`` says how), or ``"error"`` (child caught and reported a
+    Python exception — deterministic, so the service fails fast instead of
+    retrying).
     """
 
     status: str
@@ -150,6 +152,7 @@ def run_attempt(
     payload: dict,
     timeout: "float | None" = None,
     ctx: "multiprocessing.context.BaseContext | None" = None,
+    cancel_event=None,
 ) -> AttemptOutcome:
     """Run one job attempt in a fresh subprocess and classify the outcome.
 
@@ -158,6 +161,9 @@ def run_attempt(
     coordinates) and optionally ``fault_spec``.  On deadline expiry the
     child is SIGKILLed and the outcome is ``"timeout"`` — the guarantee the
     acceptance criterion words as "within ``job_timeout`` + grace".
+    ``cancel_event`` (a :class:`threading.Event`) lets the parent withdraw
+    the attempt mid-flight: the child is SIGKILLed and the outcome is
+    ``"cancelled"``, observed within one ``_POLL_SECONDS`` quantum.
     """
     ctx = ctx or worker_context()
     parent_conn, child_conn = ctx.Pipe(duplex=False)
@@ -170,6 +176,7 @@ def run_attempt(
     deadline = None if timeout is None else start + timeout
     message = None
     timed_out = False
+    cancelled = False
     try:
         while True:
             try:
@@ -178,6 +185,17 @@ def run_attempt(
                     break
             except (EOFError, OSError):
                 break  # pipe closed without a message: the child crashed
+            if cancel_event is not None and cancel_event.is_set():
+                # Like the deadline race below: take an answer that landed
+                # exactly at cancellation rather than discarding it.
+                try:
+                    if parent_conn.poll(0):
+                        message = parent_conn.recv()
+                        break
+                except (EOFError, OSError):
+                    break
+                cancelled = True
+                break
             if deadline is not None and time.monotonic() >= deadline:
                 # One last zero-timeout poll closes the race where the
                 # child answered exactly at the deadline.
@@ -197,7 +215,7 @@ def run_attempt(
                 except (EOFError, OSError):
                     pass
                 break
-        if timed_out:
+        if timed_out or cancelled:
             proc.kill()
         proc.join(_JOIN_GRACE_SECONDS)
         if proc.is_alive():  # pragma: no cover - defensive
@@ -206,6 +224,13 @@ def run_attempt(
     finally:
         parent_conn.close()
     duration = time.monotonic() - start
+    if cancelled:
+        return AttemptOutcome(
+            status="cancelled",
+            detail="killed after the client cancelled the job",
+            exitcode=proc.exitcode,
+            duration=duration,
+        )
     if timed_out:
         return AttemptOutcome(
             status="timeout",

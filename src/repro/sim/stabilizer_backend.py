@@ -90,6 +90,7 @@ __all__ = [
     "HybridCliffordBackend",
     "NotCliffordGateError",
     "tableau_outcome_distribution",
+    "tableau_pauli_expectation",
 ]
 
 #: Widest measured group the backend will materialise as a dense marginal.
@@ -684,6 +685,64 @@ def tableau_outcome_distribution(
     return distribution
 
 
+def _mask_to_words(mask: int, num_words: int) -> np.ndarray:
+    """One symplectic qubit mask as a little-endian uint64 word row."""
+    return np.frombuffer(
+        mask.to_bytes(num_words * 8, "little"), dtype="<u8"
+    ).astype(np.uint64)
+
+
+def tableau_pauli_expectation(tableau: _Tableau, x_mask: int, z_mask: int) -> float:
+    """Exact ``<P>`` of the tableau state for a phase-free Pauli ``P``.
+
+    ``x_mask`` / ``z_mask`` are the symplectic qubit masks of ``P`` in the
+    frame/row convention (bit ``q`` of ``x`` for ``X``/``Y`` on qubit ``q``,
+    bit ``q`` of ``z`` for ``Z``/``Y``; ``(1, 1)`` encodes ``Y`` with no
+    extra phase, exactly as a tableau row does).  The answer is one of three
+    values, read off the stabilizer group without touching the state:
+
+    * ``P`` anticommutes with some stabilizer generator → ``<P> = 0``;
+    * otherwise ``P`` commutes with the whole (maximal isotropic) group, so
+      its symplectic vector lies in the generators' span and ``P ∈ ±S``.
+      Destabilizer ``i`` anticommutes with stabilizer ``i`` only, so the
+      expansion of ``P`` over the generators is exactly "stabilizer ``i``
+      appears iff destabilizer ``i`` anticommutes with ``P``"; rowsumming
+      those generators into the scratch row (the
+      :meth:`_PackedRows.deterministic_outcome` machinery generalised from
+      ``Z_q`` to arbitrary masks) accumulates the product's sign, giving
+      ``<P> = ±1``.
+
+    Cost is O(n²/64) words in the worst case and leaves the tableau state
+    unchanged — this is what makes observable assertions free on Clifford
+    breakpoints.
+    """
+    n = tableau.n
+    if x_mask >> n or z_mask >> n:
+        raise ValueError("Pauli mask bits set beyond the tableau width")
+    if x_mask == 0 and z_mask == 0:
+        return 1.0
+    packed = tableau._ensure_packed()
+    px = _mask_to_words(x_mask, packed.num_words)
+    pz = _mask_to_words(z_mask, packed.num_words)
+    rows = 2 * n
+    anti = (
+        popcount_u64(packed.x[:rows] & pz).astype(np.int64).sum(axis=-1)
+        + popcount_u64(packed.z[:rows] & px).astype(np.int64).sum(axis=-1)
+    ) & 1
+    if anti[n:].any():
+        return 0.0
+    scratch = rows
+    packed.x[scratch] = 0
+    packed.z[scratch] = 0
+    packed.r[scratch] = 0
+    for i in np.flatnonzero(anti[:n]):
+        packed.rowsum_into(scratch, int(i) + n)
+    sx, sz = packed.row_masks(scratch)
+    if sx != x_mask or sz != z_mask:  # pragma: no cover - tableau invariant
+        raise RuntimeError("Pauli commutes with every stabilizer but is not in the group")
+    return -1.0 if packed.r[scratch] else 1.0
+
+
 class StabilizerBackend(SimulationBackend):
     """Clifford-only tableau backend (registry name ``"stabilizer"``).
 
@@ -920,6 +979,40 @@ class StabilizerBackend(SimulationBackend):
         ensemble statistics must be weighted by them to stay unbiased.
         """
         return None if self._weights is None else self._weights.copy()
+
+    # -- Pauli observables ----------------------------------------------
+
+    def member_pauli_expectations(self, x_mask: int, z_mask: int) -> np.ndarray:
+        """Exact per-member ``<P>`` for the symplectic masks ``(x, z)``.
+
+        Member ``m``'s state is ``F_m |psi>`` with ``F_m`` its Pauli frame,
+        so ``<P>_m = <psi| F_m P F_m |psi>`` — the shared tableau value
+        flipped by the sign of the frame/Pauli symplectic product.  Without
+        frames the single shared value comes back as a length-1 array.
+        """
+        base = tableau_pauli_expectation(self._require_tableau(), x_mask, z_mask)
+        if self._frames is None:
+            return np.array([base])
+        if base == 0.0 or self._frames.is_identity:
+            return np.full(self._batch_size, base)
+        frame_x, frame_z = self._frames.masks()
+        signs = np.array(
+            [
+                -1.0
+                if ((fx & z_mask).bit_count() + (fz & x_mask).bit_count()) & 1
+                else 1.0
+                for fx, fz in zip(frame_x, frame_z)
+            ]
+        )
+        return base * signs
+
+    def pauli_expectation(self, x_mask: int, z_mask: int) -> float:
+        """Exact ensemble ``<P>`` (weighted frame average when noise is live)."""
+        members = self.member_pauli_expectations(x_mask, z_mask)
+        if self._weights is None:
+            return float(members.mean())
+        total = float(self._weights.sum())
+        return float((self._weights * members).sum() / total)
 
     # -- readout --------------------------------------------------------
 
@@ -1316,6 +1409,11 @@ class HybridCliffordBackend(SimulationBackend):
         """``"tableau"`` before the first non-Clifford gate, ``"statevector"`` after."""
         engine = self._require_engine()
         return "tableau" if isinstance(engine, StabilizerBackend) else "statevector"
+
+    @property
+    def active_engine(self) -> SimulationBackend:
+        """The live stage engine — read-only introspection for routing code."""
+        return self._require_engine()
 
     def _densify(self) -> SimulationBackend:
         engine = self._require_engine()

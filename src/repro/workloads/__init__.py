@@ -1,5 +1,15 @@
 """Experiment workloads: detection-rate sweeps and assertion cost accounting."""
 
+from .chemistry_observables import (
+    OBSERVABLE_SCENARIOS,
+    ObservableScenario,
+    build_hf_energy_program,
+    build_trotter_energy_program,
+    build_vqe_energy_program,
+    get_observable_scenario,
+    observable_detection_sweep,
+    observable_scenario_names,
+)
 from .clifford import (
     CLIFFORD_SCENARIOS,
     CliffordScenario,
@@ -58,4 +68,12 @@ __all__ = [
     "build_ghz_chain_program",
     "build_teleportation_program",
     "build_repetition_code_program",
+    "ObservableScenario",
+    "OBSERVABLE_SCENARIOS",
+    "observable_scenario_names",
+    "get_observable_scenario",
+    "observable_detection_sweep",
+    "build_hf_energy_program",
+    "build_vqe_energy_program",
+    "build_trotter_energy_program",
 ]

@@ -36,7 +36,7 @@ EXAMPLES = REPO_ROOT / "examples"
 
 class TestDiagnostic:
     def test_code_table_is_complete(self):
-        assert sorted(LINT_CODES) == [f"QLINT00{i}" for i in range(1, 9)]
+        assert sorted(LINT_CODES) == [f"QLINT00{i}" for i in range(1, 10)]
         for severity, title in LINT_CODES.values():
             assert severity in SEVERITIES
             assert title

@@ -531,3 +531,77 @@ class TestMaxSecondsGuard:
         report = check_program(build_bell_program(), self._noisy_config(max_seconds=1e-6))
         restored = DebugReport.from_json(report.to_json())
         assert restored.convergence == report.convergence
+
+
+# ---------------------------------------------------------------------------
+# Cancellation
+# ---------------------------------------------------------------------------
+
+
+class TestCancel:
+    """``LocalService.cancel`` / ``DELETE /jobs/<id>``: withdraw or kill."""
+
+    def test_cancel_queued_job(self):
+        with service(max_workers=0) as svc:
+            job_id = svc.submit(build_bell_program(), CFG)
+            job = svc.cancel(job_id)
+            assert job.state == JobState.CANCELLED and job.terminal
+            assert job.report is None and job.attempts == 0
+            assert svc.wait(job_id, timeout=WAIT).state == JobState.CANCELLED
+
+    def test_cancel_is_idempotent(self):
+        with service(max_workers=0) as svc:
+            job_id = svc.submit(build_bell_program(), CFG)
+            first = svc.cancel(job_id)
+            second = svc.cancel(job_id)
+            assert first is second and second.state == JobState.CANCELLED
+
+    def test_cancel_after_terminal_is_a_noop(self):
+        with service() as svc:
+            job_id = svc.submit(build_bell_program(), CFG)
+            done = svc.wait(job_id, timeout=WAIT)
+            assert done.terminal
+            cancelled = svc.cancel(job_id)
+            assert cancelled.state == done.state
+            assert cancelled.report is not None
+
+    def test_cancel_running_job_kills_worker_without_retry(self):
+        with service(fault_spec="hang@0x9", max_workers=1) as svc:
+            job_id = svc.submit(build_bell_program(), CFG)
+            deadline = time.monotonic() + WAIT
+            while svc.job(job_id).state != JobState.RUNNING:
+                assert time.monotonic() < deadline, "job never started running"
+                time.sleep(0.01)
+            svc.cancel(job_id)
+            job = svc.wait(job_id, timeout=WAIT)
+            assert job.state == JobState.CANCELLED
+            assert job.attempts == 1  # cancellation is terminal: no retry
+            assert [e["kind"] for e in job.failure_chain] == ["cancelled"]
+
+    def test_cancel_unknown_job_raises(self):
+        with service() as svc:
+            with pytest.raises(KeyError):
+                svc.cancel("job-404404")
+
+    def test_http_delete_cancels_and_is_idempotent(self):
+        with service(max_workers=0) as svc, serve_http(svc) as server:
+            job_id = svc.submit(build_bell_program(), CFG)
+            body = None
+            for _ in range(2):
+                request = urllib.request.Request(
+                    server.url + f"/jobs/{job_id}", method="DELETE"
+                )
+                with urllib.request.urlopen(request) as resp:
+                    assert resp.status == 200
+                    body = json.load(resp)
+            assert body["state"] == "CANCELLED"
+            assert svc.job(job_id).terminal
+
+    def test_http_delete_unknown_job_404(self):
+        with service() as svc, serve_http(svc) as server:
+            request = urllib.request.Request(
+                server.url + "/jobs/job-404404", method="DELETE"
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request)
+            assert excinfo.value.code == 404
